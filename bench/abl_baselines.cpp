@@ -1,0 +1,58 @@
+// ABL5: the protocol classes of paper §2, side by side.
+//
+// BASIC is the mandatory-checkpoint floor; UNCOORD adds independent local
+// checkpoints (cheap in checkpoints, catastrophic at recovery — domino);
+// COORD is a Chandy-Lamport-style coordinated scheme (adds dedicated
+// control messages, the cost §2 holds against that class); TP/BCS/QBC are
+// the communication-induced protocols the paper champions.
+#include <cstdio>
+
+#include "core/recovery.hpp"
+#include "sim/cli.hpp"
+#include "sim/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mobichk;
+  const sim::ArgParser args(argc, argv);
+
+  sim::SimConfig cfg;
+  cfg.sim_length = args.get_f64("length", 100'000.0);
+  cfg.t_switch = 1'000.0;
+  cfg.p_switch = 0.8;
+  cfg.seed = args.get_u64("seed", 3);
+
+  sim::ExperimentOptions opts;
+  opts.protocols = core::all_protocol_kinds();
+  opts.params.uncoordinated_mean_period = 500.0;
+  opts.params.coordinated_interval = 500.0;
+
+  sim::Experiment exp(cfg, opts);
+  exp.run();
+  const auto& r = exp.result();
+  const auto fail_pos = exp.harness().current_positions();
+  const auto& messages = exp.harness().message_log();
+
+  std::printf("ABL5 — protocol classes at T_switch=1000, P_switch=0.8, horizon %.0f tu\n",
+              cfg.sim_length);
+  std::printf("%-8s %10s %10s %10s %12s %14s %16s %14s\n", "proto", "N_tot", "basic", "forced",
+              "ctrl msgs", "pb bytes", "undone events", "ckpts lost");
+  for (usize slot = 0; slot < r.protocols.size(); ++slot) {
+    const auto& p = r.protocols[slot];
+    // Recovery cost after a total failure at the end of the run: every
+    // host restarts from stable storage (the demanding case that exposes
+    // the domino effect).
+    const auto rb = core::rollback_to_consistent(exp.log(slot), messages, fail_pos);
+    std::printf("%-8s %10llu %10llu %10llu %12llu %14llu %16llu %14llu\n", p.name.c_str(),
+                static_cast<unsigned long long>(p.n_tot),
+                static_cast<unsigned long long>(p.basic),
+                static_cast<unsigned long long>(p.forced),
+                static_cast<unsigned long long>(p.control_messages),
+                static_cast<unsigned long long>(p.piggyback_bytes),
+                static_cast<unsigned long long>(rb.undone_events()),
+                static_cast<unsigned long long>(rb.total_discarded()));
+  }
+  std::printf("\nexpected: BASIC has the fewest checkpoints but (like UNCOORD) pays at\n"
+              "recovery; COORD needs dedicated control messages; the index-based\n"
+              "communication-induced protocols sit at the sweet spot the paper argues for.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// COLL: global-checkpoint collection latency (paper §2.2, "Global
+// Checkpoint Collection Latency").
+//
+// The paper observes that connections and disconnections "may
+// significantly increase the completion time of the construction of a
+// consistent global checkpoint". We measure exactly that: for every
+// index M whose recovery line completed (all ten members stored), the
+// formation span = time of the last member minus time of the first.
+// Sweeping the disconnection share shows the effect.
+#include <algorithm>
+#include <cstdio>
+
+#include "core/recovery.hpp"
+#include "sim/cli.hpp"
+#include "sim/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mobichk;
+  const sim::ArgParser args(argc, argv);
+  const u64 seeds = args.get_u64("seeds", 3);
+
+  std::printf("COLL — recovery-line formation span (tu), QBC and BCS, T_switch=1000\n\n");
+  std::printf("%9s %9s | %12s %12s | %12s %12s\n", "P_switch", "outage", "BCS mean", "BCS p95",
+              "QBC mean", "QBC p95");
+
+  for (const f64 psw : {1.0, 0.9, 0.8, 0.6}) {
+    for (const f64 outage : {300.0, 1'000.0}) {
+      if (psw == 1.0 && outage != 300.0) continue;
+      std::vector<std::vector<f64>> spans(2);
+      for (u64 s = 1; s <= seeds; ++s) {
+        sim::SimConfig cfg;
+        cfg.sim_length = args.get_f64("length", 100'000.0);
+        cfg.t_switch = 1'000.0;
+        cfg.p_switch = psw;
+        cfg.disconnect_mean = outage;
+        cfg.seed = s;
+        sim::ExperimentOptions opts;
+        opts.protocols = {core::ProtocolKind::kBcs, core::ProtocolKind::kQbc};
+        sim::Experiment exp(cfg, opts);
+        exp.run();
+        const auto current = exp.harness().current_positions();
+        for (usize slot = 0; slot < 2; ++slot) {
+          const auto& log = exp.log(slot);
+          const auto rule = core::recovery_rule_for(opts.protocols[slot]);
+          for (u64 m = 1; m <= log.max_sn(); ++m) {
+            const auto line = core::index_recovery_line(log, m, rule, current);
+            if (line.virtual_members() > 0) continue;  // line not complete yet
+            f64 lo = 1e300, hi = -1e300;
+            for (const auto* member : line.members) {
+              lo = std::min(lo, member->time);
+              hi = std::max(hi, member->time);
+            }
+            spans[slot].push_back(hi - lo);
+          }
+        }
+      }
+      f64 stats[2][2] = {};
+      for (usize slot = 0; slot < 2; ++slot) {
+        auto& v = spans[slot];
+        if (v.empty()) continue;
+        std::sort(v.begin(), v.end());
+        f64 sum = 0.0;
+        for (const f64 x : v) sum += x;
+        stats[slot][0] = sum / static_cast<f64>(v.size());
+        stats[slot][1] = v[static_cast<usize>(0.95 * static_cast<f64>(v.size() - 1))];
+      }
+      std::printf("%9.1f %9.0f | %12.1f %12.1f | %12.1f %12.1f\n", psw, outage, stats[0][0],
+                  stats[0][1], stats[1][0], stats[1][1]);
+    }
+  }
+  std::printf("\nexpected: with no disconnections a line forms in roughly an index period;\n"
+              "disconnected hosts stall completion (their next checkpoint waits out the\n"
+              "outage), so spans stretch as the disconnection share and outage grow —\n"
+              "the paper's §2.2 observation, quantified.\n");
+  return 0;
+}

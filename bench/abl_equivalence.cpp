@@ -1,0 +1,56 @@
+// ABL4: the value of QBC's equivalence rule across heterogeneity.
+//
+// Switching the rule off makes QBC literally BCS, so BCS serves as the
+// ablated variant; this bench isolates the rule's contribution (forced
+// checkpoints avoided and index growth slowed) as heterogeneity varies —
+// the mechanism behind the paper's "the gain gets larger in heterogeneous
+// environments" conclusion.
+#include <cstdio>
+
+#include "sim/cli.hpp"
+#include "sim/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mobichk;
+  const sim::ArgParser args(argc, argv);
+  const u64 seeds = args.get_u64("seeds", 5);
+
+  std::printf("ABL4 — QBC equivalence rule on/off (off = BCS), T_switch=1000, P_switch=0.8\n");
+  std::printf("%6s %12s %12s %12s %14s %14s %12s\n", "H", "BCS N_tot", "QBC N_tot", "gain",
+              "BCS max idx", "QBC max idx", "replaced");
+
+  for (const f64 h : {0.0, 0.1, 0.3, 0.5, 0.7}) {
+    f64 bcs_tot = 0.0, qbc_tot = 0.0, bcs_idx = 0.0, qbc_idx = 0.0, replaced = 0.0;
+    for (u64 s = 1; s <= seeds; ++s) {
+      sim::SimConfig cfg;
+      cfg.sim_length = args.get_f64("length", 100'000.0);
+      cfg.t_switch = 1'000.0;
+      cfg.p_switch = 0.8;
+      cfg.heterogeneity = h;
+      cfg.seed = s;
+      sim::ExperimentOptions opts;
+      opts.protocols = {core::ProtocolKind::kBcs, core::ProtocolKind::kQbc};
+      sim::Experiment exp(cfg, opts);
+      exp.run();
+      const auto& r = exp.result();
+      bcs_tot += static_cast<f64>(r.protocols[0].n_tot);
+      qbc_tot += static_cast<f64>(r.protocols[1].n_tot);
+      bcs_idx += static_cast<f64>(r.protocols[0].max_index);
+      qbc_idx += static_cast<f64>(r.protocols[1].max_index);
+      // Count equivalence-rule firings from the QBC log.
+      const auto& log = exp.log(1);
+      for (net::HostId host = 0; host < log.n_hosts(); ++host) {
+        for (const auto& rec : log.of(host)) replaced += rec.replaced_predecessor ? 1.0 : 0.0;
+      }
+    }
+    const f64 n = static_cast<f64>(seeds);
+    std::printf("%5.0f%% %12.1f %12.1f %11.1f%% %14.1f %14.1f %12.1f\n", h * 100, bcs_tot / n,
+                qbc_tot / n, 100.0 * (bcs_tot - qbc_tot) / bcs_tot, bcs_idx / n, qbc_idx / n,
+                replaced / n);
+  }
+  std::printf("\nexpected: the rule fires more and more often as heterogeneity grows (fast\n"
+              "hosts take basic checkpoints without fresh receives) and QBC's index stays\n"
+              "far below BCS's; the N_tot gain peaks at moderate heterogeneity — matching\n"
+              "the paper, whose largest QBC gain is at H=30%%, not H=50%%.\n");
+  return 0;
+}

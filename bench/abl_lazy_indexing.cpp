@@ -1,0 +1,58 @@
+// LAZY: naive lazy indexing vs QBC's equivalence rule.
+//
+// Both LazyBCS(k) and QBC slow the growth of sequence numbers to cut
+// forced checkpoints. The difference: QBC reuses an index only when the
+// rn < sn guard *proves* the new checkpoint replaces its predecessor in
+// the recovery line, while LazyBCS reuses indices blindly. The price
+// shows up in the Netzer-Xu metric: LazyBCS piles up useless checkpoints
+// (stable-storage writes no recovery line will ever include), QBC keeps
+// them at zero — with comparable or better N_tot.
+#include <cstdio>
+
+#include "core/zgraph.hpp"
+#include "sim/cli.hpp"
+#include "sim/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mobichk;
+  const sim::ArgParser args(argc, argv);
+
+  std::printf("LAZY — forced-checkpoint savings vs useless checkpoints "
+              "(T_switch=500, P_switch=0.8, horizon %.0f tu)\n\n",
+              args.get_f64("length", 50'000.0));
+  std::printf("%-12s %10s %10s %10s %12s %12s\n", "proto", "N_tot", "basic", "forced",
+              "useless", "useless %");
+
+  const auto report = [&](const char* name, core::ProtocolKind kind, u32 laziness) {
+    sim::SimConfig cfg;
+    cfg.sim_length = args.get_f64("length", 50'000.0);
+    cfg.t_switch = 500.0;
+    cfg.p_switch = 0.8;
+    cfg.seed = 12;
+    sim::ExperimentOptions opts;
+    opts.protocols = {kind};
+    opts.params.lazy_bcs_laziness = laziness;
+    sim::Experiment exp(cfg, opts);
+    exp.run();
+    const auto& log = exp.log(0);
+    const core::IntervalGraph graph(log, exp.harness().message_log());
+    const u64 useless = graph.useless_count();
+    std::printf("%-12s %10llu %10llu %10llu %12llu %11.1f%%\n", name,
+                static_cast<unsigned long long>(log.n_tot()),
+                static_cast<unsigned long long>(log.basic()),
+                static_cast<unsigned long long>(log.forced()),
+                static_cast<unsigned long long>(useless),
+                100.0 * static_cast<f64>(useless) / static_cast<f64>(log.total()));
+  };
+
+  report("BCS", core::ProtocolKind::kBcs, 1);
+  report("LAZY-BCS(2)", core::ProtocolKind::kLazyBcs, 2);
+  report("LAZY-BCS(4)", core::ProtocolKind::kLazyBcs, 4);
+  report("LAZY-BCS(8)", core::ProtocolKind::kLazyBcs, 8);
+  report("QBC", core::ProtocolKind::kQbc, 1);
+
+  std::printf("\nexpected: LazyBCS trades forced checkpoints for useless ones as k grows;\n"
+              "QBC reaches the low-forced regime with zero useless checkpoints — the\n"
+              "design insight behind the paper's best protocol, quantified.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// LOGS: station-based message logging on top of the checkpointing
+// protocols (the complementary technique of the survey the paper cites).
+//
+// With MSSs retaining routed messages, a single-host failure rolls back
+// only the failed host, which replays its logged in-bound messages.
+// This bench compares the undone computation of plain consistent-cut
+// rollback vs logging-assisted rollback, and prices the MSS log storage
+// (with the stable-line GC applied).
+#include <cstdio>
+
+#include "core/gc.hpp"
+#include "core/message_logging.hpp"
+#include "sim/cli.hpp"
+#include "sim/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mobichk;
+  const sim::ArgParser args(argc, argv);
+  const u64 seeds = args.get_u64("seeds", 5);
+
+  std::printf("LOGS — message logging vs plain rollback (single-host failures, QBC,\n"
+              "T_switch=1000, P_switch=0.8; averages over %llu seeds x 10 failed hosts)\n\n",
+              static_cast<unsigned long long>(seeds));
+
+  f64 undone_plain = 0, undone_logs = 0, replayed = 0, samples = 0;
+  f64 logged_mb = 0, collectible_mb = 0, runs = 0;
+  for (u64 s = 1; s <= seeds; ++s) {
+    sim::SimConfig cfg;
+    cfg.sim_length = args.get_f64("length", 50'000.0);
+    cfg.t_switch = 1'000.0;
+    cfg.p_switch = 0.8;
+    cfg.seed = s;
+    sim::ExperimentOptions opts;
+    opts.protocols = {core::ProtocolKind::kQbc};
+    sim::Experiment exp(cfg, opts);
+    exp.run();
+    const auto fail_pos = exp.harness().current_positions();
+    const auto& messages = exp.harness().message_log();
+    for (net::HostId failed = 0; failed < exp.network().n_hosts(); ++failed) {
+      const auto plain = core::rollback_to_consistent(exp.log(0), messages, fail_pos, failed);
+      const auto logs = core::logging_rollback(exp.log(0), messages, fail_pos, failed);
+      undone_plain += static_cast<f64>(plain.undone_events());
+      undone_logs += static_cast<f64>(logs.rollback.undone_events());
+      replayed += static_cast<f64>(logs.replayed_deliveries);
+      samples += 1.0;
+    }
+    const auto gc = core::analyze_gc(exp.log(0), core::IndexLineRule::kLastEqual,
+                                     exp.network().n_mss());
+    const u64 msg_bytes = cfg.payload_bytes + sizeof(u64);  // payload + sn
+    const auto stats = core::log_storage_stats(messages, gc.stable_line, msg_bytes);
+    logged_mb += static_cast<f64>(stats.bytes_logged) / 1e6;
+    collectible_mb += static_cast<f64>(stats.bytes_collectible) / 1e6;
+    runs += 1.0;
+  }
+
+  std::printf("undone events per failure:  plain rollback %.1f   with logging %.1f  (-%.0f%%)\n",
+              undone_plain / samples, undone_logs / samples,
+              100.0 * (1.0 - undone_logs / undone_plain));
+  std::printf("messages replayed per recovery: %.1f\n", replayed / samples);
+  std::printf("MSS log storage per run: %.1f MB logged, %.1f MB collectible by stable-line GC"
+              " (%.0f%%)\n",
+              logged_mb / runs, collectible_mb / runs, 100.0 * collectible_mb / logged_mb);
+  std::printf("\nexpected: logging confines every rollback to the failed host (often saving\n"
+              "most of the undone work) at the price of MSS log space — which the stable\n"
+              "recovery line garbage-collects almost entirely on an ongoing basis.\n");
+  return 0;
+}

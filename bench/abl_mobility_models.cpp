@@ -1,0 +1,48 @@
+// MOBL: mobility-model sensitivity ("several models have been considered
+// for the hosts mobility", paper §1).
+//
+// Runs the T_switch sweep under the paper's exponential-residence model
+// and the two alternates (ring-neighbour cells, Pareto heavy-tailed
+// residence) to show the protocol ranking is robust to the mobility
+// assumptions — the paper's conclusion holds "independently of the
+// mobility characteristics".
+#include <cstdio>
+#include <iostream>
+
+#include "sim/cli.hpp"
+#include "sim/sweep.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mobichk;
+  const sim::ArgParser args(argc, argv);
+
+  const sim::MobilityModelKind models[] = {sim::MobilityModelKind::kPaperUniform,
+                                           sim::MobilityModelKind::kRingNeighbor,
+                                           sim::MobilityModelKind::kParetoResidence};
+
+  std::printf("MOBL — N_tot under different mobility models (P_switch=0.8, H=30%%)\n");
+  for (const auto model : models) {
+    sim::FigureSpec spec;
+    spec.title = std::string("mobility model: ") + sim::mobility_model_name(model);
+    spec.base.sim_length = args.get_f64("length", 50'000.0);
+    spec.base.p_switch = 0.8;
+    spec.base.heterogeneity = 0.3;
+    spec.base.mobility_model = model;
+    spec.t_switch_values = {100.0, 1'000.0, 10'000.0};
+    spec.seeds = args.get_u32("seeds", 4);
+    const sim::FigureResult result =
+        sim::run_figure(spec, sim::ExperimentOptions{}, args.get_u32("threads", 0));
+    result.print(std::cout);
+    std::printf("ranking holds: TP >= BCS >= QBC at every point: %s\n\n",
+                [&] {
+                  for (usize p = 0; p < result.t_switch_values.size(); ++p) {
+                    if (!(result.mean(p, 0) >= result.mean(p, 1) &&
+                          result.mean(p, 1) >= result.mean(p, 2))) {
+                      return "NO";
+                    }
+                  }
+                  return "yes";
+                }());
+  }
+  return 0;
+}

@@ -1,0 +1,80 @@
+// RECV: recovery-time evaluation — the paper's §6 future work.
+//
+// For each protocol, inject single-host failures at several points of the
+// run and measure (i) the computation undone by rolling back to the most
+// recent consistent global checkpoint, and (ii) how many checkpoints per
+// host are discarded. Communication-induced protocols bound the rollback
+// tightly; uncoordinated checkpointing shows the domino effect.
+#include <cstdio>
+
+#include "core/recovery.hpp"
+#include "sim/cli.hpp"
+#include "sim/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mobichk;
+  const sim::ArgParser args(argc, argv);
+  const u64 seeds = args.get_u64("seeds", 5);
+
+  std::printf("RECV — rollback after single-host failure (failure at end of a %.0f tu run,\n"
+              "T_switch=1000, P_switch=0.8; averages over %llu seeds x 10 failed hosts)\n\n",
+              args.get_f64("length", 50'000.0), static_cast<unsigned long long>(seeds));
+  std::printf("%-8s %16s %18s %16s %14s\n", "proto", "undone events", "undone (index line)",
+              "ckpts discarded", "iterations");
+
+  sim::ExperimentOptions opts;
+  opts.protocols = core::all_protocol_kinds();
+
+  std::vector<f64> undone(opts.protocols.size(), 0.0);
+  std::vector<f64> undone_index(opts.protocols.size(), 0.0);
+  std::vector<f64> discarded(opts.protocols.size(), 0.0);
+  std::vector<f64> iterations(opts.protocols.size(), 0.0);
+  f64 samples = 0.0;
+
+  for (u64 s = 1; s <= seeds; ++s) {
+    sim::SimConfig cfg;
+    cfg.sim_length = args.get_f64("length", 50'000.0);
+    cfg.t_switch = 1'000.0;
+    cfg.p_switch = 0.8;
+    cfg.seed = s;
+    sim::Experiment exp(cfg, opts);
+    exp.run();
+    const auto fail_pos = exp.harness().current_positions();
+    const auto& messages = exp.harness().message_log();
+    for (net::HostId failed = 0; failed < exp.network().n_hosts(); ++failed) {
+      samples += 1.0;
+      for (usize slot = 0; slot < opts.protocols.size(); ++slot) {
+        const auto rb = core::rollback_to_consistent(exp.log(slot), messages, fail_pos, failed);
+        undone[slot] += static_cast<f64>(rb.undone_events());
+        discarded[slot] += static_cast<f64>(rb.total_discarded());
+        iterations[slot] += static_cast<f64>(rb.iterations);
+        const auto kind = opts.protocols[slot];
+        if (kind == core::ProtocolKind::kBcs || kind == core::ProtocolKind::kQbc ||
+            kind == core::ProtocolKind::kCoordinated) {
+          const auto idx = core::index_rollback(exp.log(slot), core::recovery_rule_for(kind),
+                                                fail_pos, failed);
+          undone_index[slot] += static_cast<f64>(idx.undone_events());
+        }
+      }
+    }
+  }
+
+  for (usize slot = 0; slot < opts.protocols.size(); ++slot) {
+    const auto kind = opts.protocols[slot];
+    const bool has_index = kind == core::ProtocolKind::kBcs || kind == core::ProtocolKind::kQbc ||
+                           kind == core::ProtocolKind::kCoordinated;
+    std::printf("%-8s %16.1f ", core::protocol_kind_name(kind), undone[slot] / samples);
+    if (has_index) {
+      std::printf("%18.1f ", undone_index[slot] / samples);
+    } else {
+      std::printf("%18s ", "-");
+    }
+    std::printf("%16.2f %14.2f\n", discarded[slot] / samples, iterations[slot] / samples);
+  }
+  std::printf("\nexpected: BASIC and UNCOORD discard by far the most work (domino effect);\n"
+              "TP/BCS/QBC keep the rollback within about one checkpoint per host. The\n"
+              "on-the-fly index line undoes more than the optimal consistent cut (it is\n"
+              "built without global search), but stays orders of magnitude below the\n"
+              "uncoordinated rollback — the trade the paper's protocols make.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// SS: steady-state checkpoint rates with warm-up removal.
+//
+// A single long run per protocol set, windowed sampling, MSER warm-up
+// truncation and batch-means confidence intervals — the textbook
+// output-analysis pipeline applied to the paper's metric. Confirms the
+// sweep results are not start-up artifacts.
+#include <cstdio>
+
+#include "sim/analysis.hpp"
+#include "sim/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mobichk;
+  const sim::ArgParser args(argc, argv);
+
+  std::printf("SS — steady-state checkpoint rate (ckpts per 1000 tu), MSER warm-up removal\n\n");
+  std::printf("%10s %9s  %-8s %14s %12s %10s\n", "Tswitch", "P_switch", "proto", "rate/1000tu",
+              "ci95", "warmup");
+
+  for (const f64 psw : {1.0, 0.8}) {
+    for (const f64 ts : {500.0, 5'000.0}) {
+      sim::SteadyStateSpec spec;
+      spec.cfg.sim_length = args.get_f64("length", 200'000.0);
+      spec.cfg.t_switch = ts;
+      spec.cfg.p_switch = psw;
+      spec.cfg.seed = 21;
+      spec.window = 1'000.0;
+      for (const auto& est : sim::estimate_steady_state(spec)) {
+        std::printf("%10.0f %9.1f  %-8s %14.2f %12.2f %7zu/%zu\n", ts, psw,
+                    est.protocol.c_str(), est.rate * 1'000.0, est.ci95 * 1'000.0,
+                    est.warmup_windows, est.windows);
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("expected: rates reproduce the sweep ranking (TP >> BCS >= QBC) with tight\n"
+              "intervals; warm-up is short because the mobile workload mixes quickly.\n");
+  return 0;
+}

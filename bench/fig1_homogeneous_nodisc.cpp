@@ -1,0 +1,7 @@
+// Reproduces Fig. 1 — N_tot vs T_switch, homogeneous (H=0%), P_s=0.4, P_switch=1.0 (no disconnections)
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  return mobichk::bench::run_paper_figure(
+      {"Fig. 1 — N_tot vs T_switch, homogeneous (H=0%), P_s=0.4, P_switch=1.0 (no disconnections)", 1.0, 0.0}, argc, argv);
+}

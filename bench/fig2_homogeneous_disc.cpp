@@ -1,0 +1,7 @@
+// Reproduces Fig. 2 — N_tot vs T_switch, homogeneous (H=0%), P_s=0.4, P_switch=0.8
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  return mobichk::bench::run_paper_figure(
+      {"Fig. 2 — N_tot vs T_switch, homogeneous (H=0%), P_s=0.4, P_switch=0.8", 0.8, 0.0}, argc, argv);
+}

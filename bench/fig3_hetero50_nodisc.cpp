@@ -1,0 +1,7 @@
+// Reproduces Fig. 3 — N_tot vs T_switch of the slowest MHs, heterogeneous H=50%, P_s=0.4, P_switch=1.0
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  return mobichk::bench::run_paper_figure(
+      {"Fig. 3 — N_tot vs T_switch of the slowest MHs, heterogeneous H=50%, P_s=0.4, P_switch=1.0", 1.0, 0.5}, argc, argv);
+}

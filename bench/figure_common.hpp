@@ -1,0 +1,62 @@
+// Shared harness for the paper-figure benches (Figures 1-6 of the paper).
+//
+// Each figN binary reproduces one figure: N_tot as a function of T_switch
+// for TP, BCS and QBC under one (P_switch, H) combination, averaged over
+// several seeds, printed as a table plus the headline gains. Flags:
+//   --length=<tu>  simulation horizon per run   (default 1000000)
+//   --seeds=<n>    replications per point       (default 5)
+//   --threads=<n>  worker threads               (default hardware)
+//   --csv          additionally emit CSV rows
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+
+#include "sim/cli.hpp"
+#include "sim/sweep.hpp"
+
+namespace mobichk::bench {
+
+struct FigureParams {
+  const char* title;
+  f64 p_switch;
+  f64 heterogeneity;
+};
+
+inline int run_paper_figure(const FigureParams& params, int argc, char** argv) {
+  const sim::ArgParser args(argc, argv);
+
+  sim::FigureSpec spec;
+  spec.title = params.title;
+  spec.base.sim_length = args.get_f64("length", 1'000'000.0);
+  spec.base.p_switch = params.p_switch;
+  spec.base.heterogeneity = params.heterogeneity;
+  spec.seeds = args.get_u32("seeds", 5);
+  spec.seed_base = args.get_u64("seed-base", 42);
+
+  const sim::FigureResult result =
+      sim::run_figure(spec, sim::ExperimentOptions{}, args.get_u32("threads", 0));
+
+  result.print(std::cout);
+  std::printf("\nheadline gains (percent of the larger protocol's N_tot):\n");
+  std::printf("%10s %12s %12s\n", "Tswitch", "TP->BCS", "BCS->QBC");
+  f64 max_tp_gain = 0.0, max_qbc_gain = 0.0;
+  for (usize p = 0; p < result.t_switch_values.size(); ++p) {
+    const f64 g1 = result.gain_percent(p, 0, 1);
+    const f64 g2 = result.gain_percent(p, 1, 2);
+    max_tp_gain = std::max(max_tp_gain, g1);
+    max_qbc_gain = std::max(max_qbc_gain, g2);
+    std::printf("%10.0f %11.1f%% %11.1f%%\n", result.t_switch_values[p], g1, g2);
+  }
+  std::printf("max gain TP->BCS: %.1f%%   max gain BCS->QBC: %.1f%%\n", max_tp_gain,
+              max_qbc_gain);
+  std::printf("replication spread: max half-spread %.1f%% of the mean (paper: within 4%%)\n",
+              100.0 * result.max_relative_spread());
+  if (args.get_flag("csv")) {
+    std::printf("\n");
+    result.write_csv(std::cout);
+  }
+  return 0;
+}
+
+}  // namespace mobichk::bench

@@ -1,0 +1,52 @@
+// Scenario: how do voluntary disconnections change the picture?
+//
+// Commuter devices disconnect often (tunnels, flight mode, battery
+// saving). This example sweeps the disconnection share 1 - P_switch and
+// the outage duration, reporting each protocol's checkpoint load and the
+// message buffering the MSSs perform — the operational questions §2.2's
+// "Global Checkpoint Collection Latency" paragraph raises.
+#include <cstdio>
+
+#include "sim/cli.hpp"
+#include "sim/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mobichk;
+  const sim::ArgParser args(argc, argv);
+  const f64 length = args.get_f64("length", 100'000.0);
+
+  std::printf("Disconnection study: 10 MHs, T_switch=1000, outage mean per column\n\n");
+  std::printf("%9s %9s | %9s %9s %9s | %12s %12s\n", "P_switch", "outage", "TP", "BCS", "QBC",
+              "buffered", "QBC/BCS gain");
+
+  for (const f64 p_switch : {1.0, 0.9, 0.8, 0.6}) {
+    for (const f64 outage : {300.0, 1'000.0}) {
+      if (p_switch == 1.0 && outage != 300.0) continue;  // no disconnections anyway
+      f64 tp = 0, bcs = 0, qbc = 0, buffered = 0;
+      const u64 seeds = args.get_u64("seeds", 3);
+      for (u64 s = 1; s <= seeds; ++s) {
+        sim::SimConfig cfg;
+        cfg.sim_length = length;
+        cfg.t_switch = 1'000.0;
+        cfg.p_switch = p_switch;
+        cfg.disconnect_mean = outage;
+        cfg.seed = s;
+        const sim::RunResult r = sim::run_experiment(cfg);
+        tp += static_cast<f64>(r.by_name("TP").n_tot);
+        bcs += static_cast<f64>(r.by_name("BCS").n_tot);
+        qbc += static_cast<f64>(r.by_name("QBC").n_tot);
+        buffered += static_cast<f64>(r.net.buffered_deliveries);
+      }
+      const f64 n = static_cast<f64>(seeds);
+      std::printf("%9.1f %9.0f | %9.0f %9.0f %9.0f | %12.0f %11.1f%%\n", p_switch, outage,
+                  tp / n, bcs / n, qbc / n, buffered / n, 100.0 * (bcs - qbc) / bcs);
+    }
+  }
+  std::printf("\nreading: disconnections add basic checkpoints but also keep the host's\n"
+              "receive number behind its sequence number, so QBC's equivalence rule\n"
+              "keeps firing and QBC holds a persistent edge over BCS across all the\n"
+              "disconnection regimes (paper Figures 2/4/6). The 'buffered' column is\n"
+              "the message traffic MSSs hold for unreachable hosts (delivered on\n"
+              "reconnection) — it grows with both outage share and outage length.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Scenario: a mobile host dies mid-run — walk through the recovery.
+//
+// Runs the paper's environment, then "fails" one host and uses the
+// recovery machinery to (i) build the consistent global checkpoint each
+// protocol associates on the fly with the failed host's last checkpoint,
+// (ii) verify it is orphan-free, (iii) report where every member
+// checkpoint physically lives (which MSS's stable storage), and (iv)
+// quantify the undone computation — the paper's §6 future work, live.
+#include <cstdio>
+
+#include "core/recovery.hpp"
+#include "sim/cli.hpp"
+#include "sim/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mobichk;
+  const sim::ArgParser args(argc, argv);
+
+  sim::SimConfig cfg;
+  cfg.sim_length = args.get_f64("length", 50'000.0);
+  cfg.t_switch = 1'000.0;
+  cfg.p_switch = 0.8;
+  cfg.seed = args.get_u64("seed", 99);
+
+  sim::ExperimentOptions opts;  // TP, BCS, QBC paired
+  sim::Experiment exp(cfg, opts);
+  exp.run();
+
+  const auto failed = static_cast<net::HostId>(args.get_u64("failed", 4));
+  const auto fail_pos = exp.harness().current_positions();
+  const auto& messages = exp.harness().message_log();
+
+  std::printf("Failure of MH %u at t=%.0f after %llu events on that host.\n\n", failed,
+              cfg.sim_length, static_cast<unsigned long long>(fail_pos[failed]));
+
+  for (usize slot = 0; slot < exp.harness().protocol_count(); ++slot) {
+    const auto& log = exp.log(slot);
+    const auto kind = exp.kind(slot);
+    std::printf("--- %s ---\n", core::protocol_kind_name(kind));
+
+    core::GlobalCheckpoint line;
+    if (kind == core::ProtocolKind::kTp) {
+      // TP: the recovery line is anchored at the failed host's last
+      // checkpoint via its recorded dependency vectors (CKPT[] / LOC[]).
+      const auto& anchor = log.of(failed).back();
+      line = core::tp_recovery_line(log, anchor, fail_pos);
+      std::printf("anchor: checkpoint #%llu of MH %u (taken t=%.1f at MSS %u)\n",
+                  static_cast<unsigned long long>(anchor.ordinal), failed, anchor.time,
+                  anchor.location);
+    } else {
+      const u64 index = log.max_sn(failed);
+      line = core::index_recovery_line(log, index, core::recovery_rule_for(kind), fail_pos);
+      std::printf("recovery line index: %llu (the failed host's highest sequence number)\n",
+                  static_cast<unsigned long long>(index));
+    }
+
+    const auto orphans = core::find_orphans(messages, line);
+    std::printf("members:\n");
+    for (net::HostId h = 0; h < log.n_hosts(); ++h) {
+      if (line.members[h] != nullptr) {
+        const auto* m = line.members[h];
+        std::printf("  MH %-2u -> ckpt #%-4llu sn=%-5llu at MSS %u (t=%.1f, %s)\n", h,
+                    static_cast<unsigned long long>(m->ordinal),
+                    static_cast<unsigned long long>(m->sn), m->location, m->time,
+                    checkpoint_kind_name(m->kind));
+      } else {
+        std::printf("  MH %-2u -> current state (no stored checkpoint needed)\n", h);
+      }
+    }
+    u64 undone = 0;
+    for (net::HostId h = 0; h < log.n_hosts(); ++h) undone += fail_pos[h] - line.pos[h];
+    std::printf("orphan messages across the line: %zu (must be 0)\n", orphans.size());
+    std::printf("computation undone: %llu events across all hosts\n\n",
+                static_cast<unsigned long long>(undone));
+  }
+  return 0;
+}

@@ -1,0 +1,199 @@
+// mobichk_cli: the command-line face of the library.
+//
+//   mobichk_cli run     [flags]   one simulation, table or --json output
+//   mobichk_cli figure  [flags]   a T_switch sweep (any figure's config)
+//   mobichk_cli recover [flags]   failure injection + recovery-time report
+//   mobichk_cli trace   [flags]   dump the run's event trace (--out file)
+//
+// Common flags: --length --seed --tswitch --pswitch --psend --h
+//               --hosts --mss --comm-mean --protocols=TP,BCS,QBC
+// figure:       --seeds --threads --csv --json
+// recover:      --failed=<host id>
+// trace:        --out=<path>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/gc.hpp"
+#include "core/recovery.hpp"
+#include "core/recovery_time.hpp"
+#include "des/trace_io.hpp"
+#include "sim/cli.hpp"
+#include "sim/experiment.hpp"
+#include "sim/report.hpp"
+#include "sim/sweep.hpp"
+
+namespace {
+
+using namespace mobichk;
+
+sim::SimConfig config_from(const sim::ArgParser& args) {
+  sim::SimConfig cfg;
+  cfg.network.n_hosts = args.get_u32("hosts", cfg.network.n_hosts);
+  cfg.network.n_mss = args.get_u32("mss", cfg.network.n_mss);
+  cfg.sim_length = args.get_f64("length", cfg.sim_length);
+  cfg.seed = args.get_u64("seed", cfg.seed);
+  cfg.t_switch = args.get_f64("tswitch", cfg.t_switch);
+  cfg.p_switch = args.get_f64("pswitch", cfg.p_switch);
+  cfg.p_send = args.get_f64("psend", cfg.p_send);
+  cfg.comm_mean = args.get_f64("comm-mean", cfg.comm_mean);
+  cfg.heterogeneity = args.get_f64("h", cfg.heterogeneity);
+  cfg.disconnect_mean = args.get_f64("outage", cfg.disconnect_mean);
+  const std::string model = args.get_string("mobility", "paper");
+  if (model == "ring") cfg.mobility_model = sim::MobilityModelKind::kRingNeighbor;
+  if (model == "pareto") cfg.mobility_model = sim::MobilityModelKind::kParetoResidence;
+  const std::string topo = args.get_string("topology", "mesh");
+  if (topo == "ring") cfg.network.mss_topology = net::MssTopologyKind::kRing;
+  if (topo == "line") cfg.network.mss_topology = net::MssTopologyKind::kLine;
+  if (topo == "star") cfg.network.mss_topology = net::MssTopologyKind::kStar;
+  cfg.network.wireless_bandwidth = args.get_f64("bandwidth", 0.0);
+  return cfg;
+}
+
+std::vector<core::ProtocolKind> protocols_from(const sim::ArgParser& args) {
+  const std::string list = args.get_string("protocols", "TP,BCS,QBC");
+  std::vector<core::ProtocolKind> kinds;
+  std::istringstream ss(list);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    if (!token.empty()) kinds.push_back(core::protocol_kind_from_name(token));
+  }
+  return kinds;
+}
+
+int cmd_run(const sim::ArgParser& args) {
+  sim::ExperimentOptions opts;
+  opts.protocols = protocols_from(args);
+  opts.with_storage = true;
+  opts.verify_consistency = args.get_flag("verify");
+  const sim::RunResult r = sim::run_experiment(config_from(args), opts);
+  if (args.get_flag("json")) {
+    sim::write_json(std::cout, r);
+    return 0;
+  }
+  std::printf("%-10s %10s %10s %10s %10s %14s\n", "proto", "N_tot", "basic", "forced", "max_idx",
+              "piggyback(B)");
+  for (const auto& p : r.protocols) {
+    std::printf("%-10s %10llu %10llu %10llu %10llu %14llu\n", p.name.c_str(),
+                static_cast<unsigned long long>(p.n_tot),
+                static_cast<unsigned long long>(p.basic),
+                static_cast<unsigned long long>(p.forced),
+                static_cast<unsigned long long>(p.max_index),
+                static_cast<unsigned long long>(p.piggyback_bytes));
+  }
+  return 0;
+}
+
+int cmd_figure(const sim::ArgParser& args) {
+  sim::FigureSpec spec;
+  spec.title = "N_tot vs T_switch";
+  spec.base = config_from(args);
+  spec.protocols = protocols_from(args);
+  spec.seeds = args.get_u32("seeds", 5);
+  const sim::FigureResult result =
+      sim::run_figure(spec, sim::ExperimentOptions{}, args.get_u32("threads", 0));
+  if (args.get_flag("json")) {
+    sim::write_json(std::cout, result);
+  } else if (args.get_flag("csv")) {
+    result.write_csv(std::cout);
+  } else if (args.get_flag("gnuplot")) {
+    result.write_gnuplot(std::cout);
+  } else {
+    result.print(std::cout);
+  }
+  return 0;
+}
+
+int cmd_recover(const sim::ArgParser& args) {
+  sim::ExperimentOptions opts;
+  opts.protocols = protocols_from(args);
+  sim::Experiment exp(config_from(args), opts);
+  exp.run();
+  const auto failed = static_cast<net::HostId>(args.get_u64("failed", 0));
+  const auto fail_pos = exp.harness().current_positions();
+  std::vector<net::MssId> host_mss(exp.network().n_hosts());
+  for (net::HostId h = 0; h < exp.network().n_hosts(); ++h) {
+    host_mss[h] = exp.network().host(h).mss();
+  }
+  std::printf("failure of MH %u at t=%.0f\n\n", failed, exp.simulator().now());
+  std::printf("%-10s %14s %14s %12s %12s %12s %12s\n", "proto", "undone-ev", "ckpts-lost",
+              "coord(tu)", "xfer(tu)", "replay(tu)", "total(tu)");
+  for (usize slot = 0; slot < opts.protocols.size(); ++slot) {
+    const auto rb = core::rollback_to_consistent(exp.log(slot), exp.harness().message_log(),
+                                                 fail_pos, failed);
+    const auto est = core::estimate_recovery_time(rb, host_mss, exp.network().n_mss());
+    std::printf("%-10s %14llu %14llu %12.2f %12.2f %12.2f %12.2f\n",
+                core::protocol_kind_name(opts.protocols[slot]),
+                static_cast<unsigned long long>(rb.undone_events()),
+                static_cast<unsigned long long>(rb.total_discarded()), est.coordination,
+                est.state_transfer, est.replay, est.total());
+  }
+  return 0;
+}
+
+int cmd_trace(const sim::ArgParser& args) {
+  sim::SimConfig cfg = config_from(args);
+  // Collect the full trace with a vector sink wired through the stack.
+  des::Simulator simulator;
+  des::VectorSink sink;
+  net::Network network(simulator, cfg.network, cfg.seed, &sink);
+  core::ProtocolHarness harness(network, &sink);
+  for (const auto kind : protocols_from(args)) {
+    harness.add_protocol(core::make_protocol(kind));
+  }
+  sim::WorkloadDriver workload(simulator, network, cfg);
+  sim::MobilityDriver mobility(simulator, network, cfg, &workload);
+  network.start();
+  workload.start();
+  mobility.start();
+  simulator.run_until(cfg.sim_length);
+
+  const std::string out = args.get_string("out", "");
+  if (!out.empty()) {
+    std::ofstream file(out);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", out.c_str());
+      return 1;
+    }
+    des::write_trace(file, sink.records());
+    std::printf("wrote %zu records to %s\n", sink.records().size(), out.c_str());
+  }
+  const des::TraceSummary summary = des::summarize(sink.records());
+  std::printf("trace summary (%llu records, t in [%.2f, %.2f]):\n",
+              static_cast<unsigned long long>(summary.total), summary.first_time,
+              summary.last_time);
+  for (u32 k = 0; k <= static_cast<u32>(des::TraceKind::kUser); ++k) {
+    const auto kind = static_cast<des::TraceKind>(k);
+    if (summary.of(kind) > 0) {
+      std::printf("  %-18s %llu\n", des::trace_kind_name(kind),
+                  static_cast<unsigned long long>(summary.of(kind)));
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: mobichk_cli <run|figure|recover|trace> [--flags]\n"
+                 "see the header of examples/mobichk_cli.cpp for the flag list\n");
+    return 2;
+  }
+  const sim::ArgParser args(argc - 1, argv + 1);
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "run") return cmd_run(args);
+    if (cmd == "figure") return cmd_figure(args);
+    if (cmd == "recover") return cmd_recover(args);
+    if (cmd == "trace") return cmd_trace(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+  return 2;
+}

@@ -1,0 +1,99 @@
+// Protocol anatomy: a guided tour of one tiny run.
+//
+// Three hosts, a handful of messages and cell switches, and a printed
+// timeline that shows — event by event — how BCS and QBC sequence
+// numbers move and where each protocol checkpoints. The scenario is
+// scripted (no randomness), so the output doubles as executable
+// documentation of the §4.2 pseudocode.
+#include <cstdio>
+
+#include "core/harness.hpp"
+#include "core/protocols/bcs.hpp"
+#include "core/protocols/qbc.hpp"
+#include "des/simulator.hpp"
+#include "net/network.hpp"
+
+using namespace mobichk;
+
+namespace {
+
+core::BcsProtocol* g_bcs = nullptr;
+core::QbcProtocol* g_qbc = nullptr;
+net::Network* g_net = nullptr;
+usize g_bcs_slot = 0, g_qbc_slot = 0;
+const core::ProtocolHarness* g_harness = nullptr;
+u64 g_seen[2] = {0, 0};
+
+void explain(const char* what) {
+  std::printf("%-46s", what);
+  for (net::HostId h = 0; h < 3; ++h) {
+    std::printf("  h%u: sn=%llu/%llu rn=%lld", h,
+                static_cast<unsigned long long>(g_bcs->sequence_number(h)),
+                static_cast<unsigned long long>(g_qbc->sequence_number(h)),
+                static_cast<long long>(g_qbc->receive_number(h)));
+  }
+  const u64 bcs_total = g_harness->log(g_bcs_slot).n_tot();
+  const u64 qbc_total = g_harness->log(g_qbc_slot).n_tot();
+  if (bcs_total != g_seen[0] || qbc_total != g_seen[1]) {
+    std::printf("   << ckpt: BCS +%llu, QBC +%llu",
+                static_cast<unsigned long long>(bcs_total - g_seen[0]),
+                static_cast<unsigned long long>(qbc_total - g_seen[1]));
+    g_seen[0] = bcs_total;
+    g_seen[1] = qbc_total;
+  }
+  std::printf("\n");
+}
+
+void transfer(des::Simulator& sim, net::HostId src, net::HostId dst, const char* what) {
+  g_net->send_app_message(src, dst, 32);
+  sim.run();
+  g_net->consume_one(dst);
+  explain(what);
+}
+
+}  // namespace
+
+int main() {
+  des::Simulator sim;
+  net::NetworkConfig ncfg;
+  ncfg.n_hosts = 3;
+  ncfg.n_mss = 3;
+  net::Network net(sim, ncfg, 1);
+  g_net = &net;
+  core::ProtocolHarness harness(net);
+  g_harness = &harness;
+  g_bcs_slot = harness.add_protocol(std::make_unique<core::BcsProtocol>());
+  g_qbc_slot = harness.add_protocol(std::make_unique<core::QbcProtocol>());
+  g_bcs = &static_cast<core::BcsProtocol&>(harness.protocol(g_bcs_slot));
+  g_qbc = &static_cast<core::QbcProtocol&>(harness.protocol(g_qbc_slot));
+  net.start({0, 1, 2});
+
+  std::printf("BCS vs QBC anatomy (sn=BCS/QBC, rn=QBC's receive number)\n\n");
+  explain("init: everyone checkpoints at index 0");
+
+  net.switch_cell(0, 1);
+  explain("h0 switches cell: BCS sn->1; QBC replaces (rn<sn)");
+
+  net.switch_cell(0, 2);
+  explain("h0 switches again: BCS sn->2; QBC still replaces");
+
+  transfer(sim, 0, 1, "h0 -> h1: BCS forces at h1 (2>0); QBC not (0=0)");
+
+  transfer(sim, 1, 0, "h1 -> h0: h0's rn catches its sn under QBC");
+
+  net.switch_cell(0, 0);
+  explain("h0 switches: now QBC increments too (rn=sn)");
+
+  transfer(sim, 0, 2, "h0 -> h2: both force (index jumped)");
+
+  net.disconnect(1);
+  explain("h1 disconnects: basic checkpoint, indices diverge");
+
+  net.reconnect(1, 0);
+  transfer(sim, 0, 1, "h0 -> h1 after reconnect: catch-up force");
+
+  std::printf("\ntotals: BCS N_tot=%llu, QBC N_tot=%llu — same guarantees, fewer checkpoints.\n",
+              static_cast<unsigned long long>(harness.log(g_bcs_slot).n_tot()),
+              static_cast<unsigned long long>(harness.log(g_qbc_slot).n_tot()));
+  return 0;
+}

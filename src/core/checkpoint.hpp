@@ -1,0 +1,45 @@
+// Checkpoint records: what a protocol writes to stable storage.
+#pragma once
+
+#include <vector>
+
+#include "des/types.hpp"
+#include "net/ids.hpp"
+
+namespace mobichk::core {
+
+/// Why a checkpoint was taken.
+enum class CheckpointKind : u8 {
+  kInitial,  ///< The mandatory checkpoint at computation start.
+  kBasic,    ///< Mandated by mobility: cell switch or voluntary disconnection.
+  kForced,   ///< Induced by the protocol (communication pattern or marker).
+};
+
+/// Returns a stable display name for a kind.
+constexpr const char* checkpoint_kind_name(CheckpointKind kind) noexcept {
+  switch (kind) {
+    case CheckpointKind::kInitial: return "initial";
+    case CheckpointKind::kBasic: return "basic";
+    case CheckpointKind::kForced: return "forced";
+  }
+  return "?";
+}
+
+/// One local checkpoint C_{i,x}.
+struct CheckpointRecord {
+  net::HostId host = 0;
+  u64 ordinal = 0;       ///< Per-host creation order (0-based, includes initial).
+  u64 sn = 0;            ///< Protocol index: sequence number (BCS/QBC), checkpoint
+                         ///< count (TP), snapshot round (coordinated), = ordinal otherwise.
+  CheckpointKind kind = CheckpointKind::kInitial;
+  des::Time time = 0.0;
+  net::MssId location = 0;  ///< MSS whose stable storage holds it.
+  u64 event_pos = 0;        ///< Host events with position <= event_pos precede it.
+  bool replaced_predecessor = false;  ///< QBC equivalence rule fired (same sn as predecessor).
+
+  /// TP only: transitive dependency vectors recorded with the checkpoint.
+  std::vector<u32> dep_ckpt;
+  std::vector<u32> dep_loc;
+};
+
+}  // namespace mobichk::core

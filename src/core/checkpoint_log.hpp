@@ -1,0 +1,72 @@
+// Per-protocol record of every checkpoint taken during a run, with the
+// queries the recovery-line builders need.
+#pragma once
+
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "des/types.hpp"
+#include "net/ids.hpp"
+
+namespace mobichk::core {
+
+class CheckpointLog {
+ public:
+  explicit CheckpointLog(u32 n_hosts) : per_host_(n_hosts) {}
+
+  /// Appends a record, assigning its per-host ordinal. `rec.sn` must be
+  /// non-decreasing per host (all protocols in this suite guarantee it).
+  const CheckpointRecord& append(CheckpointRecord rec);
+
+  u32 n_hosts() const noexcept { return static_cast<u32>(per_host_.size()); }
+
+  const std::vector<CheckpointRecord>& of(net::HostId host) const { return per_host_.at(host); }
+
+  u64 count(net::HostId host) const { return per_host_.at(host).size(); }
+
+  // -- aggregate counts -------------------------------------------------
+  u64 total() const noexcept { return total_; }
+  u64 initial() const noexcept { return initial_; }
+  u64 basic() const noexcept { return basic_; }
+  u64 forced() const noexcept { return forced_; }
+  /// N_tot in the paper: every checkpoint recorded on stable storage
+  /// during the run, excluding the initial ones.
+  u64 n_tot() const noexcept { return total_ - initial_; }
+
+  // -- recovery-line queries ---------------------------------------------
+
+  const CheckpointRecord* by_ordinal(net::HostId host, u64 ordinal) const;
+
+  /// First checkpoint of `host` with sn >= `sn` (nullptr if none).
+  const CheckpointRecord* first_with_sn_at_least(net::HostId host, u64 sn) const;
+
+  /// Last checkpoint of `host` with sn == `sn` (nullptr if none). For QBC
+  /// this is the equivalence-rule replacement that belongs to the line.
+  const CheckpointRecord* last_with_sn(net::HostId host, u64 sn) const;
+
+  /// Latest checkpoint of `host` with event_pos <= `pos` (nullptr if none;
+  /// never null once the initial checkpoint exists, since its pos is 0).
+  const CheckpointRecord* last_at_or_before_pos(net::HostId host, u64 pos) const;
+
+  /// Relabels the *last* checkpoint of `host` with a larger sn. Used by
+  /// the coordinated protocol: a checkpoint taken upon disconnection
+  /// stands in for every snapshot round initiated while the host is
+  /// unreachable, which is sound because the host executes no events
+  /// while disconnected. `new_sn` must be >= the current sn.
+  void promote_sn(net::HostId host, u64 new_sn);
+
+  /// Maximum sn over all checkpoints of `host` (0 if none).
+  u64 max_sn(net::HostId host) const;
+
+  /// Maximum sn over all hosts.
+  u64 max_sn() const;
+
+ private:
+  std::vector<std::vector<CheckpointRecord>> per_host_;
+  u64 total_ = 0;
+  u64 initial_ = 0;
+  u64 basic_ = 0;
+  u64 forced_ = 0;
+};
+
+}  // namespace mobichk::core

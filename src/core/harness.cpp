@@ -1,0 +1,84 @@
+#include "core/harness.hpp"
+
+#include <stdexcept>
+
+namespace mobichk::core {
+
+ProtocolHarness::ProtocolHarness(net::Network& net, des::TraceSink* sink)
+    : net_(net), sink_(sink) {
+  net_.set_handler(this);
+}
+
+usize ProtocolHarness::add_protocol(std::unique_ptr<CheckpointProtocol> protocol,
+                                    const StorageConfig* storage) {
+  if (protocol == nullptr) throw std::invalid_argument("add_protocol: null protocol");
+  auto slot = std::make_unique<Slot>(
+      Slot{std::move(protocol), CheckpointLog(net_.n_hosts()), nullptr, 0});
+  if (storage != nullptr) {
+    slot->storage = std::make_unique<StorageModel>(net_.n_hosts(), net_.n_mss(), *storage);
+  }
+  slots_.push_back(std::move(slot));
+  Slot& stored = *slots_.back();
+  ProtocolContext ctx;
+  ctx.n_hosts = net_.n_hosts();
+  ctx.sim = &net_.sim();
+  ctx.net = &net_;
+  ctx.log = &stored.log;
+  ctx.storage = stored.storage.get();
+  ctx.sink = sink_;
+  stored.protocol->bind(ctx);
+  return slots_.size() - 1;
+}
+
+std::vector<u64> ProtocolHarness::current_positions() const {
+  std::vector<u64> pos(net_.n_hosts());
+  for (net::HostId h = 0; h < net_.n_hosts(); ++h) pos[h] = net_.host(h).event_pos();
+  return pos;
+}
+
+void ProtocolHarness::on_host_init(net::MobileHost& host) {
+  for (auto& slot : slots_) slot->protocol->host_init(host);
+}
+
+void ProtocolHarness::on_send(net::MobileHost& host, net::AppMessage& msg) {
+  std::vector<net::Piggyback> pbs;
+  pbs.reserve(slots_.size());
+  for (auto& slot : slots_) {
+    pbs.push_back(slot->protocol->make_piggyback(host));
+    slot->pb_bytes += pbs.back().wire_bytes();
+  }
+  if (!pbs.empty()) msg.pb = pbs.front();  // slot 0 rides the wire
+  // The send event will occupy the next position (see Network::send_app_message).
+  msg_log_.note_send(msg.id, msg.src, msg.dst, host.event_pos() + 1);
+  in_flight_.emplace(msg.id, std::move(pbs));
+}
+
+void ProtocolHarness::on_receive(net::MobileHost& host, const net::AppMessage& msg) {
+  const auto it = in_flight_.find(msg.id);
+  if (it == in_flight_.end()) {
+    throw std::logic_error(
+        "ProtocolHarness: piggybacks for a delivered message are gone; "
+        "call retain_piggybacks(true) when the network exposes duplicates");
+  }
+  const std::vector<net::Piggyback>& pbs = it->second;
+  for (usize k = 0; k < slots_.size(); ++k) {
+    slots_[k]->protocol->handle_receive(host, msg, pbs[k]);
+  }
+  // The receive event will occupy the next position (see Network::consume_one).
+  msg_log_.note_receive(msg.id, host.event_pos() + 1, msg.pb.sn);
+  if (!retain_piggybacks_) in_flight_.erase(it);
+}
+
+void ProtocolHarness::on_cell_switch(net::MobileHost& host, net::MssId from, net::MssId to) {
+  for (auto& slot : slots_) slot->protocol->handle_cell_switch(host, from, to);
+}
+
+void ProtocolHarness::on_disconnect(net::MobileHost& host) {
+  for (auto& slot : slots_) slot->protocol->handle_disconnect(host);
+}
+
+void ProtocolHarness::on_reconnect(net::MobileHost& host, net::MssId mss) {
+  for (auto& slot : slots_) slot->protocol->handle_reconnect(host, mss);
+}
+
+}  // namespace mobichk::core

@@ -1,0 +1,89 @@
+// ProtocolHarness: binds one or more checkpointing protocols to a network
+// run as *paired observers*.
+//
+// The paper evaluates protocols with instantaneous checkpoint insertion
+// (§5.1), so a protocol never perturbs the event timeline. That makes it
+// sound — and statistically ideal — to run every protocol against the
+// same trace: each protocol keeps its own per-host state, its own
+// CheckpointLog / StorageModel, and produces its own piggyback for every
+// message (the harness routes each protocol its own control information
+// at receive time). Slot 0 is the "primary" protocol whose piggyback
+// physically rides on the wire (and is counted by NetworkStats); the
+// harness additionally accounts per-protocol piggyback bytes so overhead
+// comparisons cover every slot.
+//
+// The harness also maintains the MessageLog — the send/receive position
+// oracle used by the consistency checker and the rollback machinery.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/checkpoint_log.hpp"
+#include "core/message_log.hpp"
+#include "core/protocol.hpp"
+#include "core/storage.hpp"
+#include "net/handler.hpp"
+#include "net/network.hpp"
+
+namespace mobichk::core {
+
+class ProtocolHarness final : public net::HostEventHandler {
+ public:
+  /// Creates the harness and installs it as the network's handler.
+  ProtocolHarness(net::Network& net, des::TraceSink* sink = nullptr);
+
+  /// Registers a protocol (before net.start()). Returns its slot index.
+  /// When `storage` is non-null, the slot accounts checkpoint-storage
+  /// traffic under that configuration.
+  usize add_protocol(std::unique_ptr<CheckpointProtocol> protocol,
+                     const StorageConfig* storage = nullptr);
+
+  usize protocol_count() const noexcept { return slots_.size(); }
+  CheckpointProtocol& protocol(usize slot) { return *slots_.at(slot)->protocol; }
+  const CheckpointProtocol& protocol(usize slot) const { return *slots_.at(slot)->protocol; }
+  const CheckpointLog& log(usize slot) const { return slots_.at(slot)->log; }
+  const StorageModel* storage(usize slot) const { return slots_.at(slot)->storage.get(); }
+  /// Control-information bytes protocol `slot` put (or would have put) on
+  /// the wire over the whole run.
+  u64 piggyback_bytes(usize slot) const { return slots_.at(slot)->pb_bytes; }
+
+  const MessageLog& message_log() const noexcept { return msg_log_; }
+
+  /// Current event position of every host (the "now" cut); recovery-line
+  /// builders use it for virtual (current-state) members.
+  std::vector<u64> current_positions() const;
+
+  /// Keep per-message piggybacks after first delivery (required when the
+  /// network exposes duplicate deliveries to the application).
+  void retain_piggybacks(bool retain) noexcept { retain_piggybacks_ = retain; }
+
+  // -- net::HostEventHandler --------------------------------------------
+  void on_host_init(net::MobileHost& host) override;
+  void on_send(net::MobileHost& host, net::AppMessage& msg) override;
+  void on_receive(net::MobileHost& host, const net::AppMessage& msg) override;
+  void on_cell_switch(net::MobileHost& host, net::MssId from, net::MssId to) override;
+  void on_disconnect(net::MobileHost& host) override;
+  void on_reconnect(net::MobileHost& host, net::MssId mss) override;
+
+ private:
+  struct Slot {
+    std::unique_ptr<CheckpointProtocol> protocol;
+    CheckpointLog log;
+    std::unique_ptr<StorageModel> storage;
+    u64 pb_bytes = 0;
+  };
+
+  net::Network& net_;
+  des::TraceSink* sink_;
+  /// Heap-allocated: protocols hold pointers into their slot's log and
+  /// storage, which must stay stable as more slots are added.
+  std::vector<std::unique_ptr<Slot>> slots_;
+  MessageLog msg_log_;
+  /// msg id -> one piggyback per slot, parked between send and receive.
+  std::unordered_map<u64, std::vector<net::Piggyback>> in_flight_;
+  bool retain_piggybacks_ = false;
+};
+
+}  // namespace mobichk::core

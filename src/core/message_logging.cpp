@@ -1,0 +1,55 @@
+#include "core/message_logging.hpp"
+
+#include <stdexcept>
+
+namespace mobichk::core {
+
+LoggingRollbackResult logging_rollback(const CheckpointLog& log, const MessageLog& messages,
+                                       const std::vector<u64>& fail_pos,
+                                       net::HostId failed_host) {
+  const u32 n = log.n_hosts();
+  if (fail_pos.size() != n) throw std::invalid_argument("logging_rollback: fail_pos size");
+  if (failed_host >= n) throw std::invalid_argument("logging_rollback: bad host");
+
+  LoggingRollbackResult out;
+  out.rollback.fail_pos = fail_pos;
+  out.rollback.iterations = 0;  // no rollback propagation at all
+  out.rollback.checkpoints_discarded.assign(n, 0);
+  out.rollback.line.pos = fail_pos;
+  out.rollback.line.members.assign(n, nullptr);
+
+  const CheckpointRecord* member = log.last_at_or_before_pos(failed_host, fail_pos[failed_host]);
+  if (member == nullptr) {
+    throw std::logic_error("logging_rollback: failed host lacks an initial checkpoint");
+  }
+  out.rollback.line.members[failed_host] = member;
+  out.rollback.line.pos[failed_host] = member->event_pos;
+
+  // Replays: every delivery to the failed host between its checkpoint
+  // and the failure.
+  for (const auto& d : messages.deliveries()) {
+    if (d.dst == failed_host && d.recv_pos > member->event_pos &&
+        d.recv_pos <= fail_pos[failed_host]) {
+      ++out.replayed_deliveries;
+    }
+  }
+  return out;
+}
+
+LogStorageStats log_storage_stats(const MessageLog& messages, const GlobalCheckpoint& stable_line,
+                                  u64 bytes_per_message) {
+  LogStorageStats out;
+  for (const auto& d : messages.deliveries()) {
+    ++out.messages_logged;
+    out.bytes_logged += bytes_per_message;
+    // Fully inside the stable line: no recovery starting at or after the
+    // line ever replays it.
+    if (d.send_pos <= stable_line.pos.at(d.src) && d.recv_pos <= stable_line.pos.at(d.dst)) {
+      ++out.messages_collectible;
+      out.bytes_collectible += bytes_per_message;
+    }
+  }
+  return out;
+}
+
+}  // namespace mobichk::core

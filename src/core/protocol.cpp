@@ -1,0 +1,53 @@
+#include "core/protocol.hpp"
+
+#include <stdexcept>
+
+namespace mobichk::core {
+
+void CheckpointProtocol::bind(const ProtocolContext& ctx) {
+  if (ctx.log == nullptr) throw std::invalid_argument("ProtocolContext: log is required");
+  if (ctx.sim == nullptr) throw std::invalid_argument("ProtocolContext: sim is required");
+  if (ctx.n_hosts == 0) throw std::invalid_argument("ProtocolContext: n_hosts is zero");
+  ctx_ = ctx;
+  do_bind();
+}
+
+void CheckpointProtocol::host_init(const net::MobileHost& host) {
+  take_checkpoint(host, CheckpointKind::kInitial, 0);
+}
+
+void CheckpointProtocol::handle_reconnect(const net::MobileHost&, net::MssId) {}
+
+const CheckpointRecord& CheckpointProtocol::take_checkpoint(const net::MobileHost& host,
+                                                            CheckpointKind kind, u64 sn) {
+  return take_checkpoint(host, kind, sn, {}, {}, false);
+}
+
+const CheckpointRecord& CheckpointProtocol::take_checkpoint(const net::MobileHost& host,
+                                                            CheckpointKind kind, u64 sn,
+                                                            std::vector<u32> dep_ckpt,
+                                                            std::vector<u32> dep_loc,
+                                                            bool replaced) {
+  CheckpointRecord rec;
+  rec.host = host.id();
+  rec.sn = sn;
+  rec.kind = kind;
+  rec.time = ctx_.sim->now();
+  rec.location = host.mss();
+  rec.event_pos = host.event_pos();
+  rec.replaced_predecessor = replaced;
+  rec.dep_ckpt = std::move(dep_ckpt);
+  rec.dep_loc = std::move(dep_loc);
+  const CheckpointRecord& stored = ctx_.log->append(std::move(rec));
+  if (ctx_.storage != nullptr) {
+    ctx_.storage->record_checkpoint(host.id(), host.mss(), ctx_.sim->now());
+  }
+  if (ctx_.sink != nullptr) {
+    const auto tk = kind == CheckpointKind::kForced ? des::TraceKind::kForcedCheckpoint
+                                                    : des::TraceKind::kBasicCheckpoint;
+    ctx_.sink->record(des::TraceRecord{ctx_.sim->now(), host.id(), tk, stored.sn, stored.ordinal});
+  }
+  return stored;
+}
+
+}  // namespace mobichk::core

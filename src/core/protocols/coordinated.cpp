@@ -1,0 +1,70 @@
+#include "core/protocols/coordinated.hpp"
+
+#include "net/network.hpp"
+
+namespace mobichk::core {
+
+void CoordinatedProtocol::host_init(const net::MobileHost& host) {
+  CheckpointProtocol::host_init(host);
+  if (!scheduler_armed_ && ctx_.net != nullptr) {
+    scheduler_armed_ = true;
+    ctx_.sim->schedule_after(interval_, [this] { initiate_round(); });
+  }
+}
+
+void CoordinatedProtocol::initiate_round() {
+  const u64 round = next_round_++;
+  for (net::HostId h = 0; h < ctx_.n_hosts; ++h) {
+    // One marker per host: locate it and deliver through its MSS.
+    ++control_messages_;
+    ctx_.sim->schedule_after(marker_latency_, [this, h, round] { marker_arrive(h, round); });
+  }
+  ctx_.sim->schedule_after(interval_, [this] { initiate_round(); });
+}
+
+void CoordinatedProtocol::marker_arrive(net::HostId host_id, u64 round) {
+  const net::MobileHost& host = ctx_.net->host(host_id);
+  if (!host.connected()) {
+    // Unreachable: the disconnect checkpoint stands in for this round
+    // (sound: the host executes no events while disconnected). Relabel it
+    // so the recovery-line builder finds it under the round index.
+    if (round > round_.at(host_id)) {
+      round_.at(host_id) = round;
+      ctx_.log->promote_sn(host_id, round);
+    }
+    return;
+  }
+  join_round(host, round);
+}
+
+void CoordinatedProtocol::join_round(const net::MobileHost& host, u64 round) {
+  u64& r = round_.at(host.id());
+  if (round <= r) return;
+  r = round;
+  take_checkpoint(host, CheckpointKind::kForced, r);
+}
+
+net::Piggyback CoordinatedProtocol::make_piggyback(const net::MobileHost& host) {
+  net::Piggyback pb;
+  pb.sn = round_.at(host.id());
+  pb.has_sn = true;
+  return pb;
+}
+
+void CoordinatedProtocol::handle_receive(const net::MobileHost& host, const net::AppMessage&,
+                                         const net::Piggyback& pb) {
+  // Round numbers on application messages keep rounds consistent without
+  // FIFO channels: checkpoint before processing a message from a newer
+  // round.
+  join_round(host, pb.sn);
+}
+
+void CoordinatedProtocol::handle_cell_switch(const net::MobileHost& host, net::MssId, net::MssId) {
+  take_checkpoint(host, CheckpointKind::kBasic, round_.at(host.id()));
+}
+
+void CoordinatedProtocol::handle_disconnect(const net::MobileHost& host) {
+  take_checkpoint(host, CheckpointKind::kBasic, round_.at(host.id()));
+}
+
+}  // namespace mobichk::core

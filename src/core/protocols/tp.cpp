@@ -1,0 +1,74 @@
+#include "core/protocols/tp.hpp"
+
+#include <algorithm>
+
+namespace mobichk::core {
+
+void TpProtocol::do_bind() {
+  per_host_.assign(ctx_.n_hosts, HostState{});
+  for (auto& hs : per_host_) {
+    hs.ckpt_req.assign(ctx_.n_hosts, 0);
+    hs.loc.assign(ctx_.n_hosts, 0);
+  }
+}
+
+void TpProtocol::host_init(const net::MobileHost& host) {
+  HostState& hs = per_host_.at(host.id());
+  hs.loc[host.id()] = host.mss();
+  checkpoint(host, CheckpointKind::kInitial);
+}
+
+void TpProtocol::checkpoint(const net::MobileHost& host, CheckpointKind kind) {
+  HostState& hs = per_host_.at(host.id());
+  std::vector<u32> dep = hs.ckpt_req;
+  dep[host.id()] = static_cast<u32>(hs.ckpt_count);  // anchor ordinal
+  hs.loc[host.id()] = host.mss();
+  take_checkpoint(host, kind, hs.ckpt_count, std::move(dep), hs.loc);
+  ++hs.ckpt_count;
+  // A fresh interval has no sends yet; phase returns to RECV (Russell's
+  // discipline: forced checkpoints are needed only for receives that
+  // follow a send *within the same interval*).
+  hs.phase_send = false;
+}
+
+net::Piggyback TpProtocol::make_piggyback(const net::MobileHost& host) {
+  HostState& hs = per_host_.at(host.id());
+  net::Piggyback pb;
+  pb.vec_a = hs.ckpt_req;
+  // A receiver of this message depends on the sender's *current* interval,
+  // so it will require the checkpoint that closes it (ordinal ckpt_count).
+  pb.vec_a[host.id()] = static_cast<u32>(hs.ckpt_count);
+  pb.vec_b = hs.loc;
+  pb.vec_b[host.id()] = host.mss();
+  hs.phase_send = true;
+  return pb;
+}
+
+void TpProtocol::handle_receive(const net::MobileHost& host, const net::AppMessage&,
+                                const net::Piggyback& pb) {
+  HostState& hs = per_host_.at(host.id());
+  if (hs.phase_send) {
+    checkpoint(host, CheckpointKind::kForced);
+  }
+  // Merge transitive dependencies after checkpointing, so the forced
+  // checkpoint excludes this message.
+  for (u32 j = 0; j < ctx_.n_hosts; ++j) {
+    if (j == host.id()) continue;
+    if (pb.vec_a[j] > hs.ckpt_req[j]) {
+      hs.ckpt_req[j] = pb.vec_a[j];
+      hs.loc[j] = pb.vec_b[j];
+    }
+  }
+}
+
+void TpProtocol::basic_checkpoint(const net::MobileHost& host) {
+  checkpoint(host, CheckpointKind::kBasic);
+}
+
+void TpProtocol::handle_cell_switch(const net::MobileHost& host, net::MssId, net::MssId) {
+  basic_checkpoint(host);
+}
+
+void TpProtocol::handle_disconnect(const net::MobileHost& host) { basic_checkpoint(host); }
+
+}  // namespace mobichk::core

@@ -1,0 +1,62 @@
+// TP: the two-phase-based protocol of Acharya & Badrinath (an adaptation
+// of Russell's protocol to mobile systems). Paper §4.1.
+//
+// Rule: each host owns a boolean phase; sending sets phase := SEND; a
+// receive while phase == SEND forces a checkpoint (and resets the phase).
+// Every checkpoint interval therefore contains all its receives before
+// all its sends, which is what makes the dependency-vector recovery line
+// consistent (Russell 1980).
+//
+// Control information: two vectors of n integers ride on every message —
+// CKPT[] (transitive dependency on checkpoint intervals) and LOC[]
+// (transitive dependency on MH locations, for efficient retrieval over
+// the wired network). This is why TP does not scale in the number of
+// hosts, the paper's point (3).
+#pragma once
+
+#include <vector>
+
+#include "core/protocol.hpp"
+
+namespace mobichk::core {
+
+class TpProtocol final : public CheckpointProtocol {
+ public:
+  const char* name() const noexcept override { return "TP"; }
+
+  void host_init(const net::MobileHost& host) override;
+  net::Piggyback make_piggyback(const net::MobileHost& host) override;
+  void handle_receive(const net::MobileHost& host, const net::AppMessage& msg,
+                      const net::Piggyback& pb) override;
+  void handle_cell_switch(const net::MobileHost& host, net::MssId from, net::MssId to) override;
+  void handle_disconnect(const net::MobileHost& host) override;
+
+  /// Test access: true when the host's phase is SEND.
+  bool phase_is_send(net::HostId host) const { return per_host_.at(host).phase_send; }
+  /// Test access: current requirement vector (see ckpt_req below).
+  const std::vector<u32>& requirement_vector(net::HostId host) const {
+    return per_host_.at(host).ckpt_req;
+  }
+
+ protected:
+  void do_bind() override;
+
+ private:
+  struct HostState {
+    bool phase_send = false;  ///< init: RECV.
+    u64 ckpt_count = 0;       ///< Checkpoints taken so far (= next ordinal).
+    /// ckpt_req[j]: minimal checkpoint ordinal of host j that a recovery
+    /// line anchored at this host's *next* checkpoint requires (0 = only
+    /// j's initial checkpoint, i.e. no dependency).
+    std::vector<u32> ckpt_req;
+    /// loc[j]: last known MSS of host j (retrieval metadata).
+    std::vector<u32> loc;
+  };
+
+  void basic_checkpoint(const net::MobileHost& host);
+  void checkpoint(const net::MobileHost& host, CheckpointKind kind);
+
+  std::vector<HostState> per_host_;
+};
+
+}  // namespace mobichk::core

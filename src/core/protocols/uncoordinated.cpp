@@ -1,0 +1,24 @@
+#include "core/protocols/uncoordinated.hpp"
+
+#include "net/network.hpp"
+
+namespace mobichk::core {
+
+void UncoordinatedProtocol::host_init(const net::MobileHost& host) {
+  CheckpointProtocol::host_init(host);
+  if (ctx_.net != nullptr) schedule_timer(host.id());
+}
+
+void UncoordinatedProtocol::schedule_timer(net::HostId host_id) {
+  ctx_.sim->schedule_after(period_.sample(rng_), [this, host_id] {
+    const net::MobileHost& host = ctx_.net->host(host_id);
+    // A disconnected host cannot transfer its state to an MSS; it skips
+    // the tick (its disconnect checkpoint already covers the gap).
+    if (host.connected()) {
+      checkpoint(host, CheckpointKind::kForced);
+    }
+    schedule_timer(host_id);
+  });
+}
+
+}  // namespace mobichk::core

@@ -1,0 +1,61 @@
+#include "core/recovery_time.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mobichk::core {
+
+void RecoveryTimeConfig::validate() const {
+  if (wireless_bandwidth <= 0.0 || wired_bandwidth <= 0.0) {
+    throw std::invalid_argument("RecoveryTimeConfig: bandwidth must be positive");
+  }
+  if (wireless_latency < 0.0 || wired_latency < 0.0 || event_replay_time < 0.0 ||
+      restart_overhead < 0.0) {
+    throw std::invalid_argument("RecoveryTimeConfig: negative cost");
+  }
+}
+
+RecoveryTimeEstimate estimate_recovery_time(const RollbackResult& rollback,
+                                            const std::vector<net::MssId>& host_mss,
+                                            u32 n_mss, const RecoveryTimeConfig& cfg) {
+  cfg.validate();
+  const usize n = rollback.line.pos.size();
+  if (host_mss.size() != n) {
+    throw std::invalid_argument("estimate_recovery_time: host_mss size mismatch");
+  }
+
+  RecoveryTimeEstimate out;
+  // Phase 1: one round of notifications, in parallel — a wired hop to
+  // each host's MSS plus the wireless leg into the cell.
+  out.coordination = cfg.wired_latency + cfg.wireless_latency;
+
+  // Phase 2: per-cell serialized downloads.
+  std::vector<f64> cell_busy(n_mss, 0.0);
+  const f64 wireless_xfer =
+      cfg.wireless_latency + static_cast<f64>(cfg.state_bytes) / cfg.wireless_bandwidth;
+  const f64 wired_xfer =
+      cfg.wired_latency + static_cast<f64>(cfg.state_bytes) / cfg.wired_bandwidth;
+  f64 max_replay = 0.0;
+  for (usize h = 0; h < n; ++h) {
+    const CheckpointRecord* member = rollback.line.members[h];
+    if (member == nullptr) continue;  // survivor keeps its state
+    ++out.hosts_rolled_back;
+    const net::MssId cell = host_mss.at(h);
+    f64 transfer = wireless_xfer;
+    out.wireless_bytes += cfg.state_bytes;
+    if (member->location != cell) {
+      // The image must first travel over the wired network.
+      transfer += wired_xfer;
+      out.wired_bytes += cfg.state_bytes;
+    }
+    cell_busy.at(cell) += transfer;
+    const u64 undone = rollback.fail_pos.at(h) - rollback.line.pos.at(h);
+    max_replay = std::max(max_replay, cfg.restart_overhead +
+                                          static_cast<f64>(undone) * cfg.event_replay_time);
+  }
+  out.state_transfer = *std::max_element(cell_busy.begin(), cell_busy.end());
+  out.replay = max_replay;
+  return out;
+}
+
+}  // namespace mobichk::core

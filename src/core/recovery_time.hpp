@@ -1,0 +1,57 @@
+// Recovery-time estimation — the second half of the paper's §6 future
+// work ("evaluation of the recovery time and of the amount of undone
+// computation").
+//
+// Given a recovery line and the rollback that produced it, this model
+// walks the actual recovery procedure and prices each phase:
+//   1. coordination — the failed host's MSS locates every participant
+//      and tells it which checkpoint to restart from (wired hop(s) plus
+//      a wireless leg per host, in parallel);
+//   2. state transfer — each rolled-back host's current MSS fetches the
+//      member checkpoint from the MSS that stores it (wired) and ships
+//      it over the cell (wireless); hosts restart in parallel, cells
+//      serialize their own transfers;
+//   3. replay — every host re-executes the computation the rollback
+//      undid (in parallel; the slowest host dominates).
+#pragma once
+
+#include <vector>
+
+#include "core/recovery.hpp"
+#include "des/types.hpp"
+#include "net/ids.hpp"
+
+namespace mobichk::core {
+
+struct RecoveryTimeConfig {
+  f64 wireless_latency = 0.01;   ///< Per wireless hop (paper: 0.01 tu).
+  f64 wired_latency = 0.01;      ///< Per MSS-MSS hop (paper: 0.01 tu).
+  f64 wireless_bandwidth = 1e5;  ///< Bytes/tu on the cell channel.
+  f64 wired_bandwidth = 1e6;     ///< Bytes/tu on the wired network.
+  u64 state_bytes = 1u << 20;    ///< Checkpoint image size.
+  f64 event_replay_time = 1.0;   ///< Time to re-execute one undone event.
+  f64 restart_overhead = 1.0;    ///< Fixed per-host restart cost.
+
+  void validate() const;
+};
+
+struct RecoveryTimeEstimate {
+  f64 coordination = 0.0;
+  f64 state_transfer = 0.0;  ///< Slowest cell's serialized transfers.
+  f64 replay = 0.0;          ///< Slowest host's undone computation.
+  u64 wired_bytes = 0;       ///< Checkpoint images moved between MSSs.
+  u64 wireless_bytes = 0;    ///< Checkpoint images sent down to MHs.
+  u64 hosts_rolled_back = 0;
+
+  f64 total() const noexcept { return coordination + state_transfer + replay; }
+};
+
+/// Prices the recovery described by `rollback`. `host_mss[h]` is the MSS
+/// host h is attached to at recovery time (disconnected hosts recover at
+/// their last MSS). Hosts whose member is virtual (current state kept)
+/// need no transfer and no replay.
+RecoveryTimeEstimate estimate_recovery_time(const RollbackResult& rollback,
+                                            const std::vector<net::MssId>& host_mss,
+                                            u32 n_mss, const RecoveryTimeConfig& cfg = {});
+
+}  // namespace mobichk::core

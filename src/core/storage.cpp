@@ -1,0 +1,48 @@
+#include "core/storage.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mobichk::core {
+
+void StorageConfig::validate() const {
+  if (full_state_bytes == 0) throw std::invalid_argument("StorageConfig: zero state size");
+  if (dirty_rate < 0.0) throw std::invalid_argument("StorageConfig: negative dirty rate");
+}
+
+StorageModel::StorageModel(u32 n_hosts, u32 n_mss, StorageConfig cfg)
+    : cfg_(cfg), hosts_(n_hosts), per_mss_bytes_(n_mss, 0) {
+  cfg_.validate();
+  if (cfg_.track_history) history_.resize(n_hosts);
+}
+
+const std::vector<u64>& StorageModel::upload_history(net::HostId host) const {
+  if (!cfg_.track_history) {
+    throw std::logic_error("StorageModel: history tracking is disabled");
+  }
+  return history_.at(host);
+}
+
+void StorageModel::record_checkpoint(net::HostId host, net::MssId location, des::Time now) {
+  HostState& hs = hosts_.at(host);
+  u64 upload = cfg_.full_state_bytes;
+  if (cfg_.incremental && hs.has_checkpoint) {
+    const f64 dt = now - hs.last_time;
+    const f64 dirty_fraction = 1.0 - std::exp(-cfg_.dirty_rate * dt);
+    upload = static_cast<u64>(std::ceil(static_cast<f64>(cfg_.full_state_bytes) * dirty_fraction));
+    if (hs.last_location != location) {
+      // The current MSS lacks the base checkpoint: fetch it (paper §2.2).
+      wired_bytes_ += cfg_.full_state_bytes;
+      ++transfers_;
+    }
+  }
+  ++writes_;
+  wireless_bytes_ += upload;
+  if (cfg_.track_history) history_.at(host).push_back(upload);
+  per_mss_bytes_.at(location) += upload;
+  hs.has_checkpoint = true;
+  hs.last_time = now;
+  hs.last_location = location;
+}
+
+}  // namespace mobichk::core

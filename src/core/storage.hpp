@@ -1,0 +1,72 @@
+// Stable-storage model for checkpoints held at MSSs.
+//
+// Mobile-host local storage is vulnerable (paper §2.1 point a), so every
+// checkpoint is transferred over the wireless link to the current MSS.
+// This model accounts for that traffic and implements the incremental-
+// checkpointing optimization of §2.2:
+//
+//  * Full mode: every checkpoint uploads the whole state S.
+//  * Incremental mode: the upload carries only the state dirtied since the
+//    previous checkpoint, modeled as  S * (1 - exp(-omega * dt));  if the
+//    previous checkpoint lives at a *different* MSS (a cell switch
+//    happened), the new MSS first fetches it over the wired network
+//    (S bytes), exactly the "transfer operation" the paper describes.
+#pragma once
+
+#include <vector>
+
+#include "des/types.hpp"
+#include "net/ids.hpp"
+
+namespace mobichk::core {
+
+struct StorageConfig {
+  u64 full_state_bytes = 1u << 20;  ///< S: full process state size.
+  f64 dirty_rate = 0.01;            ///< omega: state-dirtying rate per tu.
+  bool incremental = true;
+  /// Keep the per-checkpoint upload sizes (needed by the GC byte
+  /// accounting; off by default to stay O(1) memory per host).
+  bool track_history = false;
+
+  void validate() const;
+};
+
+class StorageModel {
+ public:
+  StorageModel(u32 n_hosts, u32 n_mss, StorageConfig cfg);
+
+  /// Accounts for one checkpoint of `host` taken at time `now` and stored
+  /// at MSS `location`.
+  void record_checkpoint(net::HostId host, net::MssId location, des::Time now);
+
+  // -- aggregate accounting ---------------------------------------------
+  u64 checkpoints_written() const noexcept { return writes_; }
+  u64 wireless_bytes() const noexcept { return wireless_bytes_; }      ///< MH -> MSS uploads.
+  u64 wired_transfer_bytes() const noexcept { return wired_bytes_; }   ///< MSS -> MSS fetches.
+  u64 transfers() const noexcept { return transfers_; }                ///< Fetch operations.
+  u64 bytes_stored_at(net::MssId mss) const { return per_mss_bytes_.at(mss); }
+
+  /// Upload size of each checkpoint of `host`, in checkpoint-ordinal
+  /// order. Requires cfg.track_history.
+  const std::vector<u64>& upload_history(net::HostId host) const;
+
+  const StorageConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct HostState {
+    bool has_checkpoint = false;
+    des::Time last_time = 0.0;
+    net::MssId last_location = 0;
+  };
+
+  StorageConfig cfg_;
+  std::vector<HostState> hosts_;
+  std::vector<std::vector<u64>> history_;
+  std::vector<u64> per_mss_bytes_;
+  u64 writes_ = 0;
+  u64 wireless_bytes_ = 0;
+  u64 wired_bytes_ = 0;
+  u64 transfers_ = 0;
+};
+
+}  // namespace mobichk::core

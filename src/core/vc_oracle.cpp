@@ -1,0 +1,96 @@
+#include "core/vc_oracle.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mobichk::core {
+
+VcOracle::VcOracle(u32 n_hosts, const MessageLog& messages) : n_(n_hosts) {
+  snapshots_.resize(n_);
+
+  // Receives per host, ordered by receive position.
+  std::vector<std::vector<const MessageLog::Delivery*>> receives(n_);
+  for (const auto& d : messages.deliveries()) {
+    if (d.src >= n_ || d.dst >= n_) throw std::invalid_argument("VcOracle: host id out of range");
+    receives[d.dst].push_back(&d);
+  }
+  for (auto& r : receives) {
+    std::sort(r.begin(), r.end(), [](const auto* a, const auto* b) {
+      return a->recv_pos < b->recv_pos;
+    });
+  }
+
+  // Kahn-style replay: a receive is processable once the sender has
+  // processed all of its own receives that precede the send. Real time
+  // orders sends before their receives, so progress is always possible.
+  std::vector<usize> next(n_, 0);
+  const auto processed_up_to = [&](net::HostId h) -> u64 {
+    // The sender's knowledge is complete up to (excluding) its next
+    // unprocessed receive.
+    return next[h] < receives[h].size() ? receives[h][next[h]]->recv_pos : ~0ULL;
+  };
+  const auto vc_of_sender_at = [&](net::HostId src, u64 send_pos) {
+    const auto& snaps = snapshots_[src];
+    std::vector<u64> vc(n_, 0);
+    // Last snapshot at or before the send.
+    const auto it = std::upper_bound(snaps.begin(), snaps.end(), send_pos,
+                                     [](u64 p, const Snapshot& s) { return p < s.recv_pos; });
+    if (it != snaps.begin()) vc = (it - 1)->vc;
+    vc[src] = std::max(vc[src], send_pos);
+    return vc;
+  };
+
+  usize remaining = 0;
+  for (const auto& r : receives) remaining += r.size();
+  while (remaining > 0) {
+    bool progressed = false;
+    for (net::HostId h = 0; h < n_; ++h) {
+      while (next[h] < receives[h].size()) {
+        const MessageLog::Delivery* d = receives[h][next[h]];
+        if (processed_up_to(d->src) <= d->send_pos) break;  // sender not ready
+        std::vector<u64> vc = vc_of_sender_at(d->src, d->send_pos);
+        if (!snapshots_[h].empty()) {
+          const auto& prev = snapshots_[h].back().vc;
+          for (u32 i = 0; i < n_; ++i) vc[i] = std::max(vc[i], prev[i]);
+        }
+        vc[h] = std::max(vc[h], d->recv_pos);
+        snapshots_[h].push_back(Snapshot{d->recv_pos, std::move(vc)});
+        ++next[h];
+        --remaining;
+        progressed = true;
+      }
+    }
+    if (!progressed) {
+      throw std::logic_error("VcOracle: cyclic message log (impossible trace)");
+    }
+  }
+}
+
+std::vector<u64> VcOracle::vc_at(net::HostId host, u64 pos) const {
+  const auto& snaps = snapshots_.at(host);
+  std::vector<u64> vc(n_, 0);
+  const auto it = std::upper_bound(snaps.begin(), snaps.end(), pos,
+                                   [](u64 p, const Snapshot& s) { return p < s.recv_pos; });
+  if (it != snaps.begin()) vc = (it - 1)->vc;
+  vc[host] = std::max(vc[host], pos);
+  return vc;
+}
+
+bool VcOracle::happened_before(net::HostId a, u64 pa, net::HostId b, u64 pb) const {
+  if (a == b) return pa < pb;
+  return vc_at(b, pb)[a] >= pa && pa > 0;
+}
+
+bool VcOracle::consistent(const GlobalCheckpoint& cut) const {
+  if (cut.pos.size() != n_) throw std::invalid_argument("VcOracle: cut size mismatch");
+  for (net::HostId j = 0; j < n_; ++j) {
+    const std::vector<u64> vc = vc_at(j, cut.pos[j]);
+    for (net::HostId i = 0; i < n_; ++i) {
+      if (i == j) continue;
+      if (vc[i] > cut.pos[i]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mobichk::core

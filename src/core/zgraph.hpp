@@ -1,0 +1,79 @@
+// Zigzag-path analysis (Netzer & Xu): which checkpoints are useful?
+//
+// A checkpoint belongs to some consistent global checkpoint iff it lies
+// on no zigzag cycle (Netzer-Xu 1995). Domino-free protocols — the whole
+// point of the communication-induced family the paper studies — must
+// therefore produce *zero* useless checkpoints, while uncoordinated
+// checkpointing generally produces some. This module builds the
+// checkpoint-interval graph of a finished run and answers Z-path /
+// Z-cycle queries, giving the library a second, independent theory check
+// next to the orphan-message oracle.
+//
+// Model: interval x of host i is the execution between C_{i,x} and
+// C_{i,x+1} (the last interval is open). The graph has
+//   * forward edges (i,x) -> (i,x+1): a Z-path may continue with any
+//     message sent in a later interval of the same host;
+//   * message edges (i,x) -> (j,y) for every message sent in interval x
+//     of i and received in interval y of j (intra-interval ordering is
+//     deliberately ignored — that is exactly the zigzag allowance).
+// A Z-cycle through C_{i,x} exists iff some node (i, y) with y < x is
+// reachable from (i, x): the path starts with a send after C_{i,x}
+// (interval >= x) and ends with a receive before it (interval <= x-1),
+// and only message edges can decrease an interval index.
+#pragma once
+
+#include <vector>
+
+#include "core/checkpoint_log.hpp"
+#include "core/message_log.hpp"
+#include "des/types.hpp"
+#include "net/ids.hpp"
+
+namespace mobichk::core {
+
+class IntervalGraph {
+ public:
+  /// Builds the graph for a finished run.
+  IntervalGraph(const CheckpointLog& log, const MessageLog& messages);
+
+  /// Interval index of host `host` containing event position `pos`
+  /// (the number of checkpoints at or before `pos`, minus one).
+  u64 interval_of(net::HostId host, u64 pos) const;
+
+  /// Number of intervals of `host` (= its checkpoint count; the last is
+  /// open-ended).
+  u64 intervals(net::HostId host) const { return interval_count_.at(host); }
+
+  /// True iff a zigzag path exists from checkpoint C_{a, xa} to
+  /// checkpoint C_{b, xb} — i.e. a message chain starting after C_{a,xa}
+  /// and ending before C_{b,xb}, with zigzag continuations allowed.
+  bool z_path_exists(net::HostId a, u64 xa, net::HostId b, u64 xb) const;
+
+  /// True iff checkpoint C_{host, ordinal} lies on a zigzag cycle
+  /// (equivalently: belongs to no consistent global checkpoint).
+  bool on_z_cycle(net::HostId host, u64 ordinal) const;
+
+  /// All useless checkpoints of the run (excluding initial checkpoints,
+  /// which trivially precede everything).
+  std::vector<const CheckpointRecord*> useless_checkpoints() const;
+
+  u64 useless_count() const { return useless_checkpoints().size(); }
+
+ private:
+  usize node_id(net::HostId host, u64 interval) const {
+    return node_base_.at(host) + static_cast<usize>(interval);
+  }
+
+  /// BFS over forward + message edges from (host, interval); returns the
+  /// reachable-node bitmap.
+  std::vector<bool> reach_from(net::HostId host, u64 interval) const;
+
+  const CheckpointLog& log_;
+  std::vector<u64> interval_count_;
+  std::vector<usize> node_base_;
+  usize node_total_ = 0;
+  /// Message edges, adjacency by source node.
+  std::vector<std::vector<u32>> message_adj_;
+};
+
+}  // namespace mobichk::core

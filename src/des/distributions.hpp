@@ -1,0 +1,114 @@
+// Hand-rolled random variate generators.
+//
+// We avoid <random> distributions because their algorithms (and therefore
+// their exact output streams) are implementation-defined; these are fixed
+// algorithms so every platform reproduces the same simulation trace.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "des/rng.hpp"
+#include "des/types.hpp"
+
+namespace mobichk::des {
+
+/// Exponential distribution with the given mean (inverse-CDF method).
+class Exponential {
+ public:
+  explicit Exponential(f64 mean) noexcept : mean_(mean) { assert(mean > 0.0); }
+
+  f64 sample(RngStream& rng) const noexcept {
+    // 1 - u in (0, 1] avoids log(0).
+    return -mean_ * std::log(1.0 - rng.uniform01());
+  }
+
+  f64 mean() const noexcept { return mean_; }
+
+ private:
+  f64 mean_;
+};
+
+/// Continuous uniform on [lo, hi).
+class Uniform {
+ public:
+  Uniform(f64 lo, f64 hi) noexcept : lo_(lo), hi_(hi) { assert(lo <= hi); }
+
+  f64 sample(RngStream& rng) const noexcept { return lo_ + (hi_ - lo_) * rng.uniform01(); }
+
+ private:
+  f64 lo_;
+  f64 hi_;
+};
+
+/// Uniform integer in [0, n). Uses Lemire's rejection method to avoid
+/// modulo bias while staying deterministic.
+inline u64 uniform_index(RngStream& rng, u64 n) noexcept {
+  assert(n > 0);
+  if (n == 1) return 0;
+  const u64 threshold = (0ULL - n) % n;  // 2^64 mod n
+  for (;;) {
+    const u64 x = rng.next_u64();
+    if (x >= threshold) return x % n;
+  }
+}
+
+/// Uniform integer in [0, n) excluding `excluded` (requires n >= 2).
+inline u64 uniform_index_excluding(RngStream& rng, u64 n, u64 excluded) noexcept {
+  assert(n >= 2);
+  const u64 x = uniform_index(rng, n - 1);
+  return x >= excluded ? x + 1 : x;
+}
+
+/// Bernoulli trial with success probability p.
+inline bool bernoulli(RngStream& rng, f64 p) noexcept { return rng.uniform01() < p; }
+
+/// Geometric number of failures before first success, p in (0, 1].
+inline u64 geometric(RngStream& rng, f64 p) noexcept {
+  assert(p > 0.0 && p <= 1.0);
+  if (p >= 1.0) return 0;
+  const f64 u = 1.0 - rng.uniform01();  // (0, 1]
+  return static_cast<u64>(std::floor(std::log(u) / std::log(1.0 - p)));
+}
+
+/// Discrete distribution over {0, ..., k-1} with the given weights.
+class Discrete {
+ public:
+  explicit Discrete(std::vector<f64> weights) : cumulative_(std::move(weights)) {
+    assert(!cumulative_.empty());
+    f64 acc = 0.0;
+    for (auto& w : cumulative_) {
+      assert(w >= 0.0);
+      acc += w;
+      w = acc;
+    }
+    assert(acc > 0.0);
+    total_ = acc;
+  }
+
+  usize sample(RngStream& rng) const noexcept {
+    const f64 u = rng.uniform01() * total_;
+    // Binary search for the first cumulative weight > u.
+    usize lo = 0;
+    usize hi = cumulative_.size() - 1;
+    while (lo < hi) {
+      const usize mid = (lo + hi) / 2;
+      if (cumulative_[mid] > u) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return lo;
+  }
+
+  usize size() const noexcept { return cumulative_.size(); }
+
+ private:
+  std::vector<f64> cumulative_;
+  f64 total_ = 0.0;
+};
+
+}  // namespace mobichk::des

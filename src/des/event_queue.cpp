@@ -1,0 +1,217 @@
+#include "des/event_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mobichk::des {
+
+// ---------------------------------------------------------------------------
+// BinaryHeapQueue
+// ---------------------------------------------------------------------------
+
+void BinaryHeapQueue::push(EventEntry entry) {
+  heap_.push_back(std::move(entry));
+  sift_up(heap_.size() - 1);
+  ++live_;
+}
+
+void BinaryHeapQueue::drop_cancelled_top() {
+  while (!heap_.empty() && cancelled_.contains(heap_.front().seq)) {
+    cancelled_.erase(heap_.front().seq);
+    std::swap(heap_.front(), heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+  }
+}
+
+EventEntry BinaryHeapQueue::pop() {
+  drop_cancelled_top();
+  assert(!heap_.empty() && "pop() on empty queue");
+  EventEntry out = std::move(heap_.front());
+  std::swap(heap_.front(), heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  --live_;
+  return out;
+}
+
+void BinaryHeapQueue::cancel(u64 seq) {
+  // Lazy: mark and skip at pop time. Only count it once.
+  if (cancelled_.insert(seq).second && live_ > 0) --live_;
+}
+
+bool BinaryHeapQueue::empty() {
+  drop_cancelled_top();
+  return heap_.empty();
+}
+
+void BinaryHeapQueue::sift_up(usize i) {
+  while (i > 0) {
+    const usize parent = (i - 1) / 2;
+    if (!(heap_[i] < heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void BinaryHeapQueue::sift_down(usize i) {
+  const usize n = heap_.size();
+  for (;;) {
+    const usize l = 2 * i + 1;
+    const usize r = 2 * i + 2;
+    usize smallest = i;
+    if (l < n && heap_[l] < heap_[smallest]) smallest = l;
+    if (r < n && heap_[r] < heap_[smallest]) smallest = r;
+    if (smallest == i) return;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CalendarQueue
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr usize kMinBuckets = 2;
+constexpr usize kInitialBuckets = 8;
+}  // namespace
+
+CalendarQueue::CalendarQueue() { buckets_.resize(kInitialBuckets); }
+
+usize CalendarQueue::bucket_of(Time t) const noexcept {
+  const f64 virtual_bucket = std::floor(t / bucket_width_);
+  return static_cast<usize>(std::fmod(virtual_bucket, static_cast<f64>(buckets_.size())));
+}
+
+void CalendarQueue::insert_sorted(std::vector<EventEntry>& bucket, EventEntry entry) {
+  // Buckets are kept sorted in *descending* (time, seq) order so the next
+  // event to fire is at the back (O(1) removal).
+  const auto pos = std::upper_bound(
+      bucket.begin(), bucket.end(), entry,
+      [](const EventEntry& a, const EventEntry& b) { return b < a; });
+  bucket.insert(pos, std::move(entry));
+}
+
+void CalendarQueue::reposition(Time t) noexcept {
+  cursor_time_ = t;
+  const f64 year_len = bucket_width_ * static_cast<f64>(buckets_.size());
+  current_year_start_ = std::floor(t / year_len) * year_len;
+  current_bucket_ = bucket_of(t);
+}
+
+void CalendarQueue::push(EventEntry entry) {
+  assert(entry.time >= last_popped_ && "calendar queue does not support scheduling in the past");
+  // The cursor may sit past this event's year (e.g. after a jump to a far
+  // minimum that was then superseded): pull it back so the scan cannot
+  // skip the new event.
+  if (entry.time < cursor_time_) reposition(entry.time);
+  insert_sorted(buckets_[bucket_of(entry.time)], std::move(entry));
+  ++live_;
+  if (live_ > 2 * buckets_.size()) resize(buckets_.size() * 2);
+}
+
+void CalendarQueue::cancel(u64 seq) {
+  if (cancelled_.insert(seq).second && live_ > 0) --live_;
+}
+
+bool CalendarQueue::empty() {
+  if (live_ > 0) return false;
+  // live_ == 0 but tombstoned entries may remain; they are unreachable via
+  // pop(), so the queue is logically empty.
+  return true;
+}
+
+EventEntry CalendarQueue::pop() {
+  assert(live_ > 0 && "pop() on empty queue");
+  const usize nb = buckets_.size();
+  for (;;) {
+    const Time year_len = bucket_width_ * static_cast<f64>(nb);
+    // Scan up to one full year starting at the cursor.
+    for (usize k = 0; k < nb; ++k) {
+      const usize raw = current_bucket_ + k;
+      const bool wrapped = raw >= nb;
+      const usize b = raw % nb;
+      auto& bucket = buckets_[b];
+      // Purge cancelled entries at the tail (the earliest events).
+      while (!bucket.empty() && cancelled_.contains(bucket.back().seq)) {
+        cancelled_.erase(bucket.back().seq);
+        bucket.pop_back();
+      }
+      const Time year_start = current_year_start_ + (wrapped ? year_len : 0.0);
+      const Time bucket_top = year_start + bucket_width_ * static_cast<f64>(b + 1);
+      if (!bucket.empty() && bucket.back().time < bucket_top) {
+        EventEntry out = std::move(bucket.back());
+        bucket.pop_back();
+        if (wrapped) current_year_start_ += year_len;
+        current_bucket_ = b;
+        cursor_time_ = out.time;
+        last_popped_ = out.time;
+        --live_;
+        if (live_ < buckets_.size() / 2 && buckets_.size() > kMinBuckets) {
+          resize(buckets_.size() / 2);
+        }
+        return out;
+      }
+    }
+    // Nothing due within a year: jump directly to the global minimum.
+    const EventEntry* min_entry = nullptr;
+    for (auto& bucket : buckets_) {
+      while (!bucket.empty() && cancelled_.contains(bucket.back().seq)) {
+        cancelled_.erase(bucket.back().seq);
+        bucket.pop_back();
+      }
+      if (!bucket.empty() && (min_entry == nullptr || bucket.back() < *min_entry)) {
+        min_entry = &bucket.back();
+      }
+    }
+    assert(min_entry != nullptr);
+    reposition(min_entry->time);
+    // Loop re-runs the scan; it will now find the minimum immediately.
+  }
+}
+
+void CalendarQueue::resize(usize new_bucket_count) {
+  // Estimate a bucket width from the spacing of the earliest events.
+  std::vector<EventEntry> all;
+  all.reserve(live_);
+  for (auto& bucket : buckets_) {
+    for (auto& e : bucket) {
+      if (cancelled_.contains(e.seq)) {
+        cancelled_.erase(e.seq);
+        continue;
+      }
+      all.push_back(std::move(e));
+    }
+    bucket.clear();
+  }
+  std::sort(all.begin(), all.end());
+  if (all.size() >= 2) {
+    const usize sample = std::min<usize>(all.size(), 25);
+    f64 span = all[sample - 1].time - all[0].time;
+    f64 avg_gap = span / static_cast<f64>(sample - 1);
+    if (avg_gap <= 0.0) avg_gap = 1.0;
+    bucket_width_ = 3.0 * avg_gap;
+  }
+  buckets_.assign(new_bucket_count, {});
+  live_ = 0;
+  // Reset the cursor to the earliest pending event (or keep current epoch).
+  reposition(all.empty() ? last_popped_ : all.front().time);
+  for (auto& e : all) {
+    insert_sorted(buckets_[bucket_of(e.time)], std::move(e));
+    ++live_;
+  }
+}
+
+std::unique_ptr<EventQueue> make_event_queue(QueueKind kind) {
+  switch (kind) {
+    case QueueKind::kBinaryHeap:
+      return std::make_unique<BinaryHeapQueue>();
+    case QueueKind::kCalendar:
+      return std::make_unique<CalendarQueue>();
+  }
+  return std::make_unique<BinaryHeapQueue>();
+}
+
+}  // namespace mobichk::des

@@ -1,0 +1,120 @@
+// Pending-event set abstractions for the simulation kernel.
+//
+// Two interchangeable implementations are provided:
+//  * BinaryHeapQueue  -- O(log n) push/pop, the robust default;
+//  * CalendarQueue    -- Brown's calendar queue, amortized O(1) under
+//                        stationary event-time distributions.
+//
+// Both order events by (time, sequence number), so a simulation produces an
+// identical trace whichever queue it runs on (verified by tests).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "des/types.hpp"
+
+namespace mobichk::des {
+
+/// Callback executed when an event fires.
+using EventFn = std::function<void()>;
+
+/// A scheduled event as stored in / returned by a queue.
+struct EventEntry {
+  Time time = 0.0;
+  u64 seq = 0;  ///< Global scheduling order; breaks time ties deterministically.
+  EventFn fn;
+
+  friend bool operator<(const EventEntry& a, const EventEntry& b) noexcept {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+};
+
+/// Abstract pending-event set ordered by (time, seq).
+class EventQueue {
+ public:
+  virtual ~EventQueue() = default;
+
+  /// Inserts an event. `seq` values must be unique across the queue's life.
+  virtual void push(EventEntry entry) = 0;
+
+  /// Removes and returns the minimum event. Pre: !empty().
+  virtual EventEntry pop() = 0;
+
+  /// Lazily cancels the event with the given sequence number (if present).
+  virtual void cancel(u64 seq) = 0;
+
+  /// True when no live (non-cancelled) events remain.
+  virtual bool empty() = 0;
+
+  /// Number of live events.
+  virtual usize size() const = 0;
+
+  /// Human-readable implementation name (for benches and logs).
+  virtual const char* name() const noexcept = 0;
+};
+
+/// Which queue implementation a Simulator should use.
+enum class QueueKind : u8 {
+  kBinaryHeap,
+  kCalendar,
+};
+
+/// Binary min-heap over (time, seq) with lazy cancellation.
+class BinaryHeapQueue final : public EventQueue {
+ public:
+  void push(EventEntry entry) override;
+  EventEntry pop() override;
+  void cancel(u64 seq) override;
+  bool empty() override;
+  usize size() const override { return live_; }
+  const char* name() const noexcept override { return "binary-heap"; }
+
+ private:
+  void sift_up(usize i);
+  void sift_down(usize i);
+  void drop_cancelled_top();
+
+  std::vector<EventEntry> heap_;
+  std::unordered_set<u64> cancelled_;
+  usize live_ = 0;
+};
+
+/// Brown's calendar queue: an array of day-buckets covering a rotating
+/// "year"; each bucket holds a sorted list of events. Resizes itself to
+/// keep ~1 event per bucket.
+class CalendarQueue final : public EventQueue {
+ public:
+  CalendarQueue();
+
+  void push(EventEntry entry) override;
+  EventEntry pop() override;
+  void cancel(u64 seq) override;
+  bool empty() override;
+  usize size() const override { return live_; }
+  const char* name() const noexcept override { return "calendar"; }
+
+ private:
+  usize bucket_of(Time t) const noexcept;
+  void resize(usize new_bucket_count);
+  void insert_sorted(std::vector<EventEntry>& bucket, EventEntry entry);
+  /// Moves the search cursor (bucket + year) to cover time `t`.
+  void reposition(Time t) noexcept;
+
+  std::vector<std::vector<EventEntry>> buckets_;
+  std::unordered_set<u64> cancelled_;
+  f64 bucket_width_ = 1.0;
+  usize current_bucket_ = 0;  ///< Bucket the search cursor is on.
+  Time current_year_start_ = 0.0;
+  Time cursor_time_ = 0.0;    ///< Virtual time the cursor has reached.
+  Time last_popped_ = 0.0;
+  usize live_ = 0;
+};
+
+/// Factory for the queue implementations.
+std::unique_ptr<EventQueue> make_event_queue(QueueKind kind);
+
+}  // namespace mobichk::des

@@ -1,0 +1,56 @@
+#include "des/simulator.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace mobichk::des {
+
+Simulator::Simulator(QueueKind queue_kind) : queue_(make_event_queue(queue_kind)) {}
+
+EventHandle Simulator::schedule_at(Time t, EventFn fn) {
+  if (t < now_) throw std::invalid_argument("Simulator::schedule_at: time is in the past");
+  const u64 seq = next_seq_++;
+  queue_->push(EventEntry{t, seq, std::move(fn)});
+  return EventHandle(seq);
+}
+
+void Simulator::cancel(EventHandle handle) {
+  if (handle.valid()) queue_->cancel(handle.seq_);
+}
+
+u64 Simulator::run_until(Time t_end) {
+  assert(t_end >= now_);
+  u64 count = 0;
+  stop_requested_ = false;
+  while (!queue_->empty()) {
+    // Peek by popping; if beyond the horizon, push back and stop.
+    EventEntry e = queue_->pop();
+    if (e.time > t_end) {
+      queue_->push(std::move(e));
+      break;
+    }
+    now_ = e.time;
+    e.fn();
+    ++executed_;
+    ++count;
+    if (stop_requested_) return count;
+  }
+  now_ = t_end;
+  return count;
+}
+
+u64 Simulator::run() {
+  u64 count = 0;
+  stop_requested_ = false;
+  while (!queue_->empty()) {
+    EventEntry e = queue_->pop();
+    now_ = e.time;
+    e.fn();
+    ++executed_;
+    ++count;
+    if (stop_requested_) break;
+  }
+  return count;
+}
+
+}  // namespace mobichk::des

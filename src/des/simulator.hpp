@@ -1,0 +1,77 @@
+// The discrete-event simulation engine.
+//
+// A Simulator owns a virtual clock and a pending-event set; entities
+// schedule closures to run at future virtual times. Execution is strictly
+// deterministic: events fire in (time, scheduling-sequence) order.
+#pragma once
+
+#include <memory>
+
+#include "des/event_queue.hpp"
+#include "des/types.hpp"
+
+namespace mobichk::des {
+
+/// Handle to a scheduled event, usable for cancellation.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// True if this handle ever referred to an event.
+  bool valid() const noexcept { return seq_ != 0; }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(u64 seq) noexcept : seq_(seq) {}
+  u64 seq_ = 0;  ///< 0 = never assigned (sequence numbers start at 1).
+};
+
+/// Discrete-event simulation engine.
+class Simulator {
+ public:
+  explicit Simulator(QueueKind queue_kind = QueueKind::kBinaryHeap);
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  Time now() const noexcept { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (must be >= now()).
+  EventHandle schedule_at(Time t, EventFn fn);
+
+  /// Schedules `fn` after a delay of `dt` (must be >= 0).
+  EventHandle schedule_after(Time dt, EventFn fn) { return schedule_at(now_ + dt, std::move(fn)); }
+
+  /// Cancels a previously scheduled event; no-op if it already fired.
+  void cancel(EventHandle handle);
+
+  /// Runs events with time <= t_end; advances the clock to t_end even if
+  /// the queue drains earlier. Returns the number of events executed.
+  u64 run_until(Time t_end);
+
+  /// Runs until the event set is empty (or stop() is called).
+  u64 run();
+
+  /// Requests the current run() / run_until() to return after the event
+  /// being executed completes.
+  void stop() noexcept { stop_requested_ = true; }
+
+  /// Total events executed since construction.
+  u64 events_executed() const noexcept { return executed_; }
+
+  /// Live events currently pending.
+  usize pending() const noexcept { return queue_->size(); }
+
+  /// The queue implementation in use.
+  const char* queue_name() const noexcept { return queue_->name(); }
+
+ private:
+  std::unique_ptr<EventQueue> queue_;
+  Time now_ = 0.0;
+  u64 next_seq_ = 1;
+  u64 executed_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace mobichk::des

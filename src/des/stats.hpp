@@ -1,0 +1,149 @@
+// Output-analysis statistics for simulation experiments.
+#pragma once
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "des/types.hpp"
+
+namespace mobichk::des {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(u64 n = 1) noexcept { value_ += n; }
+  u64 value() const noexcept { return value_; }
+  void reset() noexcept { value_ = 0; }
+
+ private:
+  u64 value_ = 0;
+};
+
+/// Streaming mean / variance accumulator (Welford's algorithm).
+class Tally {
+ public:
+  void add(f64 x) noexcept {
+    ++n_;
+    const f64 delta = x - mean_;
+    mean_ += delta / static_cast<f64>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  u64 count() const noexcept { return n_; }
+  f64 mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  /// Unbiased sample variance.
+  f64 variance() const noexcept { return n_ > 1 ? m2_ / static_cast<f64>(n_ - 1) : 0.0; }
+  f64 stddev() const noexcept { return std::sqrt(variance()); }
+  f64 min() const noexcept { return n_ > 0 ? min_ : 0.0; }
+  f64 max() const noexcept { return n_ > 0 ? max_ : 0.0; }
+  f64 sum() const noexcept { return mean_ * static_cast<f64>(n_); }
+
+  void reset() noexcept { *this = Tally{}; }
+
+ private:
+  u64 n_ = 0;
+  f64 mean_ = 0.0;
+  f64 m2_ = 0.0;
+  f64 min_ = 1e300;
+  f64 max_ = -1e300;
+};
+
+/// Time-weighted average of a piecewise-constant signal (e.g. queue length).
+class TimeWeighted {
+ public:
+  explicit TimeWeighted(Time start = 0.0) noexcept : last_change_(start), start_(start) {}
+
+  /// Records that the signal takes value `value` from time `now` on.
+  void update(Time now, f64 value) noexcept {
+    area_ += current_ * (now - last_change_);
+    current_ = value;
+    last_change_ = now;
+  }
+
+  /// Time average over [start, now].
+  f64 average(Time now) const noexcept {
+    const Time span = now - start_;
+    if (span <= 0.0) return current_;
+    return (area_ + current_ * (now - last_change_)) / span;
+  }
+
+  f64 current() const noexcept { return current_; }
+
+ private:
+  f64 current_ = 0.0;
+  f64 area_ = 0.0;
+  Time last_change_ = 0.0;
+  Time start_ = 0.0;
+};
+
+/// Fixed-range histogram with uniform bins plus under/overflow.
+class Histogram {
+ public:
+  Histogram(f64 lo, f64 hi, usize bins);
+
+  void add(f64 x) noexcept;
+  u64 count() const noexcept { return total_; }
+  u64 bin_count(usize i) const { return counts_.at(i); }
+  u64 underflow() const noexcept { return underflow_; }
+  u64 overflow() const noexcept { return overflow_; }
+  usize bins() const noexcept { return counts_.size(); }
+  f64 bin_lo(usize i) const noexcept { return lo_ + width_ * static_cast<f64>(i); }
+  f64 bin_hi(usize i) const noexcept { return lo_ + width_ * static_cast<f64>(i + 1); }
+  /// Approximate quantile (linear interpolation inside the bin).
+  f64 quantile(f64 q) const noexcept;
+
+ private:
+  f64 lo_;
+  f64 hi_;
+  f64 width_;
+  std::vector<u64> counts_;
+  u64 underflow_ = 0;
+  u64 overflow_ = 0;
+  u64 total_ = 0;
+};
+
+/// Batch-means estimator for steady-state simulation output.
+///
+/// Feeds observations into fixed-size batches; batch averages are
+/// approximately independent, enabling confidence intervals on correlated
+/// streams.
+class BatchMeans {
+ public:
+  explicit BatchMeans(u64 batch_size) : batch_size_(batch_size == 0 ? 1 : batch_size) {}
+
+  void add(f64 x) noexcept {
+    batch_sum_ += x;
+    if (++in_batch_ == batch_size_) {
+      batches_.add(batch_sum_ / static_cast<f64>(batch_size_));
+      batch_sum_ = 0.0;
+      in_batch_ = 0;
+    }
+  }
+
+  u64 completed_batches() const noexcept { return batches_.count(); }
+  f64 mean() const noexcept { return batches_.mean(); }
+  f64 stddev() const noexcept { return batches_.stddev(); }
+  const Tally& batch_tally() const noexcept { return batches_; }
+
+ private:
+  u64 batch_size_;
+  u64 in_batch_ = 0;
+  f64 batch_sum_ = 0.0;
+  Tally batches_;
+};
+
+/// Two-sided Student-t critical value for the given confidence level
+/// (supported: 0.90, 0.95, 0.99) and degrees of freedom.
+f64 student_t_critical(f64 confidence, u64 dof);
+
+/// Symmetric confidence half-width for a Tally of (approximately)
+/// independent observations.
+f64 confidence_half_width(const Tally& tally, f64 confidence);
+
+/// Formats mean +/- half-width, e.g. "123.4 ± 5.6".
+std::string format_ci(const Tally& tally, f64 confidence);
+
+}  // namespace mobichk::des

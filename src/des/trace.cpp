@@ -1,0 +1,42 @@
+#include "des/trace.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace mobichk::des {
+
+const char* trace_kind_name(TraceKind kind) noexcept {
+  switch (kind) {
+    case TraceKind::kInternalEvent: return "internal";
+    case TraceKind::kSend: return "send";
+    case TraceKind::kDeliver: return "deliver";
+    case TraceKind::kReceive: return "receive";
+    case TraceKind::kHandoff: return "handoff";
+    case TraceKind::kDisconnect: return "disconnect";
+    case TraceKind::kReconnect: return "reconnect";
+    case TraceKind::kBasicCheckpoint: return "basic-ckpt";
+    case TraceKind::kForcedCheckpoint: return "forced-ckpt";
+    case TraceKind::kControlMessage: return "control";
+    case TraceKind::kStorageWrite: return "storage-write";
+    case TraceKind::kStorageTransfer: return "storage-transfer";
+    case TraceKind::kUser: return "user";
+  }
+  return "?";
+}
+
+void HashSink::mix(u64 v) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    hash_ ^= (v >> (8 * i)) & 0xFFu;
+    hash_ *= 0x100000001B3ULL;
+  }
+}
+
+void HashSink::record(const TraceRecord& rec) {
+  mix(std::bit_cast<u64>(rec.time));
+  mix(rec.actor);
+  mix(static_cast<u64>(rec.kind));
+  mix(rec.a);
+  mix(rec.b);
+}
+
+}  // namespace mobichk::des

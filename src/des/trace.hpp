@@ -1,0 +1,94 @@
+// Lightweight structured tracing for simulations.
+//
+// Trace records are cheap POD tuples; sinks decide what to do with them.
+// The HashSink folds every record into a running FNV-1a hash, which the
+// integration tests use to prove bit-identical replay across seeds and
+// event-queue implementations.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "des/types.hpp"
+
+namespace mobichk::des {
+
+/// Categories of traced happenings (network + checkpoint domain baked in so
+/// traces stay POD; unrelated subsystems may use kUser).
+enum class TraceKind : u8 {
+  kInternalEvent,
+  kSend,
+  kDeliver,
+  kReceive,
+  kHandoff,
+  kDisconnect,
+  kReconnect,
+  kBasicCheckpoint,
+  kForcedCheckpoint,
+  kControlMessage,
+  kStorageWrite,
+  kStorageTransfer,
+  kUser,
+};
+
+/// Returns a stable display name for a kind.
+const char* trace_kind_name(TraceKind kind) noexcept;
+
+/// One trace record. `a` and `b` are kind-specific payloads (message ids,
+/// checkpoint indices, MSS ids, ...).
+struct TraceRecord {
+  Time time = 0.0;
+  u32 actor = 0;  ///< Host or MSS id.
+  TraceKind kind = TraceKind::kUser;
+  u64 a = 0;
+  u64 b = 0;
+};
+
+/// Consumer of trace records.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void record(const TraceRecord& rec) = 0;
+};
+
+/// Discards everything (the default).
+class NullSink final : public TraceSink {
+ public:
+  void record(const TraceRecord&) override {}
+};
+
+/// Stores all records in memory (tests, small runs).
+class VectorSink final : public TraceSink {
+ public:
+  void record(const TraceRecord& rec) override { records_.push_back(rec); }
+  const std::vector<TraceRecord>& records() const noexcept { return records_; }
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+/// Folds records into an order-sensitive FNV-1a hash.
+class HashSink final : public TraceSink {
+ public:
+  void record(const TraceRecord& rec) override;
+  u64 hash() const noexcept { return hash_; }
+
+ private:
+  void mix(u64 v) noexcept;
+  u64 hash_ = 0xCBF29CE484222325ULL;
+};
+
+/// Dispatches one record to several sinks.
+class TeeSink final : public TraceSink {
+ public:
+  void attach(TraceSink* sink) { sinks_.push_back(sink); }
+  void record(const TraceRecord& rec) override {
+    for (auto* s : sinks_) s->record(rec);
+  }
+
+ private:
+  std::vector<TraceSink*> sinks_;
+};
+
+}  // namespace mobichk::des

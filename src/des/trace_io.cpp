@@ -1,0 +1,70 @@
+#include "des/trace_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mobichk::des {
+
+namespace {
+constexpr const char* kHeader = "mobichk-trace v1";
+
+void write_record(std::ostream& os, const TraceRecord& rec) {
+  os << rec.time << '\t' << rec.actor << '\t' << static_cast<u32>(rec.kind) << '\t' << rec.a
+     << '\t' << rec.b << '\n';
+}
+}  // namespace
+
+void write_trace(std::ostream& os, const std::vector<TraceRecord>& records) {
+  os << kHeader << '\n';
+  os.precision(17);
+  for (const auto& rec : records) write_record(os, rec);
+}
+
+std::vector<TraceRecord> read_trace(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != kHeader) {
+    throw std::runtime_error("read_trace: missing or unknown header");
+  }
+  std::vector<TraceRecord> out;
+  usize line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    TraceRecord rec;
+    u32 kind = 0;
+    if (!(row >> rec.time >> rec.actor >> kind >> rec.a >> rec.b)) {
+      throw std::runtime_error("read_trace: malformed record at line " +
+                               std::to_string(line_no));
+    }
+    if (kind > static_cast<u32>(TraceKind::kUser)) {
+      throw std::runtime_error("read_trace: unknown kind at line " + std::to_string(line_no));
+    }
+    rec.kind = static_cast<TraceKind>(kind);
+    out.push_back(rec);
+  }
+  return out;
+}
+
+StreamSink::StreamSink(std::ostream& os) : os_(os) {
+  os_ << kHeader << '\n';
+  os_.precision(17);
+}
+
+void StreamSink::record(const TraceRecord& rec) { write_record(os_, rec); }
+
+TraceSummary summarize(const std::vector<TraceRecord>& records) {
+  TraceSummary s;
+  for (const auto& rec : records) {
+    ++s.counts[static_cast<usize>(rec.kind)];
+    ++s.total;
+    if (s.total == 1) s.first_time = rec.time;
+    s.last_time = rec.time;
+  }
+  return s;
+}
+
+}  // namespace mobichk::des

@@ -1,0 +1,44 @@
+// Trace serialization: dump a run's trace records to a stream and read
+// them back. The format is a line-oriented text format (one record per
+// line, tab separated) with a versioned header — boring on purpose, so
+// traces can be diffed, grepped and post-processed with standard tools.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "des/trace.hpp"
+
+namespace mobichk::des {
+
+/// Writes a trace file: header line, then one record per line.
+void write_trace(std::ostream& os, const std::vector<TraceRecord>& records);
+
+/// Reads a trace file written by write_trace. Throws std::runtime_error
+/// on malformed input (bad header, bad record, unknown kind).
+std::vector<TraceRecord> read_trace(std::istream& is);
+
+/// A TraceSink that appends to a stream on the fly (header written at
+/// construction).
+class StreamSink final : public TraceSink {
+ public:
+  explicit StreamSink(std::ostream& os);
+  void record(const TraceRecord& rec) override;
+
+ private:
+  std::ostream& os_;
+};
+
+/// Per-kind record counts of a trace — the quick sanity view.
+struct TraceSummary {
+  u64 counts[16] = {};
+  u64 total = 0;
+  Time first_time = 0.0;
+  Time last_time = 0.0;
+
+  u64 of(TraceKind kind) const { return counts[static_cast<usize>(kind)]; }
+};
+
+TraceSummary summarize(const std::vector<TraceRecord>& records);
+
+}  // namespace mobichk::des

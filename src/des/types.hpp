@@ -1,0 +1,30 @@
+// Fundamental type aliases shared across the mobichk libraries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mobichk {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using usize = std::size_t;
+using f64 = double;
+
+namespace des {
+
+/// Simulation time, in abstract "time units" (tu) as in the paper.
+using Time = double;
+
+/// Sentinel for "no time" / unscheduled.
+inline constexpr Time kTimeNever = -1.0;
+
+/// Largest representable simulation time.
+inline constexpr Time kTimeInf = 1e300;
+
+}  // namespace des
+}  // namespace mobichk

@@ -1,0 +1,54 @@
+#include "des/warmup.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace mobichk::des {
+
+MserResult mser(const std::vector<f64>& series, usize batch_size) {
+  MserResult out;
+  if (batch_size == 0) batch_size = 1;
+  const usize n_batches = series.size() / batch_size;
+  if (n_batches < 2) {
+    for (const f64 x : series) out.truncated_mean += x;
+    if (!series.empty()) out.truncated_mean /= static_cast<f64>(series.size());
+    return out;
+  }
+
+  std::vector<f64> batches(n_batches);
+  for (usize b = 0; b < n_batches; ++b) {
+    f64 sum = 0.0;
+    for (usize i = 0; i < batch_size; ++i) sum += series[b * batch_size + i];
+    batches[b] = sum / static_cast<f64>(batch_size);
+  }
+
+  // Suffix sums let every candidate truncation be scored in O(1).
+  std::vector<f64> suffix_sum(n_batches + 1, 0.0);
+  std::vector<f64> suffix_sq(n_batches + 1, 0.0);
+  for (usize b = n_batches; b-- > 0;) {
+    suffix_sum[b] = suffix_sum[b + 1] + batches[b];
+    suffix_sq[b] = suffix_sq[b + 1] + batches[b] * batches[b];
+  }
+
+  f64 best = std::numeric_limits<f64>::infinity();
+  usize best_d = 0;
+  for (usize d = 0; d <= n_batches / 2; ++d) {
+    const f64 m = static_cast<f64>(n_batches - d);
+    const f64 mean = suffix_sum[d] / m;
+    const f64 var = suffix_sq[d] / m - mean * mean;
+    const f64 statistic = std::sqrt(std::max(var, 0.0)) / std::sqrt(m);
+    if (statistic < best) {
+      best = statistic;
+      best_d = d;
+    }
+  }
+
+  out.truncation_batches = best_d;
+  out.truncation_index = best_d * batch_size;
+  out.mser_statistic = best;
+  out.truncated_mean =
+      suffix_sum[best_d] / static_cast<f64>(n_batches - best_d);
+  return out;
+}
+
+}  // namespace mobichk::des

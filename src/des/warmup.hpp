@@ -1,0 +1,30 @@
+// Warm-up (initial-transient) detection for steady-state output analysis.
+//
+// Implements MSER-5 (White 1997): batch the observation series into
+// groups of five, then pick the truncation point that minimizes the
+// standard error of the remaining batch means. Simulation folklore's
+// default answer to "how much of the run do I throw away before
+// averaging?" — used by the sweep engine's steady-state mode and
+// available standalone.
+#pragma once
+
+#include <vector>
+
+#include "des/types.hpp"
+
+namespace mobichk::des {
+
+struct MserResult {
+  usize truncation_batches = 0;  ///< Batches to discard from the front.
+  usize truncation_index = 0;    ///< Raw observations to discard.
+  f64 mser_statistic = 0.0;      ///< Standard error at the chosen point.
+  f64 truncated_mean = 0.0;      ///< Mean of what remains.
+};
+
+/// Runs MSER on `series` with the given batch size (5 = the classic
+/// MSER-5). Following standard practice the truncation point is
+/// constrained to the first half of the series; returns all-zero
+/// truncation for series shorter than 2 batches.
+MserResult mser(const std::vector<f64>& series, usize batch_size = 5);
+
+}  // namespace mobichk::des

@@ -1,0 +1,51 @@
+// Wireless cell-channel model (paper §2.1 point b: low bandwidth, high
+// channel contention).
+//
+// When a bandwidth is configured, every wireless transmission in a cell —
+// uplinks, downlinks and control messages alike — serializes through one
+// shared FIFO channel: a transmission of B bytes occupies the channel for
+// propagation + B / bandwidth, and starts only when the channel is free.
+// The model is a non-preemptive single server implemented as busy-until
+// bookkeeping, which is exact for FIFO service and needs no queue
+// objects. With bandwidth = 0 the channel is ideal (constant latency),
+// which reproduces the paper's fixed 0.01 tu figure.
+#pragma once
+
+#include "des/types.hpp"
+
+namespace mobichk::net {
+
+class CellChannel {
+ public:
+  /// Reserves the channel for a transmission of `service` time units
+  /// starting no earlier than `now`; returns the completion time.
+  des::Time reserve(des::Time now, f64 service) noexcept {
+    const des::Time start = busy_until_ > now ? busy_until_ : now;
+    busy_until_ = start + service;
+    busy_time_ += service;
+    queued_time_ += start - now;
+    ++transmissions_;
+    return busy_until_;
+  }
+
+  /// Total time the channel has carried transmissions.
+  f64 busy_time() const noexcept { return busy_time_; }
+
+  /// Total time transmissions spent waiting for the channel.
+  f64 queued_time() const noexcept { return queued_time_; }
+
+  u64 transmissions() const noexcept { return transmissions_; }
+
+  /// Fraction of [0, now] the channel was busy.
+  f64 utilization(des::Time now) const noexcept {
+    return now > 0.0 ? busy_time_ / now : 0.0;
+  }
+
+ private:
+  des::Time busy_until_ = 0.0;
+  f64 busy_time_ = 0.0;
+  f64 queued_time_ = 0.0;
+  u64 transmissions_ = 0;
+};
+
+}  // namespace mobichk::net

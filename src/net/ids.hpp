@@ -1,0 +1,19 @@
+// Identifier types for the mobile network substrate.
+#pragma once
+
+#include <limits>
+
+#include "des/types.hpp"
+
+namespace mobichk::net {
+
+/// Identifies a mobile host (MH); dense, 0-based.
+using HostId = u32;
+
+/// Identifies a mobile support station (MSS); dense, 0-based.
+using MssId = u32;
+
+/// Sentinel: "not attached to any MSS".
+inline constexpr MssId kNoMss = std::numeric_limits<MssId>::max();
+
+}  // namespace mobichk::net

@@ -1,0 +1,49 @@
+// Application-message representation, including the protocol piggyback.
+#pragma once
+
+#include <vector>
+
+#include "des/types.hpp"
+#include "net/ids.hpp"
+
+namespace mobichk::net {
+
+/// Protocol control information piggybacked on an application message.
+///
+/// This is a generic container covering the needs of every protocol in the
+/// suite: index-based protocols use `sn` only; the two-phase protocol (TP)
+/// uses the two transitive-dependency vectors; coordinated protocols may
+/// use `tag` for markers. `wire_bytes()` reports how much control data the
+/// message actually carries, which feeds the channel-overhead accounting
+/// the paper's section 2.2 motivates.
+struct Piggyback {
+  u64 sn = 0;               ///< Index-based protocols: sender's sequence number.
+  std::vector<u32> vec_a;   ///< TP: CKPT[] transitive dependency on checkpoint intervals.
+  std::vector<u32> vec_b;   ///< TP: LOC[] transitive dependency on MH locations.
+  u32 tag = 0;              ///< Protocol-specific marker / flag.
+  bool has_sn = false;      ///< Whether `sn` is meaningful (affects wire size).
+
+  /// Bytes of control information this piggyback adds on the wire.
+  usize wire_bytes() const noexcept {
+    usize bytes = 0;
+    if (has_sn) bytes += sizeof(u64);
+    bytes += (vec_a.size() + vec_b.size()) * sizeof(u32);
+    if (tag != 0) bytes += sizeof(u32);
+    return bytes;
+  }
+};
+
+/// An application message in flight or in a mailbox.
+struct AppMessage {
+  u64 id = 0;               ///< Globally unique message id.
+  HostId src = 0;
+  HostId dst = 0;
+  u32 payload_bytes = 0;    ///< Application payload size (excl. piggyback).
+  des::Time sent_at = 0.0;
+  u64 send_pos = 0;         ///< Sender's event position at send (consistency oracle).
+  Piggyback pb;
+
+  usize wire_bytes() const noexcept { return payload_bytes + pb.wire_bytes(); }
+};
+
+}  // namespace mobichk::net

@@ -1,0 +1,53 @@
+// Mobile host (MH) state: attachment, connectivity, mailbox, and the
+// per-host event-position counter used by the consistency oracle.
+//
+// MobileHost is mechanism-only. Policy — when to send, when to move, when
+// to disconnect — is driven by the workload and mobility models in
+// src/sim/, which call the corresponding Network operations.
+#pragma once
+
+#include <deque>
+#include <unordered_set>
+
+#include "des/types.hpp"
+#include "net/ids.hpp"
+#include "net/message.hpp"
+
+namespace mobichk::net {
+
+class Network;
+
+class MobileHost {
+ public:
+  MobileHost(HostId id, MssId initial_mss) noexcept : id_(id), mss_(initial_mss) {}
+
+  HostId id() const noexcept { return id_; }
+
+  /// Current MSS while connected; last MSS while disconnected.
+  MssId mss() const noexcept { return mss_; }
+
+  bool connected() const noexcept { return connected_; }
+
+  /// Number of messages delivered but not yet consumed by the application.
+  usize mailbox_size() const noexcept { return mailbox_.size(); }
+
+  /// Monotonic per-host event position; advanced once per application
+  /// event (internal, send, receive). Checkpoints record the position at
+  /// which they were taken, which lets the oracle decide whether a message
+  /// crosses a cut.
+  u64 event_pos() const noexcept { return event_pos_; }
+
+ private:
+  friend class Network;
+
+  u64 advance_pos() noexcept { return ++event_pos_; }
+
+  HostId id_;
+  MssId mss_;
+  bool connected_ = true;
+  u64 event_pos_ = 0;
+  std::deque<AppMessage> mailbox_;
+  std::unordered_set<u64> seen_ids_;  ///< Transport dedup (only fed when duplication is on).
+};
+
+}  // namespace mobichk::net

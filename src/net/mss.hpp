@@ -1,0 +1,62 @@
+// Mobile support station (MSS): the fixed, wired-side agent of a cell.
+//
+// In this substrate the MSS's visible responsibilities are (i) buffering
+// application messages addressed to disconnected hosts until they
+// reconnect, and (ii) serving as the stable-storage site for checkpoints
+// (the storage model itself lives in core/storage.hpp and is keyed by
+// MssId). Routing decisions are made by Network using the location
+// directory.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "des/types.hpp"
+#include "net/ids.hpp"
+#include "net/message.hpp"
+
+namespace mobichk::net {
+
+class Mss {
+ public:
+  explicit Mss(MssId id) noexcept : id_(id) {}
+
+  MssId id() const noexcept { return id_; }
+
+  /// Queues a message for a disconnected host.
+  void buffer_message(HostId host, AppMessage msg) {
+    buffers_[host].push_back(std::move(msg));
+    ++messages_buffered_;
+  }
+
+  /// Removes and returns all messages buffered for `host` (FIFO order).
+  std::vector<AppMessage> drain_buffer(HostId host) {
+    auto it = buffers_.find(host);
+    if (it == buffers_.end()) return {};
+    std::vector<AppMessage> out(std::make_move_iterator(it->second.begin()),
+                                std::make_move_iterator(it->second.end()));
+    buffers_.erase(it);
+    return out;
+  }
+
+  usize buffered_count(HostId host) const {
+    const auto it = buffers_.find(host);
+    return it == buffers_.end() ? 0 : it->second.size();
+  }
+
+  /// Lifetime count of messages ever buffered at this MSS.
+  u64 messages_buffered() const noexcept { return messages_buffered_; }
+
+  /// Lifetime count of messages this MSS routed onward (updated by Network).
+  u64 messages_routed() const noexcept { return messages_routed_; }
+  void note_routed() noexcept { ++messages_routed_; }
+
+ private:
+  MssId id_;
+  std::unordered_map<HostId, std::deque<AppMessage>> buffers_;
+  u64 messages_buffered_ = 0;
+  u64 messages_routed_ = 0;
+};
+
+}  // namespace mobichk::net

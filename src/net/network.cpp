@@ -1,0 +1,264 @@
+#include "net/network.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace mobichk::net {
+
+void NetworkConfig::validate() const {
+  if (n_hosts < 2) throw std::invalid_argument("NetworkConfig: need at least 2 hosts");
+  if (n_mss < 1) throw std::invalid_argument("NetworkConfig: need at least 1 MSS");
+  if (wireless_latency < 0.0 || wired_latency < 0.0) {
+    throw std::invalid_argument("NetworkConfig: negative latency");
+  }
+  if (duplicate_prob < 0.0 || duplicate_prob >= 1.0) {
+    throw std::invalid_argument("NetworkConfig: duplicate_prob must be in [0, 1)");
+  }
+  if (wireless_bandwidth < 0.0) {
+    throw std::invalid_argument("NetworkConfig: negative wireless bandwidth");
+  }
+}
+
+Network::Network(des::Simulator& sim, NetworkConfig cfg, u64 seed, des::TraceSink* sink)
+    : sim_(sim),
+      cfg_(cfg),
+      sink_(sink != nullptr ? sink : &null_sink_),
+      channel_rng_(seed, "net.channel"),
+      topology_(cfg.mss_topology, cfg.n_mss) {
+  cfg_.validate();
+  hosts_.reserve(cfg_.n_hosts);
+  mss_.reserve(cfg_.n_mss);
+  for (MssId m = 0; m < cfg_.n_mss; ++m) mss_.emplace_back(m);
+  channels_.resize(cfg_.n_mss);
+  for (HostId h = 0; h < cfg_.n_hosts; ++h) {
+    hosts_.emplace_back(h, static_cast<MssId>(h % cfg_.n_mss));
+  }
+}
+
+void Network::start() {
+  std::vector<MssId> placement(cfg_.n_hosts);
+  for (HostId h = 0; h < cfg_.n_hosts; ++h) placement[h] = static_cast<MssId>(h % cfg_.n_mss);
+  start(placement);
+}
+
+void Network::start(const std::vector<MssId>& placement) {
+  if (started_) throw std::logic_error("Network::start called twice");
+  if (placement.size() != cfg_.n_hosts) {
+    throw std::invalid_argument("Network::start: placement size mismatch");
+  }
+  if (handler_ == nullptr) throw std::logic_error("Network::start: no handler installed");
+  for (HostId h = 0; h < cfg_.n_hosts; ++h) {
+    if (placement[h] >= cfg_.n_mss) throw std::invalid_argument("Network::start: bad MSS id");
+    hosts_[h].mss_ = placement[h];
+  }
+  started_ = true;
+  for (auto& host : hosts_) handler_->on_host_init(host);
+}
+
+f64 Network::wireless_delay(MssId cell, usize bytes) {
+  if (cfg_.wireless_bandwidth <= 0.0) return cfg_.wireless_latency;
+  const f64 service =
+      cfg_.wireless_latency + static_cast<f64>(bytes) / cfg_.wireless_bandwidth;
+  return channels_.at(cell).reserve(sim_.now(), service) - sim_.now();
+}
+
+void Network::wired_forward(MssId from, MssId to, AppMessage msg) {
+  const u32 hops = topology_.hops(from, to);
+  stats_.wired_hops += hops;
+  sim_.schedule_after(cfg_.wired_latency * static_cast<f64>(hops),
+                      [this, to, msg = std::move(msg)]() mutable {
+                        msg_at_mss(to, std::move(msg), /*targeted=*/true);
+                      });
+}
+
+void Network::occupy_control(MssId cell) {
+  if (cfg_.wireless_bandwidth <= 0.0) return;
+  const f64 service = cfg_.wireless_latency +
+                      static_cast<f64>(cfg_.control_message_bytes) / cfg_.wireless_bandwidth;
+  channels_.at(cell).reserve(sim_.now(), service);
+}
+
+void Network::trace(des::TraceKind kind, u32 actor, u64 a, u64 b) {
+  sink_->record(des::TraceRecord{sim_.now(), actor, kind, a, b});
+}
+
+void Network::internal_event(HostId host_id) { internal_events(host_id, 1); }
+
+void Network::internal_events(HostId host_id, u64 count) {
+  if (count == 0) return;
+  MobileHost& h = hosts_.at(host_id);
+  for (u64 i = 0; i < count; ++i) h.advance_pos();
+  trace(des::TraceKind::kInternalEvent, host_id, h.event_pos(), count);
+}
+
+void Network::send_app_message(HostId src, HostId dst, u32 payload_bytes) {
+  MobileHost& s = hosts_.at(src);
+  assert(s.connected() && "disconnected hosts cannot send");
+  assert(dst < cfg_.n_hosts && dst != src);
+
+  AppMessage msg;
+  msg.id = next_msg_id_++;
+  msg.src = src;
+  msg.dst = dst;
+  msg.payload_bytes = payload_bytes;
+  msg.sent_at = sim_.now();
+  // The handler runs while event_pos() still names the last event *before*
+  // this send, so a protocol that checkpoints on send produces a cut that
+  // excludes the send. The send event then takes the next position.
+  handler_->on_send(s, msg);
+  msg.send_pos = s.advance_pos();
+
+  trace(des::TraceKind::kSend, src, msg.id, dst);
+  ++stats_.app_sent;
+  ++stats_.wireless_messages;  // MH -> MSS uplink.
+  stats_.payload_bytes += payload_bytes;
+  stats_.piggyback_bytes += msg.pb.wire_bytes();
+
+  const MssId src_mss = s.mss();
+  const f64 uplink = wireless_delay(src_mss, msg.wire_bytes());
+  sim_.schedule_after(uplink, [this, src_mss, msg = std::move(msg)]() mutable {
+    // Location search: modeled as extra wired hops before forwarding.
+    if (cfg_.location_search_hops > 0) {
+      stats_.wired_hops += cfg_.location_search_hops;
+      const f64 delay = cfg_.wired_latency * static_cast<f64>(cfg_.location_search_hops);
+      sim_.schedule_after(delay, [this, src_mss, msg = std::move(msg)]() mutable {
+        msg_at_mss(src_mss, std::move(msg), /*targeted=*/false);
+      });
+    } else {
+      msg_at_mss(src_mss, std::move(msg), /*targeted=*/false);
+    }
+  });
+}
+
+void Network::msg_at_mss(MssId at, AppMessage msg, bool targeted) {
+  mss_.at(at).note_routed();
+  MobileHost& d = hosts_.at(msg.dst);
+  if (!d.connected()) {
+    if (d.mss() == at) {
+      mss_.at(at).buffer_message(msg.dst, std::move(msg));
+    } else {
+      // Forward to the destination's last MSS, which buffers.
+      wired_forward(at, d.mss(), std::move(msg));
+    }
+    return;
+  }
+  if (d.mss() != at) {
+    // We expected the destination here and it moved: that is a chase.
+    // From the source's own MSS it is just the normal routing hop.
+    if (targeted) ++stats_.chase_forwards;
+    wired_forward(at, d.mss(), std::move(msg));
+    return;
+  }
+  // Destination is attached here: wireless downlink.
+  ++stats_.wireless_messages;
+  const MssId from = at;
+  const f64 downlink = wireless_delay(at, msg.wire_bytes());
+  sim_.schedule_after(downlink, [this, from, msg = std::move(msg)]() mutable {
+    deliver_to_host(from, std::move(msg), /*is_duplicate=*/false);
+  });
+}
+
+void Network::deliver_to_host(MssId from_mss, AppMessage msg, bool is_duplicate) {
+  MobileHost& d = hosts_.at(msg.dst);
+  if (!d.connected()) {
+    // Disconnected during the wireless leg: the MSS retains the message.
+    mss_.at(from_mss).buffer_message(msg.dst, std::move(msg));
+    return;
+  }
+  if (d.mss() != from_mss) {
+    // Moved during the wireless leg: the old MSS re-routes.
+    ++stats_.chase_forwards;
+    wired_forward(from_mss, d.mss(), std::move(msg));
+    return;
+  }
+  // At-least-once transport: the delivery may be duplicated.
+  if (!is_duplicate && cfg_.duplicate_prob > 0.0 &&
+      des::bernoulli(channel_rng_, cfg_.duplicate_prob)) {
+    ++stats_.duplicates_generated;
+    ++stats_.wireless_messages;
+    AppMessage copy = msg;
+    const f64 redelivery = wireless_delay(from_mss, copy.wire_bytes());
+    sim_.schedule_after(redelivery, [this, from_mss, copy = std::move(copy)]() mutable {
+      deliver_to_host(from_mss, std::move(copy), /*is_duplicate=*/true);
+    });
+  }
+  if (cfg_.duplicate_prob > 0.0 && cfg_.transport_dedup) {
+    if (!d.seen_ids_.insert(msg.id).second) {
+      ++stats_.duplicates_suppressed;
+      return;
+    }
+  }
+  trace(des::TraceKind::kDeliver, msg.dst, msg.id, msg.src);
+  ++stats_.app_delivered;
+  stats_.delivery_latency.add(sim_.now() - msg.sent_at);
+  d.mailbox_.push_back(std::move(msg));
+}
+
+bool Network::consume_one(HostId host_id) {
+  MobileHost& h = hosts_.at(host_id);
+  if (h.mailbox_.empty()) return false;
+  AppMessage msg = std::move(h.mailbox_.front());
+  h.mailbox_.pop_front();
+  // The protocol reacts (and possibly checkpoints) *before* the receive
+  // event occupies its position, so a forced checkpoint excludes the
+  // message being processed (no orphan by construction).
+  handler_->on_receive(h, msg);
+  h.advance_pos();
+  trace(des::TraceKind::kReceive, host_id, msg.id, msg.src);
+  ++stats_.app_received;
+  return true;
+}
+
+void Network::switch_cell(HostId host_id, MssId new_mss) {
+  MobileHost& h = hosts_.at(host_id);
+  assert(h.connected() && "cannot hand off a disconnected host");
+  assert(new_mss < cfg_.n_mss && new_mss != h.mss());
+  const MssId old_mss = h.mss();
+  // Handoff protocol: one message to the MSS being left, one to the new
+  // current MSS (paper §5.1).
+  stats_.control_messages += 2;
+  stats_.wireless_messages += 2;
+  ++stats_.handoffs;
+  occupy_control(old_mss);
+  occupy_control(new_mss);
+  h.mss_ = new_mss;
+  trace(des::TraceKind::kHandoff, host_id, old_mss, new_mss);
+  handler_->on_cell_switch(h, old_mss, new_mss);
+}
+
+void Network::disconnect(HostId host_id) {
+  MobileHost& h = hosts_.at(host_id);
+  assert(h.connected() && "already disconnected");
+  // Disconnection protocol: one message to the current MSS (paper §5.1).
+  stats_.control_messages += 1;
+  stats_.wireless_messages += 1;
+  ++stats_.disconnects;
+  occupy_control(h.mss());
+  trace(des::TraceKind::kDisconnect, host_id, h.mss());
+  // The basic checkpoint is taken while still attached.
+  handler_->on_disconnect(h);
+  h.connected_ = false;
+}
+
+void Network::reconnect(HostId host_id, MssId new_mss) {
+  MobileHost& h = hosts_.at(host_id);
+  assert(!h.connected() && "already connected");
+  assert(new_mss < cfg_.n_mss);
+  const MssId last_mss = h.mss();
+  stats_.control_messages += 1;
+  stats_.wireless_messages += 1;
+  ++stats_.reconnects;
+  occupy_control(new_mss);
+  h.connected_ = true;
+  h.mss_ = new_mss;
+  trace(des::TraceKind::kReconnect, host_id, last_mss, new_mss);
+  handler_->on_reconnect(h, new_mss);
+  // Messages that waited out the disconnection now flow to the new cell.
+  auto pending = mss_.at(last_mss).drain_buffer(host_id);
+  stats_.buffered_deliveries += pending.size();
+  for (auto& msg : pending) {
+    msg_at_mss(last_mss, std::move(msg), /*targeted=*/false);
+  }
+}
+
+}  // namespace mobichk::net

@@ -1,0 +1,174 @@
+// The mobile network substrate: MHs, MSSs, cells, channels, routing.
+//
+// Model (paper §3 and §5.1):
+//  * Every MH is attached to exactly one MSS (its cell) while connected.
+//  * Application messages travel MH -> current MSS (wireless, 0.01 tu),
+//    are located and forwarded over the wired network (0.01 tu per MSS-MSS
+//    hop), and descend MSS -> MH (wireless, 0.01 tu).
+//  * The transport guarantees at-least-once delivery: the wireless leg may
+//    duplicate (configurable probability); the host transport layer
+//    deduplicates unless configured to expose duplicates.
+//  * Handoff costs two control messages (old MSS, new MSS); a voluntary
+//    disconnection costs one. Messages addressed to a disconnected MH are
+//    buffered at its last MSS and forwarded when it reconnects.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "des/distributions.hpp"
+#include "des/stats.hpp"
+#include "des/rng.hpp"
+#include "des/simulator.hpp"
+#include "des/trace.hpp"
+#include "des/types.hpp"
+#include "net/channel.hpp"
+#include "net/handler.hpp"
+#include "net/ids.hpp"
+#include "net/message.hpp"
+#include "net/mobile_host.hpp"
+#include "net/mss.hpp"
+#include "net/topology.hpp"
+
+namespace mobichk::net {
+
+/// Static parameters of the network substrate.
+struct NetworkConfig {
+  u32 n_hosts = 10;             ///< Paper: 10 MHs.
+  u32 n_mss = 5;                ///< Paper: 5 MSSs.
+  f64 wireless_latency = 0.01;  ///< MH <-> MSS hop (paper: 0.01 tu).
+  f64 wired_latency = 0.01;     ///< MSS <-> MSS transfer (paper: 0.01 tu).
+  u32 location_search_hops = 0; ///< Extra wired hops to locate a recipient.
+  f64 duplicate_prob = 0.0;     ///< Per-delivery duplication probability.
+  bool transport_dedup = true;  ///< Suppress duplicates before the app sees them.
+  /// Wireless cell bandwidth in bytes per time unit; 0 = ideal channel
+  /// (constant latency, the paper's model). When positive, every
+  /// transmission in a cell serializes through a shared FIFO channel and
+  /// occupies it for wireless_latency + bytes / bandwidth.
+  f64 wireless_bandwidth = 0.0;
+  u32 control_message_bytes = 64;  ///< Size of handoff/disconnect messages.
+  /// Shape of the wired network between MSSs; non-adjacent MSSs pay
+  /// wired_latency per hop (paper: "transfer between adjacent MSSs").
+  MssTopologyKind mss_topology = MssTopologyKind::kFullMesh;
+
+  void validate() const;
+};
+
+/// Aggregate substrate statistics for one run.
+struct NetworkStats {
+  u64 app_sent = 0;
+  u64 app_delivered = 0;       ///< Placed into a mailbox.
+  u64 app_received = 0;        ///< Consumed by the application.
+  u64 control_messages = 0;    ///< Handoff + disconnect + reconnect messages.
+  u64 wireless_messages = 0;   ///< Every wireless hop, app + control.
+  u64 wired_hops = 0;          ///< Every MSS-MSS transfer.
+  u64 handoffs = 0;
+  u64 disconnects = 0;
+  u64 reconnects = 0;
+  u64 chase_forwards = 0;      ///< Re-forwards caused by in-flight mobility.
+  u64 buffered_deliveries = 0; ///< Deliveries that waited out a disconnection.
+  u64 duplicates_generated = 0;
+  u64 duplicates_suppressed = 0;
+  u64 payload_bytes = 0;
+  u64 piggyback_bytes = 0;     ///< Control information carried on app messages.
+  des::Tally delivery_latency; ///< Send-to-mailbox latency of app messages.
+};
+
+/// The network substrate. Owns hosts, MSSs, the location directory, and
+/// the channel model; mechanisms only (policy lives in src/sim/).
+class Network {
+ public:
+  /// `seed` feeds the channel randomness (duplication). `sink` may be
+  /// nullptr to discard traces.
+  Network(des::Simulator& sim, NetworkConfig cfg, u64 seed, des::TraceSink* sink = nullptr);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Installs the checkpointing-layer upcall handler. Must be called
+  /// before start().
+  void set_handler(HostEventHandler* handler) noexcept { handler_ = handler; }
+
+  /// Places hosts round-robin over MSSs and fires on_host_init upcalls.
+  void start();
+
+  /// Places hosts per `placement` (size n_hosts) and fires on_host_init.
+  void start(const std::vector<MssId>& placement);
+
+  // -- topology access -------------------------------------------------
+  u32 n_hosts() const noexcept { return cfg_.n_hosts; }
+  u32 n_mss() const noexcept { return cfg_.n_mss; }
+  MobileHost& host(HostId id) { return hosts_.at(id); }
+  const MobileHost& host(HostId id) const { return hosts_.at(id); }
+  Mss& mss(MssId id) { return mss_.at(id); }
+  const Mss& mss(MssId id) const { return mss_.at(id); }
+  /// Contention statistics of a cell's wireless channel (meaningful when
+  /// wireless_bandwidth > 0; otherwise all-zero).
+  const CellChannel& channel(MssId id) const { return channels_.at(id); }
+  const MssTopology& topology() const noexcept { return topology_; }
+  des::Simulator& sim() noexcept { return sim_; }
+  const NetworkConfig& config() const noexcept { return cfg_; }
+  const NetworkStats& stats() const noexcept { return stats_; }
+
+  // -- application operations (driven by the workload model) -----------
+
+  /// Executes an internal event at `host` (advances its event position).
+  void internal_event(HostId host);
+
+  /// Executes `count` consecutive internal events at `host` in one step
+  /// (used by the workload to fill inter-communication gaps cheaply).
+  void internal_events(HostId host, u64 count);
+
+  /// Sends an application message; the handler fills the piggyback.
+  /// Pre: the source host is connected.
+  void send_app_message(HostId src, HostId dst, u32 payload_bytes);
+
+  /// Consumes the oldest delivered message at `host`, invoking the
+  /// handler's on_receive first. Returns false if the mailbox is empty.
+  bool consume_one(HostId host);
+
+  // -- mobility operations (driven by the mobility model) --------------
+
+  /// Hands `host` off to `new_mss` (two control messages; basic
+  /// checkpoint upcall). Pre: connected, new_mss != current.
+  void switch_cell(HostId host, MssId new_mss);
+
+  /// Voluntarily disconnects `host` (one control message; basic
+  /// checkpoint upcall). Pre: connected.
+  void disconnect(HostId host);
+
+  /// Reconnects `host` at `new_mss`; buffered messages are forwarded.
+  /// Pre: disconnected.
+  void reconnect(HostId host, MssId new_mss);
+
+ private:
+  /// `targeted` is true when `at` was chosen because the destination was
+  /// believed to be there (so finding it gone is a chase, not routing).
+  void msg_at_mss(MssId at, AppMessage msg, bool targeted = false);
+  /// Delay of a wireless transmission of `bytes` in `cell`, reserving the
+  /// shared channel when a bandwidth is configured.
+  f64 wireless_delay(MssId cell, usize bytes);
+  /// Accounts a control message's channel occupancy (no delivery delay).
+  void occupy_control(MssId cell);
+  /// Schedules the wired transfer of `msg` from `from` to `to`, paying
+  /// one wired_latency per hop, then re-runs msg_at_mss at the target.
+  void wired_forward(MssId from, MssId to, AppMessage msg);
+  void deliver_to_host(MssId from_mss, AppMessage msg, bool is_duplicate);
+  void trace(des::TraceKind kind, u32 actor, u64 a = 0, u64 b = 0);
+
+  des::Simulator& sim_;
+  NetworkConfig cfg_;
+  HostEventHandler* handler_ = nullptr;
+  des::NullSink null_sink_;
+  des::TraceSink* sink_;
+  des::RngStream channel_rng_;
+  MssTopology topology_;
+  std::vector<MobileHost> hosts_;
+  std::vector<Mss> mss_;
+  std::vector<CellChannel> channels_;
+  NetworkStats stats_;
+  u64 next_msg_id_ = 1;
+  bool started_ = false;
+};
+
+}  // namespace mobichk::net

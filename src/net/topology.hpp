@@ -1,0 +1,45 @@
+// Wired-network topology between MSSs.
+//
+// The paper prices "message transfer between adjacent MSSs" — i.e. the
+// wired network is a graph and non-adjacent MSSs pay per-hop. This
+// module provides the usual fixed topologies with precomputed all-pairs
+// hop counts; kFullMesh (every pair adjacent) reproduces the single-hop
+// model most analyses assume.
+#pragma once
+
+#include <vector>
+
+#include "des/types.hpp"
+#include "net/ids.hpp"
+
+namespace mobichk::net {
+
+enum class MssTopologyKind : u8 {
+  kFullMesh,  ///< Every MSS pair is adjacent (1 hop).
+  kRing,      ///< MSS i adjacent to (i±1) mod n.
+  kLine,      ///< A chain: i adjacent to i±1.
+  kStar,      ///< MSS 0 is the hub; everyone else is a leaf.
+};
+
+const char* mss_topology_name(MssTopologyKind kind) noexcept;
+
+class MssTopology {
+ public:
+  MssTopology(MssTopologyKind kind, u32 n_mss);
+
+  MssTopologyKind kind() const noexcept { return kind_; }
+  u32 n_mss() const noexcept { return static_cast<u32>(dist_.size()); }
+
+  /// Wired hops between two MSSs (0 when a == b).
+  u32 hops(MssId a, MssId b) const { return dist_.at(a).at(b); }
+
+  /// Longest shortest path in the topology.
+  u32 diameter() const noexcept { return diameter_; }
+
+ private:
+  MssTopologyKind kind_;
+  std::vector<std::vector<u32>> dist_;
+  u32 diameter_ = 0;
+};
+
+}  // namespace mobichk::net

@@ -1,0 +1,51 @@
+#include "sim/cli.hpp"
+
+#include <stdexcept>
+
+namespace mobichk::sim {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+std::string ArgParser::get_string(const std::string& key, const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+f64 ArgParser::get_f64(const std::string& key, f64 fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::stod(it->second);
+}
+
+u64 ArgParser::get_u64(const std::string& key, u64 fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::stoull(it->second);
+}
+
+u32 ArgParser::get_u32(const std::string& key, u32 fallback) const {
+  return static_cast<u32>(get_u64(key, fallback));
+}
+
+bool ArgParser::get_flag(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return false;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace mobichk::sim

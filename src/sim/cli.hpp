@@ -1,0 +1,34 @@
+// Minimal command-line argument parsing for the examples and benches.
+// Supports "--key=value", "--key value" and boolean "--flag".
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "des/types.hpp"
+
+namespace mobichk::sim {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const { return values_.contains(key); }
+
+  std::string get_string(const std::string& key, const std::string& fallback) const;
+  f64 get_f64(const std::string& key, f64 fallback) const;
+  u64 get_u64(const std::string& key, u64 fallback) const;
+  u32 get_u32(const std::string& key, u32 fallback) const;
+  bool get_flag(const std::string& key) const;
+
+  /// Positional (non --key) arguments, in order.
+  const std::vector<std::string>& positional() const noexcept { return positional_; }
+
+ private:
+  std::unordered_map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mobichk::sim

@@ -1,0 +1,51 @@
+#include "sim/config.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mobichk::sim {
+
+const char* mobility_model_name(MobilityModelKind kind) noexcept {
+  switch (kind) {
+    case MobilityModelKind::kPaperUniform: return "paper-uniform";
+    case MobilityModelKind::kRingNeighbor: return "ring-neighbor";
+    case MobilityModelKind::kParetoResidence: return "pareto-residence";
+  }
+  return "?";
+}
+
+u32 SimConfig::fast_host_count() const noexcept {
+  return static_cast<u32>(
+      std::llround(heterogeneity * static_cast<f64>(network.n_hosts)));
+}
+
+f64 SimConfig::residence_mean_for(net::HostId host) const noexcept {
+  return host < fast_host_count() ? t_switch / fast_factor : t_switch;
+}
+
+void SimConfig::validate() const {
+  network.validate();
+  if (sim_length <= 0.0) throw std::invalid_argument("SimConfig: sim_length must be positive");
+  if (internal_mean <= 0.0) throw std::invalid_argument("SimConfig: internal_mean must be positive");
+  if (comm_mean <= 0.0) throw std::invalid_argument("SimConfig: comm_mean must be positive");
+  if (p_send < 0.0 || p_send > 1.0) throw std::invalid_argument("SimConfig: p_send out of [0,1]");
+  if (t_switch <= 0.0) throw std::invalid_argument("SimConfig: t_switch must be positive");
+  if (p_switch < 0.0 || p_switch > 1.0) throw std::invalid_argument("SimConfig: p_switch out of [0,1]");
+  if (disconnect_residence_divisor <= 0.0) {
+    throw std::invalid_argument("SimConfig: disconnect_residence_divisor must be positive");
+  }
+  if (disconnect_mean <= 0.0) throw std::invalid_argument("SimConfig: disconnect_mean must be positive");
+  if (heterogeneity < 0.0 || heterogeneity > 1.0) {
+    throw std::invalid_argument("SimConfig: heterogeneity out of [0,1]");
+  }
+  if (fast_factor < 1.0) throw std::invalid_argument("SimConfig: fast_factor must be >= 1");
+  if (ckpt_latency < 0.0) throw std::invalid_argument("SimConfig: ckpt_latency must be >= 0");
+  if (p_switch < 1.0 && network.n_mss < 1) {
+    throw std::invalid_argument("SimConfig: disconnections need an MSS to buffer at");
+  }
+  if (network.n_mss < 2 && p_switch > 0.0) {
+    throw std::invalid_argument("SimConfig: cell switches need at least 2 MSSs");
+  }
+}
+
+}  // namespace mobichk::sim

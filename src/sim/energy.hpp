@@ -1,0 +1,56 @@
+// Mobile-host energy accounting (paper §2.1 point e).
+//
+// Converts a run's substrate and protocol statistics into an energy
+// estimate for the MH radios: payload traffic, piggybacked control
+// information, dedicated control messages, and checkpoint-state uploads
+// each get their own line, so protocols can be compared on the resource
+// the paper says checkpointing must conserve.
+//
+// The default coefficients are ballpark figures for an early-2000s WLAN
+// radio (~1 uJ per transmitted byte, half that on receive, a fixed
+// wake-up cost per message) — absolute values are not the point, the
+// per-protocol *differences* are.
+#pragma once
+
+#include "des/types.hpp"
+#include "net/network.hpp"
+#include "sim/experiment.hpp"
+
+namespace mobichk::sim {
+
+struct EnergyConfig {
+  f64 tx_per_byte = 1.0e-6;        ///< J per byte transmitted by an MH.
+  f64 rx_per_byte = 0.5e-6;        ///< J per byte received by an MH.
+  f64 per_message = 1.0e-4;        ///< Radio wake-up cost per wireless message.
+  f64 per_checkpoint = 2.0e-3;     ///< Fixed cost to assemble/cut one checkpoint.
+  u32 control_message_bytes = 64;  ///< Size of a dedicated control message.
+
+  void validate() const;
+};
+
+/// Energy spent by all MHs together over one run, split by cause.
+struct EnergyBreakdown {
+  f64 app_payload = 0.0;       ///< Application bytes, sent + received.
+  f64 control_info = 0.0;      ///< Piggybacked checkpointing information.
+  f64 control_messages = 0.0;  ///< Dedicated messages (handoff, markers, ...).
+  f64 checkpoint_upload = 0.0; ///< State transferred to MSS stable storage.
+  f64 message_overhead = 0.0;  ///< Per-message radio wake-ups.
+
+  f64 total() const noexcept {
+    return app_payload + control_info + control_messages + checkpoint_upload + message_overhead;
+  }
+
+  /// Energy attributable to checkpointing alone (everything the protocol
+  /// adds on top of the application's own traffic).
+  f64 checkpointing_total() const noexcept {
+    return control_info + control_messages + checkpoint_upload;
+  }
+};
+
+/// Estimates the fleet-wide energy of one protocol's run. `stats` is the
+/// substrate's view (shared across paired protocols); `protocol` supplies
+/// the per-protocol piggyback/control/storage numbers.
+EnergyBreakdown estimate_energy(const EnergyConfig& cfg, const net::NetworkStats& stats,
+                                const ProtocolRunStats& protocol);
+
+}  // namespace mobichk::sim

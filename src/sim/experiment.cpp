@@ -1,0 +1,122 @@
+#include "sim/experiment.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/recovery.hpp"
+
+namespace mobichk::sim {
+
+const ProtocolRunStats& RunResult::by_name(const std::string& name) const {
+  for (const auto& p : protocols) {
+    if (p.name == name) return p;
+  }
+  throw std::out_of_range("RunResult::by_name: no protocol named " + name);
+}
+
+Experiment::Experiment(SimConfig cfg, ExperimentOptions opts)
+    : cfg_(cfg), opts_(std::move(opts)) {
+  cfg_.validate();
+  if (opts_.protocols.empty()) {
+    throw std::invalid_argument("ExperimentOptions: need at least one protocol");
+  }
+  if (opts_.collect_trace_hash) hash_sink_ = std::make_unique<des::HashSink>();
+  sim_ = std::make_unique<des::Simulator>(opts_.queue_kind);
+  net_ = std::make_unique<net::Network>(*sim_, cfg_.network, cfg_.seed, hash_sink_.get());
+  harness_ = std::make_unique<core::ProtocolHarness>(*net_, hash_sink_.get());
+  core::ProtocolParams params = opts_.params;
+  params.uncoordinated_seed = cfg_.seed;
+  for (const auto kind : opts_.protocols) {
+    harness_->add_protocol(core::make_protocol(kind, params),
+                           opts_.with_storage ? &opts_.storage : nullptr);
+  }
+  if (cfg_.network.duplicate_prob > 0.0 && !cfg_.network.transport_dedup) {
+    harness_->retain_piggybacks(true);
+  }
+  workload_ = std::make_unique<WorkloadDriver>(*sim_, *net_, cfg_);
+  if (cfg_.ckpt_latency > 0.0) workload_->set_latency_probe(&harness_->log(0));
+  mobility_ = std::make_unique<MobilityDriver>(*sim_, *net_, cfg_, workload_.get());
+}
+
+void Experiment::run() {
+  if (ran_) throw std::logic_error("Experiment::run called twice");
+  ran_ = true;
+  net_->start();
+  workload_->start();
+  mobility_->start();
+  sim_->run_until(cfg_.sim_length);
+
+  result_.cfg = cfg_;
+  result_.net = net_->stats();
+  result_.events_executed = sim_->events_executed();
+  result_.workload_ops = workload_->ops_executed();
+  result_.trace_hash = hash_sink_ != nullptr ? hash_sink_->hash() : 0;
+  result_.protocols.clear();
+  result_.protocols.reserve(opts_.protocols.size());
+  for (usize slot = 0; slot < harness_->protocol_count(); ++slot) {
+    const core::CheckpointLog& log = harness_->log(slot);
+    ProtocolRunStats stats;
+    stats.name = harness_->protocol(slot).name();
+    stats.kind = opts_.protocols[slot];
+    stats.total = log.total();
+    stats.n_tot = log.n_tot();
+    stats.basic = log.basic();
+    stats.forced = log.forced();
+    stats.initial = log.initial();
+    stats.max_index = log.max_sn();
+    stats.piggyback_bytes = harness_->piggyback_bytes(slot);
+    stats.control_messages = harness_->protocol(slot).control_messages();
+    if (const core::StorageModel* storage = harness_->storage(slot)) {
+      stats.storage_wireless_bytes = storage->wireless_bytes();
+      stats.storage_wired_bytes = storage->wired_transfer_bytes();
+      stats.storage_transfers = storage->transfers();
+    }
+    if (opts_.verify_consistency) verify_slot(slot, stats);
+    result_.protocols.push_back(std::move(stats));
+  }
+}
+
+void Experiment::verify_slot(usize slot, ProtocolRunStats& stats) {
+  const core::CheckpointLog& log = harness_->log(slot);
+  const core::MessageLog& messages = harness_->message_log();
+  const std::vector<u64> current = harness_->current_positions();
+  const core::ProtocolKind kind = opts_.protocols[slot];
+
+  if (kind == core::ProtocolKind::kBasicOnly || kind == core::ProtocolKind::kUncoordinated) {
+    // These classes build no recovery line on the fly; the rollback
+    // machinery (core/recovery.hpp) is their recovery story.
+    return;
+  }
+
+  if (kind == core::ProtocolKind::kTp) {
+    // Sample checkpoints as anchors, newest first per host.
+    usize budget = opts_.verify_max_lines;
+    for (net::HostId h = 0; h < log.n_hosts() && budget > 0; ++h) {
+      const auto& records = log.of(h);
+      for (auto it = records.rbegin(); it != records.rend() && budget > 0; ++it, --budget) {
+        const auto cut = core::tp_recovery_line(log, *it, current);
+        ++stats.lines_checked;
+        stats.orphans_found += core::find_orphans(messages, cut).size();
+      }
+    }
+    return;
+  }
+
+  // Index-based: sample indices evenly across [0, max_sn].
+  const u64 max_index = log.max_sn();
+  const auto rule = core::recovery_rule_for(kind);
+  const u64 step = std::max<u64>(1, (max_index + 1) / opts_.verify_max_lines);
+  for (u64 m = 0; m <= max_index; m += step) {
+    const auto cut = core::index_recovery_line(log, m, rule, current);
+    ++stats.lines_checked;
+    stats.orphans_found += core::find_orphans(messages, cut).size();
+  }
+}
+
+RunResult run_experiment(const SimConfig& cfg, const ExperimentOptions& opts) {
+  Experiment exp(cfg, opts);
+  exp.run();
+  return exp.result();
+}
+
+}  // namespace mobichk::sim

@@ -1,0 +1,106 @@
+// A single end-to-end simulation run: network + protocols (as paired
+// observers) + workload + mobility, with result extraction and optional
+// consistency verification.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/factory.hpp"
+#include "core/harness.hpp"
+#include "des/simulator.hpp"
+#include "des/trace.hpp"
+#include "net/network.hpp"
+#include "sim/config.hpp"
+#include "sim/mobility.hpp"
+#include "sim/workload.hpp"
+
+namespace mobichk::sim {
+
+/// What to run and what to measure.
+struct ExperimentOptions {
+  /// Protocols evaluated as paired observers; slot 0's piggyback rides
+  /// the wire. Defaults to the paper's TP, BCS, QBC.
+  std::vector<core::ProtocolKind> protocols{core::ProtocolKind::kTp, core::ProtocolKind::kBcs,
+                                            core::ProtocolKind::kQbc};
+  core::ProtocolParams params;
+
+  bool with_storage = false;          ///< Account checkpoint-storage traffic.
+  core::StorageConfig storage;
+
+  bool verify_consistency = false;    ///< Run the orphan oracle after the run.
+  usize verify_max_lines = 64;        ///< Cap on recovery lines sampled per protocol.
+
+  des::QueueKind queue_kind = des::QueueKind::kBinaryHeap;
+  bool collect_trace_hash = false;    ///< Fold the run's trace into a hash (replay tests).
+};
+
+/// Per-protocol outcome of one run.
+struct ProtocolRunStats {
+  std::string name;
+  core::ProtocolKind kind = core::ProtocolKind::kBcs;
+  u64 total = 0;        ///< All checkpoints including initial.
+  u64 n_tot = 0;        ///< The paper's metric: basic + forced.
+  u64 basic = 0;
+  u64 forced = 0;
+  u64 initial = 0;
+  u64 max_index = 0;
+  u64 piggyback_bytes = 0;     ///< Control info this protocol puts on the wire.
+  u64 control_messages = 0;    ///< Dedicated control messages (coordinated only).
+  u64 storage_wireless_bytes = 0;
+  u64 storage_wired_bytes = 0;
+  u64 storage_transfers = 0;
+  u64 lines_checked = 0;       ///< Recovery lines sampled by the oracle.
+  u64 orphans_found = 0;       ///< Must be 0 for a sound protocol.
+};
+
+/// Aggregate outcome of one run.
+struct RunResult {
+  SimConfig cfg;
+  net::NetworkStats net;
+  std::vector<ProtocolRunStats> protocols;
+  u64 events_executed = 0;
+  u64 workload_ops = 0;
+  u64 trace_hash = 0;
+
+  const ProtocolRunStats& by_name(const std::string& name) const;
+};
+
+/// Owns all the moving parts of one run. Use run_experiment() unless you
+/// need post-run access to the logs (recovery benches, property tests).
+class Experiment {
+ public:
+  Experiment(SimConfig cfg, ExperimentOptions opts);
+
+  /// Runs the simulation to cfg.sim_length and fills result().
+  void run();
+
+  const RunResult& result() const noexcept { return result_; }
+
+  des::Simulator& simulator() noexcept { return *sim_; }
+  net::Network& network() noexcept { return *net_; }
+  core::ProtocolHarness& harness() noexcept { return *harness_; }
+  WorkloadDriver& workload() noexcept { return *workload_; }
+  const core::CheckpointLog& log(usize slot) const { return harness_->log(slot); }
+  core::ProtocolKind kind(usize slot) const { return opts_.protocols.at(slot); }
+
+ private:
+  void verify_slot(usize slot, ProtocolRunStats& stats);
+
+  SimConfig cfg_;
+  ExperimentOptions opts_;
+  std::unique_ptr<des::HashSink> hash_sink_;
+  std::unique_ptr<des::Simulator> sim_;
+  std::unique_ptr<net::Network> net_;
+  std::unique_ptr<core::ProtocolHarness> harness_;
+  std::unique_ptr<WorkloadDriver> workload_;
+  std::unique_ptr<MobilityDriver> mobility_;
+  RunResult result_;
+  bool ran_ = false;
+};
+
+/// Convenience: construct, run, return the result.
+RunResult run_experiment(const SimConfig& cfg, const ExperimentOptions& opts = {});
+
+}  // namespace mobichk::sim

@@ -1,0 +1,123 @@
+#include "sim/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace mobichk::sim {
+
+void JsonWriter::newline() {
+  if (!pretty_) return;
+  os_ << '\n';
+  for (usize i = 0; i < stack_.size(); ++i) os_ << "  ";
+}
+
+void JsonWriter::separator() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value follows its key on the same line
+  }
+  if (!stack_.empty()) {
+    if (stack_.back().has_items) os_ << ',';
+    stack_.back().has_items = true;
+    newline();
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  separator();
+  os_ << '{';
+  stack_.push_back(Level{false, false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  const bool had_items = stack_.back().has_items;
+  stack_.pop_back();
+  if (had_items) newline();
+  os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  separator();
+  os_ << '[';
+  stack_.push_back(Level{true, false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  const bool had_items = stack_.back().has_items;
+  stack_.pop_back();
+  if (had_items) newline();
+  os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  separator();
+  os_ << '"';
+  escape(k);
+  os_ << "\": ";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  separator();
+  os_ << '"';
+  escape(v);
+  os_ << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(f64 v) {
+  separator();
+  if (!std::isfinite(v)) {
+    os_ << "null";  // JSON has no Inf/NaN
+    return *this;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(u64 v) {
+  separator();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(i64 v) {
+  separator();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  separator();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+void JsonWriter::escape(std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': os_ << "\\\""; break;
+      case '\\': os_ << "\\\\"; break;
+      case '\n': os_ << "\\n"; break;
+      case '\r': os_ << "\\r"; break;
+      case '\t': os_ << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os_ << buf;
+        } else {
+          os_ << c;
+        }
+    }
+  }
+}
+
+}  // namespace mobichk::sim

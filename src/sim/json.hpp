@@ -1,0 +1,61 @@
+// A minimal JSON emitter for structured experiment output.
+//
+// Write-only and allocation-light: enough to serialize run results and
+// figure tables for downstream tooling, with correct string escaping and
+// non-finite-number handling. Not a parser; not a DOM.
+#pragma once
+
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+#include "des/types.hpp"
+
+namespace mobichk::sim {
+
+/// Streaming JSON writer with explicit begin/end nesting.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os, bool pretty = true) : os_(os), pretty_(pretty) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object key; must be followed by a value or a begin_*.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(f64 v);
+  JsonWriter& value(u64 v);
+  JsonWriter& value(i64 v);
+  JsonWriter& value(u32 v) { return value(static_cast<u64>(v)); }
+  JsonWriter& value(int v) { return value(static_cast<i64>(v)); }
+  JsonWriter& value(bool v);
+
+  /// key + value in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+ private:
+  void separator();
+  void newline();
+  void escape(std::string_view s);
+
+  struct Level {
+    bool is_array = false;
+    bool has_items = false;
+  };
+
+  std::ostream& os_;
+  bool pretty_;
+  bool pending_key_ = false;
+  std::vector<Level> stack_;
+};
+
+}  // namespace mobichk::sim

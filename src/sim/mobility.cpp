@@ -1,0 +1,83 @@
+#include "sim/mobility.hpp"
+
+#include <cmath>
+
+namespace mobichk::sim {
+
+namespace {
+/// Shape of the heavy-tailed residence alternate; alpha in (1, 2] keeps
+/// the mean finite while the variance diverges (bursty dwell times).
+constexpr f64 kParetoAlpha = 1.5;
+
+f64 pareto_with_mean(des::RngStream& rng, f64 mean) {
+  // Pareto(x_m, alpha) has mean x_m * alpha / (alpha - 1).
+  const f64 x_m = mean * (kParetoAlpha - 1.0) / kParetoAlpha;
+  const f64 u = 1.0 - rng.uniform01();  // (0, 1]
+  return x_m * std::pow(u, -1.0 / kParetoAlpha);
+}
+}  // namespace
+
+MobilityDriver::MobilityDriver(des::Simulator& sim, net::Network& net, const SimConfig& cfg,
+                               WorkloadDriver* workload)
+    : sim_(sim), net_(net), cfg_(cfg), workload_(workload) {
+  rng_.reserve(net.n_hosts());
+  for (net::HostId h = 0; h < net.n_hosts(); ++h) {
+    rng_.emplace_back(cfg.seed, "mobility", h);
+  }
+}
+
+void MobilityDriver::start() {
+  for (net::HostId h = 0; h < net_.n_hosts(); ++h) enter_cell(h);
+}
+
+f64 MobilityDriver::sample_residence(net::HostId host, f64 mean) {
+  if (cfg_.mobility_model == MobilityModelKind::kParetoResidence) {
+    return pareto_with_mean(rng_.at(host), mean);
+  }
+  return des::Exponential(mean).sample(rng_.at(host));
+}
+
+net::MssId MobilityDriver::pick_switch_target(net::HostId host) {
+  const net::MssId current = net_.host(host).mss();
+  const u32 n = net_.n_mss();
+  if (cfg_.mobility_model == MobilityModelKind::kRingNeighbor && n > 2) {
+    const bool clockwise = des::bernoulli(rng_.at(host), 0.5);
+    return clockwise ? static_cast<net::MssId>((current + 1) % n)
+                     : static_cast<net::MssId>((current + n - 1) % n);
+  }
+  return static_cast<net::MssId>(des::uniform_index_excluding(rng_.at(host), n, current));
+}
+
+void MobilityDriver::enter_cell(net::HostId host) {
+  des::RngStream& rng = rng_.at(host);
+  const f64 mean = cfg_.residence_mean_for(host);
+  if (des::bernoulli(rng, cfg_.p_switch)) {
+    const f64 residence = sample_residence(host, mean);
+    sim_.schedule_after(residence, [this, host] { do_switch(host); });
+  } else {
+    const f64 residence = sample_residence(host, mean / cfg_.disconnect_residence_divisor);
+    sim_.schedule_after(residence, [this, host] { do_disconnect(host); });
+  }
+}
+
+void MobilityDriver::do_switch(net::HostId host) {
+  net_.switch_cell(host, pick_switch_target(host));
+  enter_cell(host);
+}
+
+void MobilityDriver::do_disconnect(net::HostId host) {
+  net_.disconnect(host);
+  if (workload_ != nullptr) workload_->pause(host);
+  const f64 away = des::Exponential(cfg_.disconnect_mean).sample(rng_.at(host));
+  sim_.schedule_after(away, [this, host] { do_reconnect(host); });
+}
+
+void MobilityDriver::do_reconnect(net::HostId host) {
+  const auto target =
+      static_cast<net::MssId>(des::uniform_index(rng_.at(host), net_.n_mss()));
+  net_.reconnect(host, target);
+  if (workload_ != nullptr) workload_->resume(host);
+  enter_cell(host);
+}
+
+}  // namespace mobichk::sim

@@ -1,0 +1,58 @@
+// Mobility models (paper §5.1 plus two alternates).
+//
+// Paper model: upon entering a cell, with probability P_switch the host
+// will switch to another cell after an Exp(T_i) residence; otherwise it
+// will voluntarily disconnect after an Exp(T_i / 3) residence, stay
+// disconnected for Exp(1000) and reconnect at a random cell. T_i is
+// T_switch for slow hosts and T_switch / fast_factor for the fast ones
+// (heterogeneity H).
+//
+// Alternates (selected by SimConfig::mobility_model):
+//  * kRingNeighbor — switch targets are ring neighbours of the current
+//    cell instead of uniform over all cells.
+//  * kParetoResidence — residence times are Pareto(alpha = 1.5) with the
+//    same mean (bursty dwell times).
+#pragma once
+
+#include <vector>
+
+#include "des/distributions.hpp"
+#include "des/rng.hpp"
+#include "des/simulator.hpp"
+#include "net/network.hpp"
+#include "sim/config.hpp"
+#include "sim/workload.hpp"
+
+namespace mobichk::sim {
+
+class MobilityDriver {
+ public:
+  /// `workload` may be null (pure-mobility tests); when present it is
+  /// paused on disconnect and resumed on reconnect.
+  MobilityDriver(des::Simulator& sim, net::Network& net, const SimConfig& cfg,
+                 WorkloadDriver* workload);
+
+  /// Schedules the first mobility event of every host. Call after
+  /// net.start().
+  void start();
+
+ private:
+  void enter_cell(net::HostId host);
+  void do_switch(net::HostId host);
+  void do_disconnect(net::HostId host);
+  void do_reconnect(net::HostId host);
+
+  /// Residence draw with the configured distribution and the given mean.
+  f64 sample_residence(net::HostId host, f64 mean);
+
+  /// Switch target under the configured model.
+  net::MssId pick_switch_target(net::HostId host);
+
+  des::Simulator& sim_;
+  net::Network& net_;
+  const SimConfig& cfg_;
+  WorkloadDriver* workload_;
+  std::vector<des::RngStream> rng_;
+};
+
+}  // namespace mobichk::sim

@@ -1,0 +1,98 @@
+#include "sim/report.hpp"
+
+#include <ostream>
+
+#include "sim/json.hpp"
+
+namespace mobichk::sim {
+
+void write_json(std::ostream& os, const RunResult& result) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("config").begin_object();
+  w.field("n_hosts", result.cfg.network.n_hosts)
+      .field("n_mss", result.cfg.network.n_mss)
+      .field("sim_length", result.cfg.sim_length)
+      .field("seed", result.cfg.seed)
+      .field("t_switch", result.cfg.t_switch)
+      .field("p_switch", result.cfg.p_switch)
+      .field("p_send", result.cfg.p_send)
+      .field("comm_mean", result.cfg.comm_mean)
+      .field("heterogeneity", result.cfg.heterogeneity)
+      .field("mobility_model", mobility_model_name(result.cfg.mobility_model));
+  w.end_object();
+
+  w.key("network").begin_object();
+  w.field("app_sent", result.net.app_sent)
+      .field("app_delivered", result.net.app_delivered)
+      .field("app_received", result.net.app_received)
+      .field("handoffs", result.net.handoffs)
+      .field("disconnects", result.net.disconnects)
+      .field("reconnects", result.net.reconnects)
+      .field("control_messages", result.net.control_messages)
+      .field("wireless_messages", result.net.wireless_messages)
+      .field("wired_hops", result.net.wired_hops)
+      .field("chase_forwards", result.net.chase_forwards)
+      .field("buffered_deliveries", result.net.buffered_deliveries)
+      .field("piggyback_bytes", result.net.piggyback_bytes)
+      .field("mean_delivery_latency", result.net.delivery_latency.mean());
+  w.end_object();
+
+  w.key("protocols").begin_array();
+  for (const auto& p : result.protocols) {
+    w.begin_object();
+    w.field("name", p.name)
+        .field("n_tot", p.n_tot)
+        .field("basic", p.basic)
+        .field("forced", p.forced)
+        .field("initial", p.initial)
+        .field("max_index", p.max_index)
+        .field("piggyback_bytes", p.piggyback_bytes)
+        .field("control_messages", p.control_messages)
+        .field("storage_wireless_bytes", p.storage_wireless_bytes)
+        .field("storage_wired_bytes", p.storage_wired_bytes)
+        .field("storage_transfers", p.storage_transfers)
+        .field("lines_checked", p.lines_checked)
+        .field("orphans_found", p.orphans_found);
+    w.end_object();
+  }
+  w.end_array();
+  w.field("events_executed", result.events_executed)
+      .field("workload_ops", result.workload_ops)
+      .field("trace_hash", result.trace_hash);
+  w.end_object();
+  os << '\n';
+}
+
+void write_json(std::ostream& os, const FigureResult& result) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.field("title", result.title);
+  w.key("protocols").begin_array();
+  for (const auto& name : result.protocol_names) w.value(name);
+  w.end_array();
+  w.key("points").begin_array();
+  for (usize p = 0; p < result.t_switch_values.size(); ++p) {
+    w.begin_object();
+    w.field("t_switch", result.t_switch_values[p]);
+    w.key("n_tot").begin_array();
+    for (usize k = 0; k < result.protocol_names.size(); ++k) {
+      const des::Tally& tally = result.cells[p][k];
+      w.begin_object();
+      w.field("mean", tally.mean())
+          .field("ci95", des::confidence_half_width(tally, 0.95))
+          .field("min", tally.min())
+          .field("max", tally.max())
+          .field("replications", tally.count());
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.field("max_relative_spread", result.max_relative_spread());
+  w.end_object();
+  os << '\n';
+}
+
+}  // namespace mobichk::sim

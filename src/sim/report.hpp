@@ -1,0 +1,19 @@
+// Structured (JSON) serialization of experiment results, for dashboards,
+// notebooks and regression tooling.
+#pragma once
+
+#include <iosfwd>
+
+#include "sim/experiment.hpp"
+#include "sim/sweep.hpp"
+
+namespace mobichk::sim {
+
+/// Full run result: configuration echo, substrate stats, per-protocol
+/// checkpoint/overhead numbers.
+void write_json(std::ostream& os, const RunResult& result);
+
+/// Figure sweep: the t_switch series with mean / CI / min / max cells.
+void write_json(std::ostream& os, const FigureResult& result);
+
+}  // namespace mobichk::sim

@@ -1,0 +1,67 @@
+// Parallel experiment sweeps: run many independent simulations across a
+// thread pool and aggregate per-point, per-protocol statistics.
+//
+// Every simulation is fully determined by its SimConfig (including the
+// seed), so runs are embarrassingly parallel; the pool simply hands out
+// job indices.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "des/stats.hpp"
+#include "sim/experiment.hpp"
+
+namespace mobichk::sim {
+
+/// Runs every (cfg, opts) job, possibly concurrently, and returns results
+/// in job order. `threads` = 0 picks the hardware concurrency.
+std::vector<RunResult> run_parallel(const std::vector<SimConfig>& configs,
+                                    const ExperimentOptions& opts, u32 threads = 0);
+
+/// Specification of one paper figure: N_tot vs T_switch for a protocol set.
+struct FigureSpec {
+  std::string title;
+  SimConfig base;                       ///< p_switch / heterogeneity / length set here.
+  std::vector<f64> t_switch_values{100, 200, 500, 1'000, 2'000, 5'000, 10'000};
+  std::vector<core::ProtocolKind> protocols{core::ProtocolKind::kTp, core::ProtocolKind::kBcs,
+                                            core::ProtocolKind::kQbc};
+  u32 seeds = 5;       ///< Independent replications per point.
+  u64 seed_base = 42;  ///< Replication r of point p uses seed_base + p * seeds + r.
+};
+
+/// Aggregated sweep outcome: cells[point][protocol] tallies N_tot across
+/// the replications.
+struct FigureResult {
+  std::string title;
+  std::vector<f64> t_switch_values;
+  std::vector<std::string> protocol_names;
+  std::vector<std::vector<des::Tally>> cells;  ///< [point][protocol].
+
+  /// Mean N_tot of `protocol` at `point`.
+  f64 mean(usize point, usize protocol) const { return cells.at(point).at(protocol).mean(); }
+
+  /// Relative gain of protocol `b` over `a` at `point`:
+  /// (N_a - N_b) / N_a, in percent.
+  f64 gain_percent(usize point, usize a, usize b) const;
+
+  /// Largest relative half-spread across replications (the paper reports
+  /// "within 4% of each other").
+  f64 max_relative_spread() const;
+
+  /// Paper-style table: one row per T_switch, one column per protocol.
+  void print(std::ostream& os) const;
+  void write_csv(std::ostream& os) const;
+
+  /// Self-contained gnuplot script (inline data, log-log axes like the
+  /// paper's figures). Pipe into gnuplot to render.
+  void write_gnuplot(std::ostream& os) const;
+};
+
+/// Runs the sweep (points x seeds simulations) on `threads` workers.
+FigureResult run_figure(const FigureSpec& spec, const ExperimentOptions& opts = {},
+                        u32 threads = 0);
+
+}  // namespace mobichk::sim

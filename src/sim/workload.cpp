@@ -1,0 +1,67 @@
+#include "sim/workload.hpp"
+
+#include <cmath>
+
+namespace mobichk::sim {
+
+WorkloadDriver::WorkloadDriver(des::Simulator& sim, net::Network& net, const SimConfig& cfg)
+    : sim_(sim), net_(net), cfg_(cfg), comm_gap_(cfg.comm_mean) {
+  per_host_.reserve(net.n_hosts());
+  for (net::HostId h = 0; h < net.n_hosts(); ++h) {
+    per_host_.push_back(HostState{des::RngStream(cfg.seed, "workload", h), 0, 0});
+  }
+}
+
+void WorkloadDriver::start() {
+  for (net::HostId h = 0; h < net_.n_hosts(); ++h) schedule_next(h, 0.0);
+}
+
+void WorkloadDriver::resume(net::HostId host) {
+  ++per_host_.at(host).epoch;
+  schedule_next(host, 0.0);
+}
+
+void WorkloadDriver::schedule_next(net::HostId host, f64 extra_delay) {
+  HostState& hs = per_host_.at(host);
+  const u64 epoch = hs.epoch;
+  const f64 gap = comm_gap_.sample(hs.rng);
+  // The gap is filled with internal events of mean execution time
+  // internal_mean each.
+  const u64 internal_count = static_cast<u64>(std::llround(gap / cfg_.internal_mean));
+  sim_.schedule_after(gap + extra_delay, [this, host, epoch, internal_count] {
+    HostState& state = per_host_.at(host);
+    // Stale events from before a disconnect/reconnect cycle are dropped;
+    // resume() restarted the loop under a fresh epoch.
+    if (state.epoch != epoch || !net_.host(host).connected()) return;
+    execute_op(host, internal_count);
+  });
+}
+
+void WorkloadDriver::execute_op(net::HostId host, u64 internal_count) {
+  HostState& hs = per_host_.at(host);
+  net_.internal_events(host, internal_count);
+  internal_events_ += internal_count;
+  ++ops_;
+  if (des::bernoulli(hs.rng, cfg_.p_send)) {
+    const auto dst = static_cast<net::HostId>(
+        des::uniform_index_excluding(hs.rng, net_.n_hosts(), host));
+    net_.send_app_message(host, dst, cfg_.payload_bytes);
+    ++sends_;
+  } else {
+    if (net_.consume_one(host)) {
+      ++receives_;
+    } else {
+      ++empty_receives_;
+    }
+  }
+  // Checkpoint-latency extension: stall for checkpoints this op induced.
+  f64 extra = 0.0;
+  if (latency_probe_ != nullptr && cfg_.ckpt_latency > 0.0) {
+    const u64 now_count = latency_probe_->count(host);
+    extra = cfg_.ckpt_latency * static_cast<f64>(now_count - hs.seen_ckpts);
+    hs.seen_ckpts = now_count;
+  }
+  schedule_next(host, extra);
+}
+
+}  // namespace mobichk::sim

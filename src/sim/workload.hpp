@@ -1,0 +1,70 @@
+// The application workload of paper §5.1: every active MH alternates
+// internal events (exponential execution time, mean 1.0 tu) with
+// communication operations — a send to a uniformly random peer with
+// probability P_s, otherwise a receive that consumes the oldest delivered
+// message.
+#pragma once
+
+#include <vector>
+
+#include "core/checkpoint_log.hpp"
+#include "des/distributions.hpp"
+#include "des/rng.hpp"
+#include "des/simulator.hpp"
+#include "net/network.hpp"
+#include "sim/config.hpp"
+
+namespace mobichk::sim {
+
+class WorkloadDriver {
+ public:
+  WorkloadDriver(des::Simulator& sim, net::Network& net, const SimConfig& cfg);
+
+  /// Schedules the first operation of every host. Call after net.start().
+  void start();
+
+  /// Invalidates the host's pending operations (mobility calls this when
+  /// the host disconnects).
+  void pause(net::HostId host) { ++per_host_.at(host).epoch; }
+
+  /// Restarts the host's operation loop (mobility calls this on reconnect).
+  void resume(net::HostId host);
+
+  /// Communication operations executed (sends + receive attempts).
+  u64 ops_executed() const noexcept { return ops_; }
+  u64 sends() const noexcept { return sends_; }
+  u64 receives() const noexcept { return receives_; }
+  /// Receive operations that found an empty mailbox.
+  u64 empty_receives() const noexcept { return empty_receives_; }
+  /// Internal events executed between communications.
+  u64 internal_events() const noexcept { return internal_events_; }
+
+  /// Enables the checkpoint-latency extension: after each operation the
+  /// host is stalled cfg.ckpt_latency per checkpoint `log` newly recorded
+  /// for it (ABL1). Pass the log of the protocol under test.
+  void set_latency_probe(const core::CheckpointLog* log) { latency_probe_ = log; }
+
+ private:
+  struct HostState {
+    des::RngStream rng;
+    u64 epoch = 0;
+    u64 seen_ckpts = 0;  ///< For the checkpoint-latency stall.
+  };
+
+  void schedule_next(net::HostId host, f64 extra_delay);
+  void execute_op(net::HostId host, u64 internal_count);
+
+  des::Simulator& sim_;
+  net::Network& net_;
+  const SimConfig& cfg_;
+  des::Exponential comm_gap_;
+  std::vector<HostState> per_host_;
+  const core::CheckpointLog* latency_probe_ = nullptr;
+  u64 ops_ = 0;
+  u64 sends_ = 0;
+  u64 receives_ = 0;
+  u64 empty_receives_ = 0;
+  u64 internal_events_ = 0;
+};
+
+}  // namespace mobichk::sim

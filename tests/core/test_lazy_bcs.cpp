@@ -1,0 +1,109 @@
+#include "core/protocols/lazy_bcs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/harness.hpp"
+#include "core/protocols/bcs.hpp"
+#include "core/recovery.hpp"
+#include "core/zgraph.hpp"
+#include "des/simulator.hpp"
+#include "net/network.hpp"
+#include "sim/experiment.hpp"
+
+namespace mobichk::core {
+namespace {
+
+class LazyBcsTest : public ::testing::Test {
+ protected:
+  LazyBcsTest() : net_(sim_, config(), 1), harness_(net_) {}
+
+  static net::NetworkConfig config() {
+    net::NetworkConfig cfg;
+    cfg.n_hosts = 3;
+    cfg.n_mss = 3;
+    return cfg;
+  }
+
+  des::Simulator sim_;
+  net::Network net_;
+  ProtocolHarness harness_;
+};
+
+TEST_F(LazyBcsTest, LazinessOneIsExactlyBcs) {
+  const usize bcs = harness_.add_protocol(std::make_unique<BcsProtocol>());
+  const usize lazy = harness_.add_protocol(std::make_unique<LazyBcsProtocol>(1));
+  net_.start({0, 1, 2});
+  for (int i = 0; i < 6; ++i) {
+    net_.switch_cell(0, (net_.host(0).mss() + 1) % 3);
+    net_.send_app_message(0, 1, 8);
+    sim_.run();
+    net_.consume_one(1);
+  }
+  EXPECT_EQ(harness_.log(bcs).n_tot(), harness_.log(lazy).n_tot());
+  EXPECT_EQ(harness_.log(bcs).max_sn(), harness_.log(lazy).max_sn());
+}
+
+TEST_F(LazyBcsTest, IndexAdvancesEveryKthBasic) {
+  harness_.add_protocol(std::make_unique<LazyBcsProtocol>(3));
+  net_.start({0, 1, 2});
+  auto& lazy = static_cast<LazyBcsProtocol&>(harness_.protocol(0));
+  for (int i = 1; i <= 7; ++i) {
+    net_.switch_cell(0, (net_.host(0).mss() + 1) % 3);
+    EXPECT_EQ(lazy.sequence_number(0), static_cast<u64>(i / 3)) << "after basic " << i;
+  }
+}
+
+TEST_F(LazyBcsTest, ForcedCheckpointResetsTheLazyCounter) {
+  harness_.add_protocol(std::make_unique<LazyBcsProtocol>(3));
+  net_.start({0, 1, 2});
+  auto& lazy = static_cast<LazyBcsProtocol&>(harness_.protocol(0));
+  // Push host 0's index up so its message forces host 1.
+  for (int i = 0; i < 3; ++i) net_.switch_cell(0, (net_.host(0).mss() + 1) % 3);
+  ASSERT_EQ(lazy.sequence_number(0), 1u);
+  net_.send_app_message(0, 1, 8);
+  sim_.run();
+  net_.consume_one(1);  // forced at host 1, sn jumps to 1
+  EXPECT_EQ(lazy.sequence_number(1), 1u);
+  // The next 2 basics at host 1 must not advance yet (counter was reset).
+  net_.switch_cell(1, (net_.host(1).mss() + 1) % 3);
+  net_.switch_cell(1, (net_.host(1).mss() + 1) % 3);
+  EXPECT_EQ(lazy.sequence_number(1), 1u);
+  net_.switch_cell(1, (net_.host(1).mss() + 1) % 3);
+  EXPECT_EQ(lazy.sequence_number(1), 2u);
+}
+
+TEST(LazyBcsIntegration, FewerForcedCheckpointsButUselessOnes) {
+  // The design-space point of the ablation: naive laziness trades forced
+  // checkpoints for useless ones; QBC gets the savings without the waste.
+  sim::SimConfig cfg;
+  cfg.sim_length = 20'000.0;
+  cfg.t_switch = 500.0;
+  cfg.p_switch = 0.8;
+  cfg.seed = 3;
+  sim::ExperimentOptions opts;
+  opts.protocols = {ProtocolKind::kBcs, ProtocolKind::kQbc, ProtocolKind::kLazyBcs};
+  opts.params.lazy_bcs_laziness = 4;
+  sim::Experiment exp(cfg, opts);
+  exp.run();
+
+  const auto& bcs = exp.log(0);
+  const auto& qbc = exp.log(1);
+  const auto& lazy = exp.log(2);
+  EXPECT_LT(lazy.forced(), bcs.forced());
+
+  const auto& messages = exp.harness().message_log();
+  EXPECT_EQ(IntervalGraph(bcs, messages).useless_count(), 0u);
+  EXPECT_EQ(IntervalGraph(qbc, messages).useless_count(), 0u);
+  EXPECT_GT(IntervalGraph(lazy, messages).useless_count(), 0u);
+
+  // Safety is intact despite the laziness: same-index lines stay
+  // orphan-free.
+  const auto current = exp.harness().current_positions();
+  for (u64 m = 0; m <= lazy.max_sn(); ++m) {
+    const auto cut = index_recovery_line(lazy, m, IndexLineRule::kFirstAtLeast, current);
+    EXPECT_TRUE(find_orphans(messages, cut).empty()) << "index " << m;
+  }
+}
+
+}  // namespace
+}  // namespace mobichk::core

@@ -1,0 +1,97 @@
+#include "core/recovery_time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mobichk::core {
+namespace {
+
+CheckpointRecord member_at(net::MssId loc) {
+  CheckpointRecord rec;
+  rec.location = loc;
+  return rec;
+}
+
+RollbackResult make_rollback(std::vector<const CheckpointRecord*> members,
+                             std::vector<u64> line_pos, std::vector<u64> fail_pos) {
+  RollbackResult rb;
+  rb.line.members = std::move(members);
+  rb.line.pos = std::move(line_pos);
+  rb.fail_pos = std::move(fail_pos);
+  rb.checkpoints_discarded.assign(rb.line.pos.size(), 0);
+  return rb;
+}
+
+TEST(RecoveryTime, VirtualMembersCostNothing) {
+  const auto rb = make_rollback({nullptr, nullptr}, {10, 20}, {10, 20});
+  const auto est = estimate_recovery_time(rb, {0, 1}, 2);
+  EXPECT_EQ(est.hosts_rolled_back, 0u);
+  EXPECT_DOUBLE_EQ(est.state_transfer, 0.0);
+  EXPECT_DOUBLE_EQ(est.replay, 0.0);
+  EXPECT_GT(est.coordination, 0.0);  // the notification round still happens
+}
+
+TEST(RecoveryTime, LocalCheckpointNeedsOnlyWirelessLeg) {
+  const CheckpointRecord member = member_at(0);
+  RecoveryTimeConfig cfg;
+  cfg.state_bytes = 1000;
+  cfg.wireless_bandwidth = 100.0;  // 10 tu transmission
+  const auto rb = make_rollback({&member, nullptr}, {5, 20}, {9, 20});
+  const auto est = estimate_recovery_time(rb, {0, 1}, 2, cfg);
+  EXPECT_EQ(est.hosts_rolled_back, 1u);
+  EXPECT_NEAR(est.state_transfer, cfg.wireless_latency + 10.0, 1e-9);
+  EXPECT_EQ(est.wired_bytes, 0u);
+  EXPECT_EQ(est.wireless_bytes, 1000u);
+}
+
+TEST(RecoveryTime, RemoteCheckpointAddsWiredFetch) {
+  const CheckpointRecord member = member_at(3);  // stored elsewhere
+  RecoveryTimeConfig cfg;
+  cfg.state_bytes = 1000;
+  cfg.wireless_bandwidth = 100.0;
+  cfg.wired_bandwidth = 1000.0;  // 1 tu wired transmission
+  const auto rb = make_rollback({&member, nullptr}, {5, 20}, {9, 20});
+  const auto est = estimate_recovery_time(rb, {0, 1}, 4, cfg);
+  EXPECT_NEAR(est.state_transfer,
+              (cfg.wireless_latency + 10.0) + (cfg.wired_latency + 1.0), 1e-9);
+  EXPECT_EQ(est.wired_bytes, 1000u);
+}
+
+TEST(RecoveryTime, SameCellTransfersSerialize) {
+  const CheckpointRecord m0 = member_at(0);
+  const CheckpointRecord m1 = member_at(1);
+  RecoveryTimeConfig cfg;
+  cfg.state_bytes = 1000;
+  cfg.wireless_bandwidth = 100.0;
+  // Both hosts recover in cell 0; host 1's image additionally needs a
+  // wired fetch from MSS 1. The cell serializes the two downloads.
+  const auto rb = make_rollback({&m0, &m1}, {5, 5}, {5, 5});
+  const auto est = estimate_recovery_time(rb, {0, 0}, 2, cfg);
+  const f64 wired = cfg.wired_latency + 1000.0 / cfg.wired_bandwidth;
+  EXPECT_NEAR(est.state_transfer, 2.0 * (cfg.wireless_latency + 10.0) + wired, 1e-9);
+  // In their own cells (each next to its image) they proceed in parallel.
+  const auto est2 = estimate_recovery_time(rb, {0, 1}, 2, cfg);
+  EXPECT_NEAR(est2.state_transfer, cfg.wireless_latency + 10.0, 1e-9);
+}
+
+TEST(RecoveryTime, ReplayIsTheSlowestHost) {
+  const CheckpointRecord m0 = member_at(0);
+  const CheckpointRecord m1 = member_at(1);
+  RecoveryTimeConfig cfg;
+  cfg.event_replay_time = 2.0;
+  cfg.restart_overhead = 1.0;
+  const auto rb = make_rollback({&m0, &m1}, {10, 40}, {30, 50});  // undone: 20, 10
+  const auto est = estimate_recovery_time(rb, {0, 1}, 2, cfg);
+  EXPECT_DOUBLE_EQ(est.replay, 1.0 + 20.0 * 2.0);
+  EXPECT_DOUBLE_EQ(est.total(), est.coordination + est.state_transfer + est.replay);
+}
+
+TEST(RecoveryTime, Validation) {
+  RecoveryTimeConfig cfg;
+  cfg.wireless_bandwidth = 0.0;
+  const auto rb = make_rollback({nullptr}, {0}, {0});
+  EXPECT_THROW(estimate_recovery_time(rb, {0}, 1, cfg), std::invalid_argument);
+  EXPECT_THROW(estimate_recovery_time(rb, {0, 1}, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mobichk::core

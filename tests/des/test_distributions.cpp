@@ -1,0 +1,143 @@
+#include "des/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+namespace mobichk::des {
+namespace {
+
+TEST(Exponential, MeanMatches) {
+  RngStream rng(1, "exp");
+  for (const f64 mean : {0.5, 1.0, 20.0, 1000.0}) {
+    Exponential dist(mean);
+    f64 sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) sum += dist.sample(rng);
+    EXPECT_NEAR(sum / n / mean, 1.0, 0.03) << "mean " << mean;
+  }
+}
+
+TEST(Exponential, VarianceMatchesMeanSquared) {
+  RngStream rng(2, "expvar");
+  Exponential dist(10.0);
+  f64 sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const f64 x = dist.sample(rng);
+    sum += x;
+    sum2 += x * x;
+  }
+  const f64 mean = sum / n;
+  const f64 var = sum2 / n - mean * mean;
+  EXPECT_NEAR(var / 100.0, 1.0, 0.05);
+}
+
+TEST(Exponential, AlwaysNonNegative) {
+  RngStream rng(3, "expnn");
+  Exponential dist(1.0);
+  for (int i = 0; i < 100000; ++i) EXPECT_GE(dist.sample(rng), 0.0);
+}
+
+TEST(Uniform, BoundsAndMean) {
+  RngStream rng(4, "uni");
+  Uniform dist(5.0, 15.0);
+  f64 sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const f64 x = dist.sample(rng);
+    EXPECT_GE(x, 5.0);
+    EXPECT_LT(x, 15.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(UniformIndex, CoversRangeUniformly) {
+  RngStream rng(5, "ui");
+  std::array<int, 7> counts{};
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) ++counts.at(uniform_index(rng, 7));
+  for (const int c : counts) EXPECT_NEAR(static_cast<f64>(c), n / 7.0, n / 7.0 * 0.1);
+}
+
+TEST(UniformIndex, SingleElement) {
+  RngStream rng(6, "ui1");
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(uniform_index(rng, 1), 0u);
+}
+
+TEST(UniformIndexExcluding, NeverReturnsExcluded) {
+  RngStream rng(7, "uix");
+  for (u64 excluded = 0; excluded < 5; ++excluded) {
+    std::array<int, 5> counts{};
+    for (int i = 0; i < 20000; ++i) {
+      const u64 x = uniform_index_excluding(rng, 5, excluded);
+      ASSERT_NE(x, excluded);
+      ASSERT_LT(x, 5u);
+      ++counts.at(x);
+    }
+    for (u64 v = 0; v < 5; ++v) {
+      if (v == excluded) continue;
+      EXPECT_NEAR(static_cast<f64>(counts.at(v)), 5000.0, 600.0);
+    }
+  }
+}
+
+TEST(UniformIndexExcluding, TwoElements) {
+  RngStream rng(8, "uix2");
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(uniform_index_excluding(rng, 2, 0), 1u);
+    EXPECT_EQ(uniform_index_excluding(rng, 2, 1), 0u);
+  }
+}
+
+TEST(Bernoulli, MatchesProbability) {
+  RngStream rng(9, "bern");
+  for (const f64 p : {0.0, 0.2, 0.4, 0.8, 1.0}) {
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) hits += bernoulli(rng, p);
+    EXPECT_NEAR(static_cast<f64>(hits) / n, p, 0.01) << "p " << p;
+  }
+}
+
+TEST(Geometric, MeanMatches) {
+  RngStream rng(10, "geo");
+  const f64 p = 0.25;
+  f64 sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += static_cast<f64>(geometric(rng, p));
+  EXPECT_NEAR(sum / n, (1.0 - p) / p, 0.05);
+}
+
+TEST(Geometric, PEqualOneIsZero) {
+  RngStream rng(11, "geo1");
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(geometric(rng, 1.0), 0u);
+}
+
+TEST(Discrete, RespectsWeights) {
+  RngStream rng(12, "disc");
+  Discrete dist({1.0, 2.0, 7.0});
+  std::array<int, 3> counts{};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts.at(dist.sample(rng));
+  EXPECT_NEAR(counts[0] / static_cast<f64>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<f64>(n), 0.2, 0.012);
+  EXPECT_NEAR(counts[2] / static_cast<f64>(n), 0.7, 0.015);
+}
+
+TEST(Discrete, ZeroWeightNeverSampled) {
+  RngStream rng(13, "disc0");
+  Discrete dist({1.0, 0.0, 1.0});
+  for (int i = 0; i < 20000; ++i) EXPECT_NE(dist.sample(rng), 1u);
+}
+
+TEST(Discrete, SingleBucket) {
+  RngStream rng(14, "disc1");
+  Discrete dist({3.0});
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(dist.sample(rng), 0u);
+}
+
+}  // namespace
+}  // namespace mobichk::des

@@ -1,0 +1,181 @@
+#include "des/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "des/distributions.hpp"
+#include "des/rng.hpp"
+
+namespace mobichk::des {
+namespace {
+
+class EventQueueTest : public ::testing::TestWithParam<QueueKind> {
+ protected:
+  std::unique_ptr<EventQueue> make() { return make_event_queue(GetParam()); }
+};
+
+TEST_P(EventQueueTest, EmptyInitially) {
+  auto q = make();
+  EXPECT_TRUE(q->empty());
+  EXPECT_EQ(q->size(), 0u);
+}
+
+TEST_P(EventQueueTest, PopsInTimeOrder) {
+  auto q = make();
+  q->push({3.0, 1, {}});
+  q->push({1.0, 2, {}});
+  q->push({2.0, 3, {}});
+  EXPECT_EQ(q->pop().time, 1.0);
+  EXPECT_EQ(q->pop().time, 2.0);
+  EXPECT_EQ(q->pop().time, 3.0);
+  EXPECT_TRUE(q->empty());
+}
+
+TEST_P(EventQueueTest, BreaksTimeTiesBySequence) {
+  auto q = make();
+  q->push({5.0, 30, {}});
+  q->push({5.0, 10, {}});
+  q->push({5.0, 20, {}});
+  EXPECT_EQ(q->pop().seq, 10u);
+  EXPECT_EQ(q->pop().seq, 20u);
+  EXPECT_EQ(q->pop().seq, 30u);
+}
+
+TEST_P(EventQueueTest, CancelRemovesEvent) {
+  auto q = make();
+  q->push({1.0, 1, {}});
+  q->push({2.0, 2, {}});
+  q->push({3.0, 3, {}});
+  q->cancel(2);
+  EXPECT_EQ(q->size(), 2u);
+  EXPECT_EQ(q->pop().seq, 1u);
+  EXPECT_EQ(q->pop().seq, 3u);
+  EXPECT_TRUE(q->empty());
+}
+
+TEST_P(EventQueueTest, CancelAllLeavesEmpty) {
+  auto q = make();
+  q->push({1.0, 1, {}});
+  q->push({2.0, 2, {}});
+  q->cancel(1);
+  q->cancel(2);
+  EXPECT_TRUE(q->empty());
+  EXPECT_EQ(q->size(), 0u);
+}
+
+TEST_P(EventQueueTest, CancelIsIdempotentOnSize) {
+  auto q = make();
+  q->push({1.0, 1, {}});
+  q->push({2.0, 2, {}});
+  q->cancel(1);
+  q->cancel(1);  // double-cancel must not corrupt the live count
+  EXPECT_EQ(q->size(), 1u);
+  EXPECT_EQ(q->pop().seq, 2u);
+}
+
+TEST_P(EventQueueTest, InterleavedPushPop) {
+  auto q = make();
+  u64 seq = 1;
+  q->push({10.0, seq++, {}});
+  q->push({20.0, seq++, {}});
+  EXPECT_EQ(q->pop().time, 10.0);
+  q->push({15.0, seq++, {}});
+  q->push({12.0, seq++, {}});
+  EXPECT_EQ(q->pop().time, 12.0);
+  EXPECT_EQ(q->pop().time, 15.0);
+  q->push({25.0, seq++, {}});
+  EXPECT_EQ(q->pop().time, 20.0);
+  EXPECT_EQ(q->pop().time, 25.0);
+  EXPECT_TRUE(q->empty());
+}
+
+TEST_P(EventQueueTest, HandlesManyEventsAcrossScales) {
+  // Time scales spanning several orders of magnitude exercise the
+  // calendar queue's resizing and year-jumping logic.
+  auto q = make();
+  RngStream rng(42, "queue-test");
+  std::vector<f64> times;
+  f64 t = 0.0;
+  for (u64 i = 0; i < 5000; ++i) {
+    t += rng.uniform01() * ((i % 100 == 0) ? 1000.0 : 1.0);
+    times.push_back(t);
+  }
+  // Insert in shuffled order.
+  std::vector<usize> order(times.size());
+  for (usize i = 0; i < order.size(); ++i) order[i] = i;
+  for (usize i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[uniform_index(rng, i)]);
+  }
+  // Monotone-nondecreasing insertion constraint of the calendar queue is
+  // satisfied because nothing has been popped yet (last_popped = 0).
+  u64 seq = 1;
+  for (const usize i : order) q->push({times[i], seq++, {}});
+  std::sort(times.begin(), times.end());
+  for (const f64 expect : times) {
+    ASSERT_FALSE(q->empty());
+    EXPECT_DOUBLE_EQ(q->pop().time, expect);
+  }
+  EXPECT_TRUE(q->empty());
+}
+
+TEST_P(EventQueueTest, SteadyStateHoldAndPop) {
+  // Classic hold-model workload: pop one, push one slightly later.
+  auto q = make();
+  RngStream rng(7, "hold");
+  u64 seq = 1;
+  for (int i = 0; i < 64; ++i) q->push({rng.uniform01() * 10.0, seq++, {}});
+  f64 last = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    EventEntry e = q->pop();
+    EXPECT_GE(e.time, last);
+    last = e.time;
+    q->push({last + rng.uniform01() * 10.0, seq++, {}});
+  }
+  EXPECT_EQ(q->size(), 64u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueues, EventQueueTest,
+                         ::testing::Values(QueueKind::kBinaryHeap, QueueKind::kCalendar),
+                         [](const ::testing::TestParamInfo<QueueKind>& pi) {
+                           return pi.param == QueueKind::kBinaryHeap ? "BinaryHeap" : "Calendar";
+                         });
+
+TEST(QueueEquivalence, IdenticalPopSequences) {
+  auto heap = make_event_queue(QueueKind::kBinaryHeap);
+  auto cal = make_event_queue(QueueKind::kCalendar);
+  RngStream rng(11, "equiv");
+  u64 seq = 1;
+  f64 now = 0.0;
+  for (int round = 0; round < 5000; ++round) {
+    if (rng.uniform01() < 0.6 || heap->empty()) {
+      const f64 t = now + rng.uniform01() * 50.0;
+      heap->push({t, seq, {}});
+      cal->push({t, seq, {}});
+      ++seq;
+    } else {
+      const EventEntry a = heap->pop();
+      const EventEntry b = cal->pop();
+      EXPECT_DOUBLE_EQ(a.time, b.time);
+      EXPECT_EQ(a.seq, b.seq);
+      now = a.time;
+    }
+  }
+  while (!heap->empty()) {
+    ASSERT_FALSE(cal->empty());
+    const EventEntry a = heap->pop();
+    const EventEntry b = cal->pop();
+    EXPECT_DOUBLE_EQ(a.time, b.time);
+    EXPECT_EQ(a.seq, b.seq);
+  }
+  EXPECT_TRUE(cal->empty());
+}
+
+TEST(QueueFactory, NamesAreDistinct) {
+  EXPECT_STREQ(make_event_queue(QueueKind::kBinaryHeap)->name(), "binary-heap");
+  EXPECT_STREQ(make_event_queue(QueueKind::kCalendar)->name(), "calendar");
+}
+
+}  // namespace
+}  // namespace mobichk::des

@@ -1,0 +1,160 @@
+#include "des/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace mobichk::des {
+namespace {
+
+class SimulatorTest : public ::testing::TestWithParam<QueueKind> {};
+
+TEST_P(SimulatorTest, StartsAtZero) {
+  Simulator sim(GetParam());
+  EXPECT_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.events_executed(), 0u);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST_P(SimulatorTest, ExecutesInTimeOrder) {
+  Simulator sim(GetParam());
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST_P(SimulatorTest, SimultaneousEventsRunInScheduleOrder) {
+  Simulator sim(GetParam());
+  std::vector<int> order;
+  sim.schedule_at(5.0, [&] { order.push_back(1); });
+  sim.schedule_at(5.0, [&] { order.push_back(2); });
+  sim.schedule_at(5.0, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST_P(SimulatorTest, ClockAdvancesToEventTime) {
+  Simulator sim(GetParam());
+  Time seen = -1.0;
+  sim.schedule_at(7.5, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 7.5);
+  EXPECT_DOUBLE_EQ(sim.now(), 7.5);
+}
+
+TEST_P(SimulatorTest, ScheduleAfterIsRelative) {
+  Simulator sim(GetParam());
+  Time seen = -1.0;
+  sim.schedule_at(10.0, [&] {
+    sim.schedule_after(2.5, [&] { seen = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 12.5);
+}
+
+TEST_P(SimulatorTest, EventsCanScheduleChains) {
+  Simulator sim(GetParam());
+  int count = 0;
+  std::function<void()> tick = [&] {
+    ++count;
+    if (count < 100) sim.schedule_after(1.0, tick);
+  };
+  sim.schedule_at(0.0, tick);
+  sim.run();
+  EXPECT_EQ(count, 100);
+  EXPECT_DOUBLE_EQ(sim.now(), 99.0);
+}
+
+TEST_P(SimulatorTest, RunUntilStopsAtHorizon) {
+  Simulator sim(GetParam());
+  int fired = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule_at(static_cast<Time>(i), [&] { ++fired; });
+  }
+  EXPECT_EQ(sim.run_until(5.0), 5u);
+  EXPECT_EQ(fired, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  EXPECT_EQ(sim.pending(), 5u);
+  EXPECT_EQ(sim.run_until(100.0), 5u);
+  EXPECT_EQ(fired, 10);
+  EXPECT_DOUBLE_EQ(sim.now(), 100.0);
+}
+
+TEST_P(SimulatorTest, RunUntilIncludesEventsAtHorizon) {
+  Simulator sim(GetParam());
+  int fired = 0;
+  sim.schedule_at(5.0, [&] { ++fired; });
+  sim.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST_P(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim(GetParam());
+  int fired = 0;
+  EventHandle h = sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(2.0, [&] { ++fired; });
+  sim.cancel(h);
+  sim.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST_P(SimulatorTest, CancelFromWithinEvent) {
+  Simulator sim(GetParam());
+  int fired = 0;
+  EventHandle victim = sim.schedule_at(2.0, [&] { ++fired; });
+  sim.schedule_at(1.0, [&] { sim.cancel(victim); });
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST_P(SimulatorTest, StopEndsRun) {
+  Simulator sim(GetParam());
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(2.0, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule_at(3.0, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST_P(SimulatorTest, ThrowsOnSchedulingInThePast) {
+  Simulator sim(GetParam());
+  sim.schedule_at(10.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(5.0, [] {}), std::invalid_argument);
+}
+
+TEST_P(SimulatorTest, InvalidHandleIsNoop) {
+  Simulator sim(GetParam());
+  EventHandle h;
+  EXPECT_FALSE(h.valid());
+  sim.cancel(h);  // must not crash
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST_P(SimulatorTest, CountsExecutedEvents) {
+  Simulator sim(GetParam());
+  for (int i = 0; i < 37; ++i) sim.schedule_at(static_cast<Time>(i), [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 37u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueues, SimulatorTest,
+                         ::testing::Values(QueueKind::kBinaryHeap, QueueKind::kCalendar),
+                         [](const ::testing::TestParamInfo<QueueKind>& pi) {
+                           return pi.param == QueueKind::kBinaryHeap ? "BinaryHeap" : "Calendar";
+                         });
+
+}  // namespace
+}  // namespace mobichk::des

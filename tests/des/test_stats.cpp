@@ -1,0 +1,179 @@
+#include "des/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "des/distributions.hpp"
+#include "des/rng.hpp"
+
+namespace mobichk::des {
+namespace {
+
+TEST(Counter, AddsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(5);
+  EXPECT_EQ(c.value(), 6u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Tally, KnownValues) {
+  Tally t;
+  for (const f64 x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) t.add(x);
+  EXPECT_EQ(t.count(), 8u);
+  EXPECT_DOUBLE_EQ(t.mean(), 5.0);
+  // Sample variance of this classic dataset is 32/7.
+  EXPECT_NEAR(t.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(t.min(), 2.0);
+  EXPECT_DOUBLE_EQ(t.max(), 9.0);
+  EXPECT_DOUBLE_EQ(t.sum(), 40.0);
+}
+
+TEST(Tally, EmptyIsSafe) {
+  Tally t;
+  EXPECT_EQ(t.count(), 0u);
+  EXPECT_DOUBLE_EQ(t.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(t.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(t.stddev(), 0.0);
+}
+
+TEST(Tally, SingleObservationHasZeroVariance) {
+  Tally t;
+  t.add(42.0);
+  EXPECT_DOUBLE_EQ(t.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(t.variance(), 0.0);
+}
+
+TEST(Tally, NumericallyStableForLargeOffsets) {
+  // Welford must not lose the tiny variance under a huge common offset.
+  Tally t;
+  const f64 offset = 1e9;
+  for (const f64 x : {offset + 1.0, offset + 2.0, offset + 3.0}) t.add(x);
+  EXPECT_NEAR(t.variance(), 1.0, 1e-6);
+}
+
+TEST(TimeWeighted, PiecewiseConstantAverage) {
+  TimeWeighted tw(0.0);
+  tw.update(0.0, 2.0);   // value 2 on [0, 4)
+  tw.update(4.0, 6.0);   // value 6 on [4, 8)
+  EXPECT_DOUBLE_EQ(tw.average(8.0), 4.0);
+  EXPECT_DOUBLE_EQ(tw.current(), 6.0);
+}
+
+TEST(TimeWeighted, AccountsOpenInterval) {
+  TimeWeighted tw(0.0);
+  tw.update(0.0, 10.0);
+  EXPECT_DOUBLE_EQ(tw.average(5.0), 10.0);
+}
+
+TEST(TimeWeighted, NonZeroStart) {
+  TimeWeighted tw(100.0);
+  tw.update(100.0, 1.0);
+  tw.update(110.0, 3.0);
+  EXPECT_DOUBLE_EQ(tw.average(120.0), 2.0);
+}
+
+TEST(Histogram, BinsCountsAndOverflow) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-1.0);
+  h.add(0.0);
+  h.add(5.5);
+  h.add(9.999);
+  h.add(10.0);
+  h.add(25.0);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(5), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(10.0, 20.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 12.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 18.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 20.0);
+}
+
+TEST(Histogram, QuantileOfUniformData) {
+  Histogram h(0.0, 1.0, 100);
+  RngStream rng(3, "hist");
+  for (int i = 0; i < 100000; ++i) h.add(rng.uniform01());
+  EXPECT_NEAR(h.quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(h.quantile(0.9), 0.9, 0.02);
+  EXPECT_NEAR(h.quantile(0.1), 0.1, 0.02);
+}
+
+TEST(BatchMeans, FormsBatches) {
+  BatchMeans bm(10);
+  for (int i = 0; i < 95; ++i) bm.add(1.0);
+  EXPECT_EQ(bm.completed_batches(), 9u);
+  EXPECT_DOUBLE_EQ(bm.mean(), 1.0);
+}
+
+TEST(BatchMeans, BatchAveragesAreCorrect) {
+  BatchMeans bm(2);
+  bm.add(1.0);
+  bm.add(3.0);  // batch mean 2
+  bm.add(5.0);
+  bm.add(7.0);  // batch mean 6
+  EXPECT_EQ(bm.completed_batches(), 2u);
+  EXPECT_DOUBLE_EQ(bm.mean(), 4.0);
+}
+
+TEST(StudentT, TableValues) {
+  EXPECT_NEAR(student_t_critical(0.95, 1), 12.706, 1e-3);
+  EXPECT_NEAR(student_t_critical(0.95, 4), 2.776, 1e-3);
+  EXPECT_NEAR(student_t_critical(0.99, 10), 3.169, 1e-3);
+  EXPECT_NEAR(student_t_critical(0.90, 30), 1.697, 1e-3);
+  // Large dof approaches the normal quantiles.
+  EXPECT_NEAR(student_t_critical(0.95, 100000), 1.96, 0.01);
+}
+
+TEST(ConfidenceHalfWidth, MatchesManualComputation) {
+  Tally t;
+  for (const f64 x : {10.0, 12.0, 14.0, 16.0, 18.0}) t.add(x);
+  // mean 14, sd = sqrt(10), n = 5, t(0.95, 4) = 2.776.
+  const f64 expect = 2.776 * std::sqrt(10.0) / std::sqrt(5.0);
+  EXPECT_NEAR(confidence_half_width(t, 0.95), expect, 1e-3);
+}
+
+TEST(ConfidenceHalfWidth, ZeroForTinySamples) {
+  Tally t;
+  EXPECT_DOUBLE_EQ(confidence_half_width(t, 0.95), 0.0);
+  t.add(1.0);
+  EXPECT_DOUBLE_EQ(confidence_half_width(t, 0.95), 0.0);
+}
+
+TEST(ConfidenceInterval, CoversTrueMeanOfExponential) {
+  // 95% CI over replicated exponential means should cover 1.0 most of
+  // the time; with 40 replications of 1000 draws this is overwhelmingly
+  // likely for a correct implementation.
+  RngStream rng(17, "ci");
+  Exponential dist(1.0);
+  Tally means;
+  for (int rep = 0; rep < 40; ++rep) {
+    Tally inner;
+    for (int i = 0; i < 1000; ++i) inner.add(dist.sample(rng));
+    means.add(inner.mean());
+  }
+  const f64 hw = confidence_half_width(means, 0.99);
+  EXPECT_LT(std::abs(means.mean() - 1.0), hw + 0.02);
+}
+
+TEST(FormatCi, ProducesPlusMinus) {
+  Tally t;
+  t.add(1.0);
+  t.add(3.0);
+  const std::string s = format_ci(t, 0.95);
+  EXPECT_NE(s.find("2"), std::string::npos);
+  EXPECT_NE(s.find("±"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mobichk::des

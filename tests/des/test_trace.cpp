@@ -1,0 +1,67 @@
+#include "des/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mobichk::des {
+namespace {
+
+TEST(VectorSink, StoresRecordsInOrder) {
+  VectorSink sink;
+  sink.record({1.0, 2, TraceKind::kSend, 3, 4});
+  sink.record({2.0, 5, TraceKind::kReceive, 6, 7});
+  ASSERT_EQ(sink.records().size(), 2u);
+  EXPECT_EQ(sink.records()[0].actor, 2u);
+  EXPECT_EQ(sink.records()[1].kind, TraceKind::kReceive);
+}
+
+TEST(HashSink, DeterministicForSameStream) {
+  HashSink a, b;
+  for (int i = 0; i < 100; ++i) {
+    const TraceRecord rec{static_cast<Time>(i), static_cast<u32>(i % 7), TraceKind::kSend,
+                          static_cast<u64>(i), 0};
+    a.record(rec);
+    b.record(rec);
+  }
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(HashSink, SensitiveToContent) {
+  HashSink a, b;
+  a.record({1.0, 1, TraceKind::kSend, 1, 0});
+  b.record({1.0, 1, TraceKind::kSend, 2, 0});
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(HashSink, SensitiveToOrder) {
+  HashSink a, b;
+  const TraceRecord r1{1.0, 1, TraceKind::kSend, 1, 0};
+  const TraceRecord r2{2.0, 2, TraceKind::kReceive, 2, 0};
+  a.record(r1);
+  a.record(r2);
+  b.record(r2);
+  b.record(r1);
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(TeeSink, FansOut) {
+  VectorSink v;
+  HashSink h;
+  TeeSink tee;
+  tee.attach(&v);
+  tee.attach(&h);
+  tee.record({1.0, 1, TraceKind::kHandoff, 0, 1});
+  EXPECT_EQ(v.records().size(), 1u);
+  HashSink expect;
+  expect.record({1.0, 1, TraceKind::kHandoff, 0, 1});
+  EXPECT_EQ(h.hash(), expect.hash());
+}
+
+TEST(TraceKindNames, AllDistinct) {
+  EXPECT_STREQ(trace_kind_name(TraceKind::kSend), "send");
+  EXPECT_STREQ(trace_kind_name(TraceKind::kBasicCheckpoint), "basic-ckpt");
+  EXPECT_STREQ(trace_kind_name(TraceKind::kForcedCheckpoint), "forced-ckpt");
+  EXPECT_STRNE(trace_kind_name(TraceKind::kDeliver), trace_kind_name(TraceKind::kReceive));
+}
+
+}  // namespace
+}  // namespace mobichk::des

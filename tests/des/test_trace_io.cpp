@@ -1,0 +1,100 @@
+#include "des/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mobichk::des {
+namespace {
+
+std::vector<TraceRecord> sample_records() {
+  return {
+      {0.0, 1, TraceKind::kInternalEvent, 5, 0},
+      {1.25, 2, TraceKind::kSend, 10, 3},
+      {1.26, 3, TraceKind::kDeliver, 10, 2},
+      {2.5, 3, TraceKind::kReceive, 10, 2},
+      {7.125, 1, TraceKind::kHandoff, 0, 4},
+      {9.0, 1, TraceKind::kBasicCheckpoint, 3, 1},
+  };
+}
+
+TEST(TraceIo, RoundTripPreservesEverything) {
+  const auto records = sample_records();
+  std::stringstream ss;
+  write_trace(ss, records);
+  const auto back = read_trace(ss);
+  ASSERT_EQ(back.size(), records.size());
+  for (usize i = 0; i < records.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back[i].time, records[i].time);
+    EXPECT_EQ(back[i].actor, records[i].actor);
+    EXPECT_EQ(back[i].kind, records[i].kind);
+    EXPECT_EQ(back[i].a, records[i].a);
+    EXPECT_EQ(back[i].b, records[i].b);
+  }
+}
+
+TEST(TraceIo, RoundTripPreservesHash) {
+  const auto records = sample_records();
+  HashSink before;
+  for (const auto& r : records) before.record(r);
+  std::stringstream ss;
+  write_trace(ss, records);
+  HashSink after;
+  for (const auto& r : read_trace(ss)) after.record(r);
+  EXPECT_EQ(before.hash(), after.hash());
+}
+
+TEST(TraceIo, ExactDoubleTimesSurvive) {
+  // Full 17-digit precision: an awkward time value must round-trip bit
+  // for bit.
+  std::vector<TraceRecord> records{{0.1 + 0.2, 0, TraceKind::kUser, 0, 0}};
+  std::stringstream ss;
+  write_trace(ss, records);
+  const auto back = read_trace(ss);
+  EXPECT_EQ(back[0].time, 0.1 + 0.2);
+}
+
+TEST(TraceIo, RejectsBadHeader) {
+  std::stringstream ss("not-a-trace\n1 2 3 4 5\n");
+  EXPECT_THROW(read_trace(ss), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsMalformedRecord) {
+  std::stringstream ss("mobichk-trace v1\n1.0\tnot-a-number\n");
+  EXPECT_THROW(read_trace(ss), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsUnknownKind) {
+  std::stringstream ss("mobichk-trace v1\n1.0\t0\t250\t0\t0\n");
+  EXPECT_THROW(read_trace(ss), std::runtime_error);
+}
+
+TEST(TraceIo, EmptyTraceIsValid) {
+  std::stringstream ss;
+  write_trace(ss, {});
+  EXPECT_TRUE(read_trace(ss).empty());
+}
+
+TEST(TraceIo, StreamSinkMatchesBatchWriter) {
+  const auto records = sample_records();
+  std::stringstream batch, stream;
+  write_trace(batch, records);
+  {
+    StreamSink sink(stream);
+    for (const auto& r : records) sink.record(r);
+  }
+  EXPECT_EQ(batch.str(), stream.str());
+}
+
+TEST(TraceSummary, CountsPerKind) {
+  const auto s = summarize(sample_records());
+  EXPECT_EQ(s.total, 6u);
+  EXPECT_EQ(s.of(TraceKind::kSend), 1u);
+  EXPECT_EQ(s.of(TraceKind::kInternalEvent), 1u);
+  EXPECT_EQ(s.of(TraceKind::kForcedCheckpoint), 0u);
+  EXPECT_DOUBLE_EQ(s.first_time, 0.0);
+  EXPECT_DOUBLE_EQ(s.last_time, 9.0);
+}
+
+}  // namespace
+}  // namespace mobichk::des

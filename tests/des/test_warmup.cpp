@@ -1,0 +1,72 @@
+#include "des/warmup.hpp"
+
+#include <gtest/gtest.h>
+
+#include "des/distributions.hpp"
+#include "des/rng.hpp"
+
+namespace mobichk::des {
+namespace {
+
+TEST(Mser, EmptySeriesIsSafe) {
+  const MserResult r = mser({});
+  EXPECT_EQ(r.truncation_index, 0u);
+  EXPECT_DOUBLE_EQ(r.truncated_mean, 0.0);
+}
+
+TEST(Mser, TinySeriesReturnsPlainMean) {
+  const MserResult r = mser({2.0, 4.0, 6.0});
+  EXPECT_EQ(r.truncation_index, 0u);
+  EXPECT_DOUBLE_EQ(r.truncated_mean, 4.0);
+}
+
+TEST(Mser, StationarySeriesKeepsEverything) {
+  std::vector<f64> series;
+  RngStream rng(1, "mser-flat");
+  for (int i = 0; i < 500; ++i) series.push_back(10.0 + rng.uniform01());
+  const MserResult r = mser(series);
+  // No transient: truncation should be at (or very near) zero.
+  EXPECT_LE(r.truncation_batches, 5u);
+  EXPECT_NEAR(r.truncated_mean, 10.5, 0.1);
+}
+
+TEST(Mser, DetectsInitialTransient) {
+  // A decaying start-up bias on top of a stationary level.
+  std::vector<f64> series;
+  RngStream rng(2, "mser-trans");
+  for (int i = 0; i < 1000; ++i) {
+    const f64 bias = 50.0 * std::exp(-static_cast<f64>(i) / 40.0);
+    series.push_back(10.0 + bias + rng.uniform01());
+  }
+  const MserResult r = mser(series);
+  EXPECT_GT(r.truncation_index, 50u);   // the bias region is discarded
+  EXPECT_LT(r.truncation_index, 500u);  // but not half the run
+  EXPECT_NEAR(r.truncated_mean, 10.5, 0.5);
+}
+
+TEST(Mser, TruncatedMeanMatchesManualAverage) {
+  std::vector<f64> series{100.0, 100.0, 100.0, 100.0, 100.0,  // one hot batch
+                          1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0,
+                          1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+  const MserResult r = mser(series, 5);
+  EXPECT_EQ(r.truncation_batches, 1u);
+  EXPECT_EQ(r.truncation_index, 5u);
+  EXPECT_DOUBLE_EQ(r.truncated_mean, 1.0);
+}
+
+TEST(Mser, TruncationCappedAtHalf) {
+  // A series that keeps trending never settles; MSER must still not
+  // discard more than half.
+  std::vector<f64> series;
+  for (int i = 0; i < 200; ++i) series.push_back(static_cast<f64>(i));
+  const MserResult r = mser(series);
+  EXPECT_LE(r.truncation_batches, 20u);  // 40 batches total -> at most 20
+}
+
+TEST(Mser, BatchSizeZeroTreatedAsOne) {
+  const MserResult r = mser({5.0, 5.0, 5.0, 5.0}, 0);
+  EXPECT_DOUBLE_EQ(r.truncated_mean, 5.0);
+}
+
+}  // namespace
+}  // namespace mobichk::des

@@ -1,0 +1,58 @@
+#include "net/message.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mobichk::net {
+namespace {
+
+TEST(Piggyback, EmptyHasZeroWireBytes) {
+  const Piggyback pb;
+  EXPECT_EQ(pb.wire_bytes(), 0u);
+}
+
+TEST(Piggyback, SequenceNumberCostsEightBytes) {
+  Piggyback pb;
+  pb.sn = 42;
+  pb.has_sn = true;
+  EXPECT_EQ(pb.wire_bytes(), sizeof(u64));
+}
+
+TEST(Piggyback, SnWithoutFlagIsFree) {
+  // An sn value left over in the struct does not ride the wire unless
+  // the protocol claims it.
+  Piggyback pb;
+  pb.sn = 42;
+  EXPECT_EQ(pb.wire_bytes(), 0u);
+}
+
+TEST(Piggyback, VectorsCostFourBytesPerEntry) {
+  Piggyback pb;
+  pb.vec_a.assign(10, 0);
+  pb.vec_b.assign(10, 0);
+  EXPECT_EQ(pb.wire_bytes(), 20 * sizeof(u32));
+}
+
+TEST(Piggyback, TagCostsFourBytesWhenSet) {
+  Piggyback pb;
+  pb.tag = 7;
+  EXPECT_EQ(pb.wire_bytes(), sizeof(u32));
+  pb.tag = 0;
+  EXPECT_EQ(pb.wire_bytes(), 0u);
+}
+
+TEST(AppMessage, WireBytesIsPayloadPlusPiggyback) {
+  AppMessage msg;
+  msg.payload_bytes = 256;
+  msg.pb.has_sn = true;
+  EXPECT_EQ(msg.wire_bytes(), 256 + sizeof(u64));
+}
+
+TEST(AppMessage, DefaultsAreEmpty) {
+  const AppMessage msg;
+  EXPECT_EQ(msg.id, 0u);
+  EXPECT_EQ(msg.send_pos, 0u);
+  EXPECT_EQ(msg.wire_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace mobichk::net

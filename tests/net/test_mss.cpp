@@ -1,0 +1,58 @@
+#include "net/mss.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mobichk::net {
+namespace {
+
+AppMessage msg(u64 id) {
+  AppMessage m;
+  m.id = id;
+  return m;
+}
+
+TEST(Mss, BuffersPerHostFifo) {
+  Mss mss(0);
+  mss.buffer_message(1, msg(10));
+  mss.buffer_message(1, msg(11));
+  mss.buffer_message(2, msg(20));
+  EXPECT_EQ(mss.buffered_count(1), 2u);
+  EXPECT_EQ(mss.buffered_count(2), 1u);
+  const auto drained = mss.drain_buffer(1);
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_EQ(drained[0].id, 10u);  // FIFO order preserved
+  EXPECT_EQ(drained[1].id, 11u);
+  EXPECT_EQ(mss.buffered_count(1), 0u);
+  EXPECT_EQ(mss.buffered_count(2), 1u);  // other hosts untouched
+}
+
+TEST(Mss, DrainEmptyIsEmpty) {
+  Mss mss(3);
+  EXPECT_TRUE(mss.drain_buffer(7).empty());
+  EXPECT_EQ(mss.buffered_count(7), 0u);
+}
+
+TEST(Mss, LifetimeCountersAccumulate) {
+  Mss mss(1);
+  EXPECT_EQ(mss.id(), 1u);
+  mss.buffer_message(0, msg(1));
+  mss.drain_buffer(0);
+  mss.buffer_message(0, msg(2));
+  EXPECT_EQ(mss.messages_buffered(), 2u);  // lifetime, not current
+  mss.note_routed();
+  mss.note_routed();
+  EXPECT_EQ(mss.messages_routed(), 2u);
+}
+
+TEST(Mss, RebufferingAfterDrainWorks) {
+  Mss mss(0);
+  mss.buffer_message(5, msg(1));
+  mss.drain_buffer(5);
+  mss.buffer_message(5, msg(2));
+  const auto drained = mss.drain_buffer(5);
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0].id, 2u);
+}
+
+}  // namespace
+}  // namespace mobichk::net

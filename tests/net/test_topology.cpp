@@ -1,0 +1,104 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "des/simulator.hpp"
+#include "net/network.hpp"
+
+namespace mobichk::net {
+namespace {
+
+TEST(MssTopology, FullMeshIsOneHopEverywhere) {
+  MssTopology t(MssTopologyKind::kFullMesh, 5);
+  for (MssId a = 0; a < 5; ++a) {
+    for (MssId b = 0; b < 5; ++b) {
+      EXPECT_EQ(t.hops(a, b), a == b ? 0u : 1u);
+    }
+  }
+  EXPECT_EQ(t.diameter(), 1u);
+}
+
+TEST(MssTopology, RingDistances) {
+  MssTopology t(MssTopologyKind::kRing, 6);
+  EXPECT_EQ(t.hops(0, 1), 1u);
+  EXPECT_EQ(t.hops(0, 2), 2u);
+  EXPECT_EQ(t.hops(0, 3), 3u);
+  EXPECT_EQ(t.hops(0, 4), 2u);  // shorter the other way around
+  EXPECT_EQ(t.hops(0, 5), 1u);
+  EXPECT_EQ(t.diameter(), 3u);
+}
+
+TEST(MssTopology, LineDistances) {
+  MssTopology t(MssTopologyKind::kLine, 5);
+  EXPECT_EQ(t.hops(0, 4), 4u);
+  EXPECT_EQ(t.hops(1, 3), 2u);
+  EXPECT_EQ(t.diameter(), 4u);
+}
+
+TEST(MssTopology, StarDistances) {
+  MssTopology t(MssTopologyKind::kStar, 5);
+  EXPECT_EQ(t.hops(0, 3), 1u);  // hub to leaf
+  EXPECT_EQ(t.hops(2, 4), 2u);  // leaf to leaf via the hub
+  EXPECT_EQ(t.diameter(), 2u);
+}
+
+TEST(MssTopology, SymmetricDistances) {
+  for (const auto kind : {MssTopologyKind::kRing, MssTopologyKind::kLine,
+                          MssTopologyKind::kStar, MssTopologyKind::kFullMesh}) {
+    MssTopology t(kind, 7);
+    for (MssId a = 0; a < 7; ++a) {
+      for (MssId b = 0; b < 7; ++b) {
+        EXPECT_EQ(t.hops(a, b), t.hops(b, a)) << mss_topology_name(kind);
+      }
+    }
+  }
+}
+
+TEST(MssTopology, SingleMss) {
+  MssTopology t(MssTopologyKind::kRing, 1);
+  EXPECT_EQ(t.hops(0, 0), 0u);
+  EXPECT_EQ(t.diameter(), 0u);
+}
+
+TEST(MssTopology, TwoMssRingAndLineCoincide) {
+  MssTopology ring(MssTopologyKind::kRing, 2);
+  MssTopology line(MssTopologyKind::kLine, 2);
+  EXPECT_EQ(ring.hops(0, 1), 1u);
+  EXPECT_EQ(line.hops(0, 1), 1u);
+}
+
+TEST(TopologyNetwork, LineTopologyMultipliesWiredLatency) {
+  des::Simulator sim;
+  NetworkConfig cfg;
+  cfg.n_hosts = 2;
+  cfg.n_mss = 5;
+  cfg.mss_topology = MssTopologyKind::kLine;
+  Network net(sim, cfg, 1);
+  NullHostEventHandler handler;
+  net.set_handler(&handler);
+  net.start({0, 4});  // hosts at the two ends of the chain
+  net.send_app_message(0, 1, 10);
+  sim.run();
+  // wireless 0.01 + 4 wired hops x 0.01 + wireless 0.01.
+  EXPECT_NEAR(sim.now(), 0.06, 1e-9);
+  EXPECT_EQ(net.stats().wired_hops, 4u);
+}
+
+TEST(TopologyNetwork, StarRoutesThroughHub) {
+  des::Simulator sim;
+  NetworkConfig cfg;
+  cfg.n_hosts = 2;
+  cfg.n_mss = 4;
+  cfg.mss_topology = MssTopologyKind::kStar;
+  Network net(sim, cfg, 1);
+  NullHostEventHandler handler;
+  net.set_handler(&handler);
+  net.start({1, 3});  // two leaves
+  net.send_app_message(0, 1, 10);
+  sim.run();
+  EXPECT_NEAR(sim.now(), 0.04, 1e-9);  // 2 wireless + 2 wired
+  EXPECT_EQ(net.stats().wired_hops, 2u);
+}
+
+}  // namespace
+}  // namespace mobichk::net

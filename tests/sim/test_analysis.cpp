@@ -1,0 +1,109 @@
+#include "sim/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mobichk::sim {
+namespace {
+
+TEST(SteadyState, SpecValidation) {
+  SteadyStateSpec spec;
+  spec.window = 0.0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = SteadyStateSpec{};
+  spec.cfg.sim_length = 100.0;
+  spec.window = 50.0;  // fewer than 4 windows
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = SteadyStateSpec{};
+  spec.protocols.clear();
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(SteadyState, RatesMatchDirectCounts) {
+  SteadyStateSpec spec;
+  spec.cfg.sim_length = 40'000.0;
+  spec.cfg.t_switch = 500.0;
+  spec.cfg.p_switch = 0.8;
+  spec.cfg.seed = 3;
+  spec.window = 400.0;
+  const auto estimates = estimate_steady_state(spec);
+  ASSERT_EQ(estimates.size(), 3u);
+
+  // Cross-check against the plain end-to-end counts: the steady-state
+  // rate x horizon should be within ~15% of N_tot (warm-up shifts it a
+  // little, which is the point).
+  ExperimentOptions opts;
+  const RunResult direct = run_experiment(spec.cfg, opts);
+  for (usize s = 0; s < estimates.size(); ++s) {
+    const f64 projected = estimates[s].rate * spec.cfg.sim_length;
+    const f64 actual = static_cast<f64>(direct.protocols[s].n_tot);
+    EXPECT_NEAR(projected / actual, 1.0, 0.15) << estimates[s].protocol;
+    EXPECT_EQ(estimates[s].windows, 100u);
+    EXPECT_GE(estimates[s].ci95, 0.0);
+  }
+  // The ranking survives the analysis.
+  EXPECT_GT(estimates[0].rate, estimates[1].rate);  // TP > BCS
+  EXPECT_GE(estimates[1].rate, estimates[2].rate);  // BCS >= QBC
+}
+
+TEST(SteadyState, WarmupStaysInFirstHalf) {
+  SteadyStateSpec spec;
+  spec.cfg.sim_length = 20'000.0;
+  spec.window = 200.0;
+  const auto estimates = estimate_steady_state(spec);
+  for (const auto& est : estimates) {
+    EXPECT_LE(est.warmup_windows, est.windows / 2 + spec.mser_batch);
+  }
+}
+
+TEST(Precision, StopsWhenTargetMet) {
+  PrecisionSpec spec;
+  spec.base.sim_length = 10'000.0;
+  spec.base.t_switch = 500.0;
+  spec.base.p_switch = 0.8;
+  spec.target_relative_ci = 0.25;  // generous: a handful of seeds suffices
+  spec.min_seeds = 3;
+  spec.max_seeds = 20;
+  const PrecisionResult result = run_until_precision(spec);
+  EXPECT_TRUE(result.target_met);
+  EXPECT_GE(result.seeds_used, spec.min_seeds);
+  EXPECT_LE(result.seeds_used, spec.max_seeds);
+  for (const auto& p : result.protocols) {
+    EXPECT_GT(p.n_tot_mean, 0.0);
+    EXPECT_LE(p.ci95 / p.n_tot_mean, spec.target_relative_ci);
+  }
+}
+
+TEST(Precision, TightTargetUsesMoreSeeds) {
+  PrecisionSpec loose;
+  loose.base.sim_length = 5'000.0;
+  loose.base.t_switch = 500.0;
+  loose.target_relative_ci = 0.5;
+  PrecisionSpec tight = loose;
+  tight.target_relative_ci = 0.05;
+  tight.max_seeds = 40;
+  const auto a = run_until_precision(loose);
+  const auto b = run_until_precision(tight);
+  EXPECT_GE(b.seeds_used, a.seeds_used);
+}
+
+TEST(Precision, RespectsMaxSeeds) {
+  PrecisionSpec spec;
+  spec.base.sim_length = 2'000.0;
+  spec.target_relative_ci = 1e-6;  // unreachable
+  spec.max_seeds = 5;
+  const PrecisionResult result = run_until_precision(spec);
+  EXPECT_FALSE(result.target_met);
+  EXPECT_EQ(result.seeds_used, 5u);
+}
+
+TEST(Precision, BadBoundsThrow) {
+  PrecisionSpec spec;
+  spec.min_seeds = 0;
+  EXPECT_THROW(run_until_precision(spec), std::invalid_argument);
+  spec.min_seeds = 10;
+  spec.max_seeds = 5;
+  EXPECT_THROW(run_until_precision(spec), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mobichk::sim

@@ -1,0 +1,75 @@
+#include "sim/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mobichk::sim {
+namespace {
+
+ArgParser parse(std::initializer_list<const char*> argv_tail) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), argv_tail.begin(), argv_tail.end());
+  return ArgParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgParser, EqualsSyntax) {
+  const auto args = parse({"--length=5000", "--name=hello"});
+  EXPECT_DOUBLE_EQ(args.get_f64("length", 0.0), 5000.0);
+  EXPECT_EQ(args.get_string("name", ""), "hello");
+}
+
+TEST(ArgParser, SpaceSyntax) {
+  const auto args = parse({"--seeds", "7", "--title", "abc"});
+  EXPECT_EQ(args.get_u64("seeds", 0), 7u);
+  EXPECT_EQ(args.get_string("title", ""), "abc");
+}
+
+TEST(ArgParser, BareFlagIsTrue) {
+  const auto args = parse({"--verify", "--csv"});
+  EXPECT_TRUE(args.get_flag("verify"));
+  EXPECT_TRUE(args.get_flag("csv"));
+  EXPECT_FALSE(args.get_flag("json"));
+}
+
+TEST(ArgParser, FlagFollowedByFlagDoesNotSwallow) {
+  const auto args = parse({"--verify", "--seeds=3"});
+  EXPECT_TRUE(args.get_flag("verify"));
+  EXPECT_EQ(args.get_u64("seeds", 0), 3u);
+}
+
+TEST(ArgParser, DefaultsWhenMissing) {
+  const auto args = parse({});
+  EXPECT_DOUBLE_EQ(args.get_f64("x", 1.25), 1.25);
+  EXPECT_EQ(args.get_u64("y", 9), 9u);
+  EXPECT_EQ(args.get_u32("z", 4), 4u);
+  EXPECT_EQ(args.get_string("s", "d"), "d");
+  EXPECT_FALSE(args.has("x"));
+}
+
+TEST(ArgParser, PositionalArguments) {
+  const auto args = parse({"run", "--seed=1", "extra"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "run");
+  EXPECT_EQ(args.positional()[1], "extra");
+  EXPECT_EQ(args.get_u64("seed", 0), 1u);
+}
+
+TEST(ArgParser, ExplicitBooleanValues) {
+  const auto args = parse({"--a=true", "--b=1", "--c=yes", "--d=false"});
+  EXPECT_TRUE(args.get_flag("a"));
+  EXPECT_TRUE(args.get_flag("b"));
+  EXPECT_TRUE(args.get_flag("c"));
+  EXPECT_FALSE(args.get_flag("d"));
+}
+
+TEST(ArgParser, LastValueWins) {
+  const auto args = parse({"--seed=1", "--seed=2"});
+  EXPECT_EQ(args.get_u64("seed", 0), 2u);
+}
+
+TEST(ArgParser, NegativeNumbersViaEquals) {
+  const auto args = parse({"--offset=-3.5"});
+  EXPECT_DOUBLE_EQ(args.get_f64("offset", 0.0), -3.5);
+}
+
+}  // namespace
+}  // namespace mobichk::sim

@@ -1,0 +1,76 @@
+#include "sim/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mobichk::sim {
+namespace {
+
+TEST(SimConfig, DefaultsAreValidAndMatchPaper) {
+  SimConfig cfg;
+  EXPECT_NO_THROW(cfg.validate());
+  EXPECT_EQ(cfg.network.n_hosts, 10u);
+  EXPECT_EQ(cfg.network.n_mss, 5u);
+  EXPECT_DOUBLE_EQ(cfg.network.wireless_latency, 0.01);
+  EXPECT_DOUBLE_EQ(cfg.network.wired_latency, 0.01);
+  EXPECT_DOUBLE_EQ(cfg.p_send, 0.4);
+  EXPECT_DOUBLE_EQ(cfg.internal_mean, 1.0);
+  EXPECT_DOUBLE_EQ(cfg.disconnect_mean, 1000.0);
+  EXPECT_DOUBLE_EQ(cfg.disconnect_residence_divisor, 3.0);
+  EXPECT_DOUBLE_EQ(cfg.fast_factor, 10.0);
+}
+
+TEST(SimConfig, ValidationCatchesBadValues) {
+  SimConfig cfg;
+  cfg.sim_length = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = SimConfig{};
+  cfg.p_send = 1.5;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = SimConfig{};
+  cfg.t_switch = -1.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = SimConfig{};
+  cfg.p_switch = 2.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = SimConfig{};
+  cfg.heterogeneity = -0.1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = SimConfig{};
+  cfg.comm_mean = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = SimConfig{};
+  cfg.ckpt_latency = -1.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(SimConfig, HeterogeneitySplit) {
+  SimConfig cfg;  // 10 hosts
+  cfg.heterogeneity = 0.0;
+  EXPECT_EQ(cfg.fast_host_count(), 0u);
+  cfg.heterogeneity = 0.3;
+  EXPECT_EQ(cfg.fast_host_count(), 3u);
+  cfg.heterogeneity = 0.5;
+  EXPECT_EQ(cfg.fast_host_count(), 5u);
+  cfg.heterogeneity = 1.0;
+  EXPECT_EQ(cfg.fast_host_count(), 10u);
+}
+
+TEST(SimConfig, ResidenceMeansFollowHeterogeneity) {
+  SimConfig cfg;
+  cfg.t_switch = 1000.0;
+  cfg.heterogeneity = 0.3;
+  // Paper convention: fast hosts have T_switch / 10.
+  for (net::HostId h = 0; h < 3; ++h) EXPECT_DOUBLE_EQ(cfg.residence_mean_for(h), 100.0);
+  for (net::HostId h = 3; h < 10; ++h) EXPECT_DOUBLE_EQ(cfg.residence_mean_for(h), 1000.0);
+}
+
+TEST(MobilityModelNames, Distinct) {
+  EXPECT_STREQ(mobility_model_name(MobilityModelKind::kPaperUniform), "paper-uniform");
+  EXPECT_STREQ(mobility_model_name(MobilityModelKind::kRingNeighbor), "ring-neighbor");
+  EXPECT_STREQ(mobility_model_name(MobilityModelKind::kParetoResidence), "pareto-residence");
+}
+
+}  // namespace
+}  // namespace mobichk::sim

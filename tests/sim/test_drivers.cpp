@@ -1,0 +1,223 @@
+// Workload and mobility driver tests: do the stochastic drivers produce
+// the rates and state transitions the paper's model specifies?
+#include <gtest/gtest.h>
+
+#include "core/harness.hpp"
+#include "core/protocols/basic_only.hpp"
+#include "des/simulator.hpp"
+#include "net/network.hpp"
+#include "sim/mobility.hpp"
+#include "sim/workload.hpp"
+
+namespace mobichk::sim {
+namespace {
+
+struct Rig {
+  explicit Rig(const SimConfig& cfg)
+      : config(cfg), net(sim, cfg.network, cfg.seed), harness(net) {
+    harness.add_protocol(std::make_unique<core::BasicOnlyProtocol>());
+    net.start();
+  }
+
+  SimConfig config;
+  des::Simulator sim;
+  net::Network net;
+  core::ProtocolHarness harness;
+};
+
+TEST(WorkloadDriver, CommunicationRateMatchesCommMean) {
+  SimConfig cfg;
+  cfg.sim_length = 20'000.0;
+  cfg.comm_mean = 20.0;
+  cfg.p_switch = 1.0;
+  cfg.t_switch = 1e9;  // effectively no mobility
+  Rig rig(cfg);
+  WorkloadDriver workload(rig.sim, rig.net, cfg);
+  workload.start();
+  rig.sim.run_until(cfg.sim_length);
+  const f64 expected_ops = 10.0 * cfg.sim_length / cfg.comm_mean;  // 10 hosts
+  EXPECT_NEAR(static_cast<f64>(workload.ops_executed()), expected_ops, expected_ops * 0.05);
+}
+
+TEST(WorkloadDriver, SendFractionMatchesPs) {
+  SimConfig cfg;
+  cfg.sim_length = 50'000.0;
+  cfg.p_send = 0.4;
+  Rig rig(cfg);
+  WorkloadDriver workload(rig.sim, rig.net, cfg);
+  workload.start();
+  rig.sim.run_until(cfg.sim_length);
+  const f64 frac = static_cast<f64>(workload.sends()) /
+                   static_cast<f64>(workload.ops_executed());
+  EXPECT_NEAR(frac, 0.4, 0.02);
+  EXPECT_EQ(workload.sends() + workload.receives() + workload.empty_receives(),
+            workload.ops_executed());
+}
+
+TEST(WorkloadDriver, InternalEventsFillGaps) {
+  SimConfig cfg;
+  cfg.sim_length = 10'000.0;
+  cfg.comm_mean = 20.0;
+  cfg.internal_mean = 1.0;
+  Rig rig(cfg);
+  WorkloadDriver workload(rig.sim, rig.net, cfg);
+  workload.start();
+  rig.sim.run_until(cfg.sim_length);
+  // ~comm_mean internal events per communication.
+  const f64 ratio = static_cast<f64>(workload.internal_events()) /
+                    static_cast<f64>(workload.ops_executed());
+  EXPECT_NEAR(ratio, cfg.comm_mean, cfg.comm_mean * 0.1);
+}
+
+TEST(WorkloadDriver, PausedHostDoesNothing) {
+  SimConfig cfg;
+  Rig rig(cfg);
+  WorkloadDriver workload(rig.sim, rig.net, cfg);
+  workload.start();
+  for (net::HostId h = 0; h < rig.net.n_hosts(); ++h) {
+    rig.net.disconnect(h);
+    workload.pause(h);
+  }
+  rig.sim.run_until(5'000.0);
+  EXPECT_EQ(workload.ops_executed(), 0u);
+}
+
+TEST(WorkloadDriver, ResumeRestartsTheLoop) {
+  SimConfig cfg;
+  Rig rig(cfg);
+  WorkloadDriver workload(rig.sim, rig.net, cfg);
+  workload.start();
+  rig.net.disconnect(0);
+  workload.pause(0);
+  rig.sim.run_until(1'000.0);
+  rig.net.reconnect(0, 0);
+  workload.resume(0);
+  const u64 before = workload.ops_executed();
+  rig.sim.run_until(3'000.0);
+  EXPECT_GT(workload.ops_executed(), before + 10);
+}
+
+TEST(MobilityDriver, HandoffRateMatchesResidence) {
+  SimConfig cfg;
+  cfg.sim_length = 100'000.0;
+  cfg.t_switch = 1'000.0;
+  cfg.p_switch = 1.0;  // never disconnect
+  Rig rig(cfg);
+  MobilityDriver mobility(rig.sim, rig.net, cfg, nullptr);
+  mobility.start();
+  rig.sim.run_until(cfg.sim_length);
+  // Expected handoffs = n_hosts * length / t_switch = 1000.
+  EXPECT_NEAR(static_cast<f64>(rig.net.stats().handoffs), 1000.0, 150.0);
+  EXPECT_EQ(rig.net.stats().disconnects, 0u);
+}
+
+TEST(MobilityDriver, DisconnectShareMatchesPSwitch) {
+  SimConfig cfg;
+  cfg.sim_length = 200'000.0;
+  cfg.t_switch = 1'000.0;
+  cfg.p_switch = 0.8;
+  Rig rig(cfg);
+  MobilityDriver mobility(rig.sim, rig.net, cfg, nullptr);
+  mobility.start();
+  rig.sim.run_until(cfg.sim_length);
+  const f64 handoffs = static_cast<f64>(rig.net.stats().handoffs);
+  const f64 disconnects = static_cast<f64>(rig.net.stats().disconnects);
+  // 20% of cell entries end in a disconnection.
+  EXPECT_NEAR(disconnects / (handoffs + disconnects), 0.2, 0.05);
+  EXPECT_NEAR(static_cast<f64>(rig.net.stats().reconnects), disconnects, 2.0);
+}
+
+TEST(MobilityDriver, HeterogeneousHostsMoveFaster) {
+  SimConfig cfg;
+  cfg.sim_length = 50'000.0;
+  cfg.t_switch = 2'000.0;
+  cfg.p_switch = 1.0;
+  cfg.heterogeneity = 0.5;  // hosts 0-4 move 10x faster
+  Rig rig(cfg);
+  MobilityDriver mobility(rig.sim, rig.net, cfg, nullptr);
+  mobility.start();
+  rig.sim.run_until(cfg.sim_length);
+  // Count basic checkpoints per host as a proxy for handoffs per host.
+  const auto& log = rig.harness.log(0);
+  u64 fast = 0, slow = 0;
+  for (net::HostId h = 0; h < 5; ++h) fast += log.count(h);
+  for (net::HostId h = 5; h < 10; ++h) slow += log.count(h);
+  EXPECT_GT(fast, slow * 5);
+}
+
+TEST(MobilityDriver, RingModelOnlyVisitsNeighbors) {
+  SimConfig cfg;
+  cfg.sim_length = 20'000.0;
+  cfg.t_switch = 100.0;
+  cfg.p_switch = 1.0;
+  cfg.mobility_model = MobilityModelKind::kRingNeighbor;
+  des::Simulator sim;
+  des::VectorSink sink;
+  net::Network net(sim, cfg.network, cfg.seed, &sink);
+  core::ProtocolHarness harness(net, &sink);
+  harness.add_protocol(std::make_unique<core::BasicOnlyProtocol>());
+  net.start();
+  MobilityDriver mobility(sim, net, cfg, nullptr);
+  mobility.start();
+  sim.run_until(cfg.sim_length);
+  u64 handoffs = 0;
+  for (const auto& rec : sink.records()) {
+    if (rec.kind != des::TraceKind::kHandoff) continue;
+    ++handoffs;
+    const auto from = static_cast<u32>(rec.a);
+    const auto to = static_cast<u32>(rec.b);
+    const u32 n = cfg.network.n_mss;
+    const bool neighbor = to == (from + 1) % n || to == (from + n - 1) % n;
+    EXPECT_TRUE(neighbor) << "handoff " << from << " -> " << to;
+  }
+  EXPECT_GT(handoffs, 100u);
+}
+
+TEST(MobilityDriver, ParetoResidenceKeepsTheMean) {
+  SimConfig cfg;
+  cfg.sim_length = 200'000.0;
+  cfg.t_switch = 1'000.0;
+  cfg.p_switch = 1.0;
+  cfg.mobility_model = MobilityModelKind::kParetoResidence;
+  Rig rig(cfg);
+  MobilityDriver mobility(rig.sim, rig.net, cfg, nullptr);
+  mobility.start();
+  rig.sim.run_until(cfg.sim_length);
+  // Same mean residence => comparable handoff count (heavy tail, so the
+  // tolerance is wider than the exponential case).
+  EXPECT_NEAR(static_cast<f64>(rig.net.stats().handoffs), 2000.0, 600.0);
+}
+
+TEST(MobilityDriver, DisconnectionDurationRoughlyExponential1000) {
+  SimConfig cfg;
+  cfg.sim_length = 400'000.0;
+  cfg.t_switch = 1'000.0;
+  cfg.p_switch = 0.0;  // every mobility event is a disconnect
+  des::Simulator sim;
+  des::VectorSink sink;
+  net::Network net(sim, cfg.network, cfg.seed, &sink);
+  core::ProtocolHarness harness(net, &sink);
+  harness.add_protocol(std::make_unique<core::BasicOnlyProtocol>());
+  net.start();
+  MobilityDriver mobility(sim, net, cfg, nullptr);
+  mobility.start();
+  sim.run_until(cfg.sim_length);
+  // Match disconnects to subsequent reconnects per host and average.
+  std::vector<f64> last_disconnect(10, -1.0);
+  f64 total = 0.0;
+  u64 count = 0;
+  for (const auto& rec : sink.records()) {
+    if (rec.kind == des::TraceKind::kDisconnect) {
+      last_disconnect.at(rec.actor) = rec.time;
+    } else if (rec.kind == des::TraceKind::kReconnect && last_disconnect.at(rec.actor) >= 0.0) {
+      total += rec.time - last_disconnect.at(rec.actor);
+      ++count;
+      last_disconnect.at(rec.actor) = -1.0;
+    }
+  }
+  ASSERT_GT(count, 100u);
+  EXPECT_NEAR(total / static_cast<f64>(count), 1000.0, 150.0);
+}
+
+}  // namespace
+}  // namespace mobichk::sim

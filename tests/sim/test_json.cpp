@@ -1,0 +1,135 @@
+#include "sim/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+#include "sim/report.hpp"
+#include "sim/sweep.hpp"
+
+namespace mobichk::sim {
+namespace {
+
+std::string compact(std::function<void(JsonWriter&)> build) {
+  std::ostringstream os;
+  JsonWriter w(os, /*pretty=*/false);
+  build(w);
+  return os.str();
+}
+
+TEST(JsonWriter, EmptyObjectAndArray) {
+  EXPECT_EQ(compact([](JsonWriter& w) { w.begin_object().end_object(); }), "{}");
+  EXPECT_EQ(compact([](JsonWriter& w) { w.begin_array().end_array(); }), "[]");
+}
+
+TEST(JsonWriter, SimpleFields) {
+  const std::string s = compact([](JsonWriter& w) {
+    w.begin_object();
+    w.field("a", u64{1}).field("b", 2.5).field("c", "x").field("d", true);
+    w.end_object();
+  });
+  EXPECT_EQ(s, R"({"a": 1,"b": 2.5,"c": "x","d": true})");
+}
+
+TEST(JsonWriter, NestedStructures) {
+  const std::string s = compact([](JsonWriter& w) {
+    w.begin_object();
+    w.key("list").begin_array();
+    w.value(u64{1});
+    w.value(u64{2});
+    w.begin_object();
+    w.field("k", "v");
+    w.end_object();
+    w.end_array();
+    w.end_object();
+  });
+  EXPECT_EQ(s, R"({"list": [1,2,{"k": "v"}]})");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  const std::string s = compact([](JsonWriter& w) {
+    w.begin_object();
+    w.field("quote\"back\\slash", "line\nbreak\ttab");
+    w.end_object();
+  });
+  EXPECT_EQ(s, R"({"quote\"back\\slash": "line\nbreak\ttab"})");
+}
+
+TEST(JsonWriter, NonFiniteNumbersBecomeNull) {
+  const std::string s = compact([](JsonWriter& w) {
+    w.begin_array();
+    w.value(std::numeric_limits<f64>::infinity());
+    w.value(std::numeric_limits<f64>::quiet_NaN());
+    w.end_array();
+  });
+  EXPECT_EQ(s, "[null,null]");
+}
+
+TEST(JsonWriter, NegativeIntegers) {
+  const std::string s = compact([](JsonWriter& w) {
+    w.begin_array();
+    w.value(i64{-42});
+    w.value(-1);
+    w.end_array();
+  });
+  EXPECT_EQ(s, "[-42,-1]");
+}
+
+TEST(JsonReport, RunResultContainsAllSections) {
+  SimConfig cfg;
+  cfg.sim_length = 3'000.0;
+  cfg.seed = 8;
+  const RunResult r = run_experiment(cfg);
+  std::ostringstream os;
+  write_json(os, r);
+  const std::string s = os.str();
+  for (const char* needle :
+       {"\"config\"", "\"network\"", "\"protocols\"", "\"TP\"", "\"BCS\"", "\"QBC\"",
+        "\"n_tot\"", "\"handoffs\"", "\"trace_hash\""}) {
+    EXPECT_NE(s.find(needle), std::string::npos) << needle;
+  }
+  // Balanced braces (cheap well-formedness check).
+  EXPECT_EQ(std::count(s.begin(), s.end(), '{'), std::count(s.begin(), s.end(), '}'));
+  EXPECT_EQ(std::count(s.begin(), s.end(), '['), std::count(s.begin(), s.end(), ']'));
+}
+
+TEST(GnuplotReport, FigureScriptIsWellFormed) {
+  FigureSpec spec;
+  spec.title = "gp-test";
+  spec.base.sim_length = 2'000.0;
+  spec.t_switch_values = {500.0, 1'000.0};
+  spec.seeds = 2;
+  const FigureResult result = run_figure(spec);
+  std::ostringstream os;
+  result.write_gnuplot(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("set logscale xy"), std::string::npos);
+  EXPECT_NE(s.find("\"gp-test\""), std::string::npos);
+  // One inline data block terminator per protocol series.
+  usize blocks = 0;
+  for (usize pos = 0; (pos = s.find("\ne\n", pos)) != std::string::npos; ++pos) ++blocks;
+  EXPECT_EQ(blocks, result.protocol_names.size());
+  // Every series has one data row per sweep point.
+  EXPECT_NE(s.find("500 "), std::string::npos);
+  EXPECT_NE(s.find("1000 "), std::string::npos);
+}
+
+TEST(JsonReport, FigureResultSerializes) {
+  FigureSpec spec;
+  spec.title = "json-test";
+  spec.base.sim_length = 2'000.0;
+  spec.t_switch_values = {500.0, 1'000.0};
+  spec.seeds = 2;
+  const FigureResult result = run_figure(spec);
+  std::ostringstream os;
+  write_json(os, result);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("\"json-test\""), std::string::npos);
+  EXPECT_NE(s.find("\"points\""), std::string::npos);
+  EXPECT_NE(s.find("\"ci95\""), std::string::npos);
+  EXPECT_EQ(std::count(s.begin(), s.end(), '{'), std::count(s.begin(), s.end(), '}'));
+}
+
+}  // namespace
+}  // namespace mobichk::sim

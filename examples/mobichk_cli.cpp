@@ -4,12 +4,17 @@
 //   mobichk_cli figure  [flags]   a T_switch sweep (any figure's config)
 //   mobichk_cli recover [flags]   failure injection + recovery-time report
 //   mobichk_cli trace   [flags]   dump the run's event trace (--out file)
+//   mobichk_cli audit   [flags]   differential determinism audit: the same
+//                                 config under every event-queue kind must
+//                                 give identical trace hashes and N_tot
+//                                 (exit 1 on divergence)
 //
 // Common flags: --length --seed --tswitch --pswitch --psend --h
 //               --hosts --mss --comm-mean --protocols=TP,BCS,QBC
 // figure:       --seeds --threads --csv --json
 // recover:      --failed=<host id>
 // trace:        --out=<path>
+// run:          --audit-determinism (shorthand for the audit command)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -20,6 +25,7 @@
 #include "core/recovery.hpp"
 #include "core/recovery_time.hpp"
 #include "des/trace_io.hpp"
+#include "sim/audit.hpp"
 #include "sim/cli.hpp"
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
@@ -63,7 +69,16 @@ std::vector<core::ProtocolKind> protocols_from(const sim::ArgParser& args) {
   return kinds;
 }
 
+int cmd_audit(const sim::ArgParser& args) {
+  sim::ExperimentOptions opts;
+  opts.protocols = protocols_from(args);
+  const sim::AuditReport report = sim::audit_determinism(config_from(args), opts);
+  report.print(std::cout);
+  return report.deterministic() ? 0 : 1;
+}
+
 int cmd_run(const sim::ArgParser& args) {
+  if (args.get_flag("audit-determinism")) return cmd_audit(args);
   sim::ExperimentOptions opts;
   opts.protocols = protocols_from(args);
   opts.with_storage = true;
@@ -179,7 +194,7 @@ int cmd_trace(const sim::ArgParser& args) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: mobichk_cli <run|figure|recover|trace> [--flags]\n"
+                 "usage: mobichk_cli <run|figure|recover|trace|audit> [--flags]\n"
                  "see the header of examples/mobichk_cli.cpp for the flag list\n");
     return 2;
   }
@@ -190,6 +205,7 @@ int main(int argc, char** argv) {
     if (cmd == "figure") return cmd_figure(args);
     if (cmd == "recover") return cmd_recover(args);
     if (cmd == "trace") return cmd_trace(args);
+    if (cmd == "audit") return cmd_audit(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

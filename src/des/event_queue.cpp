@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "des/sorted_list_queue.hpp"
+
 namespace mobichk::des {
 
 // ---------------------------------------------------------------------------
@@ -11,6 +13,7 @@ namespace mobichk::des {
 // ---------------------------------------------------------------------------
 
 void BinaryHeapQueue::push(EventEntry entry) {
+  pending_.insert(entry.seq);
   heap_.push_back(std::move(entry));
   sift_up(heap_.size() - 1);
   ++live_;
@@ -32,13 +35,20 @@ EventEntry BinaryHeapQueue::pop() {
   std::swap(heap_.front(), heap_.back());
   heap_.pop_back();
   if (!heap_.empty()) sift_down(0);
+  pending_.erase(out.seq);
   --live_;
+  assert(live_ == pending_.size());
   return out;
 }
 
-void BinaryHeapQueue::cancel(u64 seq) {
-  // Lazy: mark and skip at pop time. Only count it once.
-  if (cancelled_.insert(seq).second && live_ > 0) --live_;
+bool BinaryHeapQueue::cancel(u64 seq) {
+  // Lazy: mark and skip at pop time. Only a seq that is still pending may
+  // be cancelled; a fired, unknown or double-cancelled seq must neither
+  // disturb live_ nor leave an immortal tombstone behind.
+  if (pending_.erase(seq) == 0) return false;
+  cancelled_.insert(seq);
+  --live_;
+  return true;
 }
 
 bool BinaryHeapQueue::empty() {
@@ -107,20 +117,27 @@ void CalendarQueue::push(EventEntry entry) {
   // minimum that was then superseded): pull it back so the scan cannot
   // skip the new event.
   if (entry.time < cursor_time_) reposition(entry.time);
+  pending_.insert(entry.seq);
   insert_sorted(buckets_[bucket_of(entry.time)], std::move(entry));
   ++live_;
   if (live_ > 2 * buckets_.size()) resize(buckets_.size() * 2);
 }
 
-void CalendarQueue::cancel(u64 seq) {
-  if (cancelled_.insert(seq).second && live_ > 0) --live_;
+bool CalendarQueue::cancel(u64 seq) {
+  // Only a still-pending seq may be cancelled: decrementing live_ for a
+  // fired or unknown seq made empty() report true while real events were
+  // still bucketed, silently truncating the simulation.
+  if (pending_.erase(seq) == 0) return false;
+  cancelled_.insert(seq);
+  --live_;
+  return true;
 }
 
 bool CalendarQueue::empty() {
-  if (live_ > 0) return false;
-  // live_ == 0 but tombstoned entries may remain; they are unreachable via
-  // pop(), so the queue is logically empty.
-  return true;
+  assert(live_ == pending_.size());
+  // Tombstoned entries may remain in the buckets; they are purged lazily
+  // by pop()/resize(), so the queue is logically empty at live_ == 0.
+  return live_ == 0;
 }
 
 EventEntry CalendarQueue::pop() {
@@ -148,6 +165,7 @@ EventEntry CalendarQueue::pop() {
         current_bucket_ = b;
         cursor_time_ = out.time;
         last_popped_ = out.time;
+        pending_.erase(out.seq);
         --live_;
         if (live_ < buckets_.size() / 2 && buckets_.size() > kMinBuckets) {
           resize(buckets_.size() / 2);
@@ -210,8 +228,22 @@ std::unique_ptr<EventQueue> make_event_queue(QueueKind kind) {
       return std::make_unique<BinaryHeapQueue>();
     case QueueKind::kCalendar:
       return std::make_unique<CalendarQueue>();
+    case QueueKind::kSortedList:
+      return std::make_unique<SortedListQueue>();
   }
   return std::make_unique<BinaryHeapQueue>();
+}
+
+const char* queue_kind_name(QueueKind kind) noexcept {
+  switch (kind) {
+    case QueueKind::kBinaryHeap:
+      return "binary-heap";
+    case QueueKind::kCalendar:
+      return "calendar";
+    case QueueKind::kSortedList:
+      return "sorted-list";
+  }
+  return "unknown";
 }
 
 }  // namespace mobichk::des

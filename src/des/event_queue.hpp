@@ -1,12 +1,15 @@
 // Pending-event set abstractions for the simulation kernel.
 //
-// Two interchangeable implementations are provided:
+// Three interchangeable implementations are provided:
 //  * BinaryHeapQueue  -- O(log n) push/pop, the robust default;
 //  * CalendarQueue    -- Brown's calendar queue, amortized O(1) under
-//                        stationary event-time distributions.
+//                        stationary event-time distributions;
+//  * SortedListQueue  -- an eager, obviously-correct sorted list used as
+//                        the reference oracle by the determinism audit.
 //
-// Both order events by (time, sequence number), so a simulation produces an
-// identical trace whichever queue it runs on (verified by tests).
+// All order events by (time, sequence number), so a simulation produces an
+// identical trace whichever queue it runs on (verified by tests and by the
+// determinism audit, sim/audit.hpp).
 #pragma once
 
 #include <functional>
@@ -44,8 +47,11 @@ class EventQueue {
   /// Removes and returns the minimum event. Pre: !empty().
   virtual EventEntry pop() = 0;
 
-  /// Lazily cancels the event with the given sequence number (if present).
-  virtual void cancel(u64 seq) = 0;
+  /// Cancels the event with the given sequence number. Returns true when a
+  /// live pending event was removed; cancelling a seq that already fired,
+  /// was already cancelled, or was never scheduled is a no-op returning
+  /// false and must not disturb the live count.
+  virtual bool cancel(u64 seq) = 0;
 
   /// True when no live (non-cancelled) events remain.
   virtual bool empty() = 0;
@@ -61,14 +67,22 @@ class EventQueue {
 enum class QueueKind : u8 {
   kBinaryHeap,
   kCalendar,
+  kSortedList,
 };
+
+/// All queue kinds, in a stable order (used by the determinism audit).
+inline constexpr QueueKind kAllQueueKinds[] = {QueueKind::kBinaryHeap, QueueKind::kCalendar,
+                                               QueueKind::kSortedList};
+
+/// Stable display name for a queue kind (matches EventQueue::name()).
+const char* queue_kind_name(QueueKind kind) noexcept;
 
 /// Binary min-heap over (time, seq) with lazy cancellation.
 class BinaryHeapQueue final : public EventQueue {
  public:
   void push(EventEntry entry) override;
   EventEntry pop() override;
-  void cancel(u64 seq) override;
+  bool cancel(u64 seq) override;
   bool empty() override;
   usize size() const override { return live_; }
   const char* name() const noexcept override { return "binary-heap"; }
@@ -79,7 +93,8 @@ class BinaryHeapQueue final : public EventQueue {
   void drop_cancelled_top();
 
   std::vector<EventEntry> heap_;
-  std::unordered_set<u64> cancelled_;
+  std::unordered_set<u64> pending_;    ///< Seqs physically in the heap and not cancelled.
+  std::unordered_set<u64> cancelled_;  ///< Tombstones; always a subset of the heap's seqs.
   usize live_ = 0;
 };
 
@@ -92,7 +107,7 @@ class CalendarQueue final : public EventQueue {
 
   void push(EventEntry entry) override;
   EventEntry pop() override;
-  void cancel(u64 seq) override;
+  bool cancel(u64 seq) override;
   bool empty() override;
   usize size() const override { return live_; }
   const char* name() const noexcept override { return "calendar"; }
@@ -105,7 +120,8 @@ class CalendarQueue final : public EventQueue {
   void reposition(Time t) noexcept;
 
   std::vector<std::vector<EventEntry>> buckets_;
-  std::unordered_set<u64> cancelled_;
+  std::unordered_set<u64> pending_;    ///< Seqs in some bucket and not cancelled.
+  std::unordered_set<u64> cancelled_;  ///< Tombstones; always a subset of bucketed seqs.
   f64 bucket_width_ = 1.0;
   usize current_bucket_ = 0;  ///< Bucket the search cursor is on.
   Time current_year_start_ = 0.0;

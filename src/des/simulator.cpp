@@ -11,11 +11,26 @@ EventHandle Simulator::schedule_at(Time t, EventFn fn) {
   if (t < now_) throw std::invalid_argument("Simulator::schedule_at: time is in the past");
   const u64 seq = next_seq_++;
   queue_->push(EventEntry{t, seq, std::move(fn)});
+  ++invariants_.scheduled;
+  if (queue_->size() > invariants_.max_pending) invariants_.max_pending = queue_->size();
   return EventHandle(seq);
 }
 
 void Simulator::cancel(EventHandle handle) {
-  if (handle.valid()) queue_->cancel(handle.seq_);
+  if (!handle.valid()) return;
+  ++invariants_.cancels_requested;
+  if (queue_->cancel(handle.seq_)) ++invariants_.cancels_effective;
+}
+
+void Simulator::advance_to(const EventEntry& e) noexcept {
+  if (e.time < now_) {
+    ++invariants_.time_regressions;
+    assert(false && "event queue returned an event in the past");
+  }
+#ifndef NDEBUG
+  assert(fired_seqs_.insert(e.seq).second && "event seq popped twice");
+#endif
+  now_ = e.time;
 }
 
 u64 Simulator::run_until(Time t_end) {
@@ -26,12 +41,15 @@ u64 Simulator::run_until(Time t_end) {
     // Peek by popping; if beyond the horizon, push back and stop.
     EventEntry e = queue_->pop();
     if (e.time > t_end) {
+      // Not fired: the pop/push round-trip keeps the ledger net-zero and
+      // the seq stays eligible to fire (and be double-pop-checked) later.
       queue_->push(std::move(e));
       break;
     }
-    now_ = e.time;
+    advance_to(e);
     e.fn();
     ++executed_;
+    ++invariants_.executed;
     ++count;
     if (stop_requested_) return count;
   }
@@ -44,9 +62,10 @@ u64 Simulator::run() {
   stop_requested_ = false;
   while (!queue_->empty()) {
     EventEntry e = queue_->pop();
-    now_ = e.time;
+    advance_to(e);
     e.fn();
     ++executed_;
+    ++invariants_.executed;
     ++count;
     if (stop_requested_) break;
   }

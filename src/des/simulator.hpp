@@ -6,11 +6,38 @@
 #pragma once
 
 #include <memory>
+#ifndef NDEBUG
+#include <unordered_set>
+#endif
 
 #include "des/event_queue.hpp"
 #include "des/types.hpp"
 
 namespace mobichk::des {
+
+/// Cheap release-mode invariant counters maintained by the Simulator.
+///
+/// A healthy run always reconciles: every scheduled event either fired,
+/// was effectively cancelled, or is still pending — and the clock never
+/// ran backwards. Violations indicate an event-queue lifetime bug (the
+/// class of fault the determinism audit exists to catch).
+struct SimInvariants {
+  u64 scheduled = 0;           ///< schedule_at / schedule_after calls.
+  u64 executed = 0;            ///< Events fired.
+  u64 cancels_requested = 0;   ///< Simulator::cancel calls on valid handles.
+  u64 cancels_effective = 0;   ///< Cancels that removed a live pending event.
+  u64 time_regressions = 0;    ///< Popped event earlier than the clock (must stay 0).
+  usize max_pending = 0;       ///< High-water mark of the pending set.
+
+  /// No-op cancels (handle already fired, double-cancelled, or unknown).
+  u64 cancels_noop() const noexcept { return cancels_requested - cancels_effective; }
+
+  /// Live-count reconciliation given the queue's current pending count.
+  bool consistent(usize pending_now) const noexcept {
+    return time_regressions == 0 &&
+           scheduled == executed + cancels_effective + static_cast<u64>(pending_now);
+  }
+};
 
 /// Handle to a scheduled event, usable for cancellation.
 class EventHandle {
@@ -60,6 +87,12 @@ class Simulator {
   /// Total events executed since construction.
   u64 events_executed() const noexcept { return executed_; }
 
+  /// Release-mode invariant counters (see SimInvariants).
+  const SimInvariants& invariants() const noexcept { return invariants_; }
+
+  /// True when the counters reconcile against the queue's live count.
+  bool invariants_ok() const noexcept { return invariants_.consistent(queue_->size()); }
+
   /// Live events currently pending.
   usize pending() const noexcept { return queue_->size(); }
 
@@ -67,11 +100,18 @@ class Simulator {
   const char* queue_name() const noexcept { return queue_->name(); }
 
  private:
+  /// Advances the clock to a popped event's time, with invariant checks.
+  void advance_to(const EventEntry& e) noexcept;
+
   std::unique_ptr<EventQueue> queue_;
   Time now_ = 0.0;
   u64 next_seq_ = 1;
   u64 executed_ = 0;
   bool stop_requested_ = false;
+  SimInvariants invariants_;
+#ifndef NDEBUG
+  std::unordered_set<u64> fired_seqs_;  ///< Double-pop detection (debug builds).
+#endif
 };
 
 }  // namespace mobichk::des

@@ -1,0 +1,30 @@
+#include "des/sorted_list_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mobichk::des {
+
+void SortedListQueue::push(EventEntry entry) {
+  const auto pos = std::upper_bound(
+      entries_.begin(), entries_.end(), entry,
+      [](const EventEntry& a, const EventEntry& b) { return b < a; });
+  entries_.insert(pos, std::move(entry));
+}
+
+EventEntry SortedListQueue::pop() {
+  assert(!entries_.empty() && "pop() on empty queue");
+  EventEntry out = std::move(entries_.back());
+  entries_.pop_back();
+  return out;
+}
+
+bool SortedListQueue::cancel(u64 seq) {
+  const auto it = std::find_if(entries_.begin(), entries_.end(),
+                               [seq](const EventEntry& e) { return e.seq == seq; });
+  if (it == entries_.end()) return false;
+  entries_.erase(it);
+  return true;
+}
+
+}  // namespace mobichk::des

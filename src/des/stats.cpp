@@ -14,6 +14,11 @@ Histogram::Histogram(f64 lo, f64 hi, usize bins)
 
 void Histogram::add(f64 x) noexcept {
   ++total_;
+  if (std::isnan(x)) {
+    // NaN fails both range checks below; casting it to usize is UB.
+    ++nan_;
+    return;
+  }
   if (x < lo_) {
     ++underflow_;
     return;
@@ -73,12 +78,14 @@ constexpr std::array<TtableRow, 35> kTtable = {{
 
 f64 student_t_critical(f64 confidence, u64 dof) {
   if (dof == 0) dof = 1;
-  const TtableRow* row = &kTtable.back();
+  // Conservative mapping: pick the largest tabulated dof that does not
+  // exceed the requested one. Critical values shrink as dof grows, so
+  // rounding *up* to the next row (e.g. dof 500 -> the 1000 row) would
+  // understate the half-width and produce anti-conservative intervals.
+  const TtableRow* row = &kTtable.front();
   for (const auto& r : kTtable) {
-    if (r.dof != 0 && dof <= r.dof) {
-      row = &r;
-      break;
-    }
+    if (r.dof == 0 || r.dof > dof) break;
+    row = &r;
   }
   if (confidence >= 0.989) return row->t99;
   if (confidence >= 0.949) return row->t95;

@@ -89,6 +89,8 @@ class Histogram {
   u64 bin_count(usize i) const { return counts_.at(i); }
   u64 underflow() const noexcept { return underflow_; }
   u64 overflow() const noexcept { return overflow_; }
+  /// NaN inputs land here (counted in count(), never binned).
+  u64 nan_count() const noexcept { return nan_; }
   usize bins() const noexcept { return counts_.size(); }
   f64 bin_lo(usize i) const noexcept { return lo_ + width_ * static_cast<f64>(i); }
   f64 bin_hi(usize i) const noexcept { return lo_ + width_ * static_cast<f64>(i + 1); }
@@ -102,6 +104,7 @@ class Histogram {
   std::vector<u64> counts_;
   u64 underflow_ = 0;
   u64 overflow_ = 0;
+  u64 nan_ = 0;
   u64 total_ = 0;
 };
 

@@ -34,7 +34,16 @@ Experiment::Experiment(SimConfig cfg, ExperimentOptions opts)
     harness_->retain_piggybacks(true);
   }
   workload_ = std::make_unique<WorkloadDriver>(*sim_, *net_, cfg_);
-  if (cfg_.ckpt_latency > 0.0) workload_->set_latency_probe(&harness_->log(0));
+  if (cfg_.ckpt_latency > 0.0) {
+    // Probe every slot: stalling only for slot 0's checkpoints made the
+    // trace depend on protocol order in multi-protocol runs.
+    std::vector<const core::CheckpointLog*> probes;
+    probes.reserve(harness_->protocol_count());
+    for (usize slot = 0; slot < harness_->protocol_count(); ++slot) {
+      probes.push_back(&harness_->log(slot));
+    }
+    workload_->set_latency_probes(std::move(probes));
+  }
   mobility_ = std::make_unique<MobilityDriver>(*sim_, *net_, cfg_, workload_.get());
 }
 
@@ -51,6 +60,8 @@ void Experiment::run() {
   result_.events_executed = sim_->events_executed();
   result_.workload_ops = workload_->ops_executed();
   result_.trace_hash = hash_sink_ != nullptr ? hash_sink_->hash() : 0;
+  result_.invariants = sim_->invariants();
+  result_.invariants_ok = sim_->invariants_ok();
   result_.protocols.clear();
   result_.protocols.reserve(opts_.protocols.size());
   for (usize slot = 0; slot < harness_->protocol_count(); ++slot) {

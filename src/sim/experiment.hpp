@@ -63,6 +63,8 @@ struct RunResult {
   u64 events_executed = 0;
   u64 workload_ops = 0;
   u64 trace_hash = 0;
+  des::SimInvariants invariants;  ///< Engine self-check counters for the run.
+  bool invariants_ok = true;      ///< Scheduled/executed/cancelled ledger reconciled.
 
   const ProtocolRunStats& by_name(const std::string& name) const;
 };

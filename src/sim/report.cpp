@@ -59,7 +59,11 @@ void write_json(std::ostream& os, const RunResult& result) {
   w.end_array();
   w.field("events_executed", result.events_executed)
       .field("workload_ops", result.workload_ops)
-      .field("trace_hash", result.trace_hash);
+      .field("trace_hash", result.trace_hash)
+      .field("invariants_ok", result.invariants_ok)
+      .field("cancels_effective", result.invariants.cancels_effective)
+      .field("cancels_noop", result.invariants.cancels_noop())
+      .field("max_pending", static_cast<u64>(result.invariants.max_pending));
   w.end_object();
   os << '\n';
 }

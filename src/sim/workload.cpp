@@ -8,8 +8,13 @@ WorkloadDriver::WorkloadDriver(des::Simulator& sim, net::Network& net, const Sim
     : sim_(sim), net_(net), cfg_(cfg), comm_gap_(cfg.comm_mean) {
   per_host_.reserve(net.n_hosts());
   for (net::HostId h = 0; h < net.n_hosts(); ++h) {
-    per_host_.push_back(HostState{des::RngStream(cfg.seed, "workload", h), 0, 0});
+    per_host_.push_back(HostState{des::RngStream(cfg.seed, "workload", h), 0, {}});
   }
+}
+
+void WorkloadDriver::set_latency_probes(std::vector<const core::CheckpointLog*> logs) {
+  latency_probes_ = std::move(logs);
+  for (auto& hs : per_host_) hs.seen_ckpts.assign(latency_probes_.size(), 0);
 }
 
 void WorkloadDriver::start() {
@@ -54,12 +59,15 @@ void WorkloadDriver::execute_op(net::HostId host, u64 internal_count) {
       ++empty_receives_;
     }
   }
-  // Checkpoint-latency extension: stall for checkpoints this op induced.
+  // Checkpoint-latency extension: stall for checkpoints this op induced,
+  // summed over every probed protocol slot.
   f64 extra = 0.0;
-  if (latency_probe_ != nullptr && cfg_.ckpt_latency > 0.0) {
-    const u64 now_count = latency_probe_->count(host);
-    extra = cfg_.ckpt_latency * static_cast<f64>(now_count - hs.seen_ckpts);
-    hs.seen_ckpts = now_count;
+  if (!latency_probes_.empty() && cfg_.ckpt_latency > 0.0) {
+    for (usize p = 0; p < latency_probes_.size(); ++p) {
+      const u64 now_count = latency_probes_[p]->count(host);
+      extra += cfg_.ckpt_latency * static_cast<f64>(now_count - hs.seen_ckpts[p]);
+      hs.seen_ckpts[p] = now_count;
+    }
   }
   schedule_next(host, extra);
 }

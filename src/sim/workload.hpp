@@ -40,15 +40,21 @@ class WorkloadDriver {
   u64 internal_events() const noexcept { return internal_events_; }
 
   /// Enables the checkpoint-latency extension: after each operation the
-  /// host is stalled cfg.ckpt_latency per checkpoint `log` newly recorded
-  /// for it (ABL1). Pass the log of the protocol under test.
-  void set_latency_probe(const core::CheckpointLog* log) { latency_probe_ = log; }
+  /// host is stalled cfg.ckpt_latency per checkpoint newly recorded for it
+  /// in any probed log (ABL1). Pass the logs of every protocol under test;
+  /// probing only slot 0 made multi-protocol stalls depend on slot order.
+  void set_latency_probes(std::vector<const core::CheckpointLog*> logs);
+
+  /// Single-protocol convenience overload.
+  void set_latency_probe(const core::CheckpointLog* log) {
+    set_latency_probes({log});
+  }
 
  private:
   struct HostState {
     des::RngStream rng;
     u64 epoch = 0;
-    u64 seen_ckpts = 0;  ///< For the checkpoint-latency stall.
+    std::vector<u64> seen_ckpts;  ///< Per-probe counts, for the latency stall.
   };
 
   void schedule_next(net::HostId host, f64 extra_delay);
@@ -59,7 +65,7 @@ class WorkloadDriver {
   const SimConfig& cfg_;
   des::Exponential comm_gap_;
   std::vector<HostState> per_host_;
-  const core::CheckpointLog* latency_probe_ = nullptr;
+  std::vector<const core::CheckpointLog*> latency_probes_;
   u64 ops_ = 0;
   u64 sends_ = 0;
   u64 receives_ = 0;

@@ -69,10 +69,52 @@ TEST_P(EventQueueTest, CancelIsIdempotentOnSize) {
   auto q = make();
   q->push({1.0, 1, {}});
   q->push({2.0, 2, {}});
-  q->cancel(1);
-  q->cancel(1);  // double-cancel must not corrupt the live count
+  EXPECT_TRUE(q->cancel(1));
+  EXPECT_FALSE(q->cancel(1));  // double-cancel must not corrupt the live count
   EXPECT_EQ(q->size(), 1u);
   EXPECT_EQ(q->pop().seq, 2u);
+}
+
+TEST_P(EventQueueTest, CancelAfterPopIsNoop) {
+  // Seed bug: cancelling a seq that already fired decremented live_, so
+  // empty() reported true while a real event remained and the simulation
+  // silently truncated.
+  auto q = make();
+  q->push({1.0, 1, {}});
+  q->push({2.0, 2, {}});
+  EXPECT_EQ(q->pop().seq, 1u);
+  EXPECT_FALSE(q->cancel(1));  // already fired: must be a no-op
+  EXPECT_EQ(q->size(), 1u);
+  ASSERT_FALSE(q->empty());
+  EXPECT_EQ(q->pop().seq, 2u);
+  EXPECT_TRUE(q->empty());
+}
+
+TEST_P(EventQueueTest, CancelUnknownSeqIsNoop) {
+  auto q = make();
+  q->push({1.0, 1, {}});
+  q->push({2.0, 2, {}});
+  EXPECT_FALSE(q->cancel(999));  // never scheduled
+  EXPECT_EQ(q->size(), 2u);
+  EXPECT_EQ(q->pop().seq, 1u);
+  EXPECT_EQ(q->pop().seq, 2u);
+  EXPECT_TRUE(q->empty());
+}
+
+TEST_P(EventQueueTest, CancelledSeqCanBeReusedAfterDrain) {
+  // Tombstones must be purged once their entry is gone: a stale tombstone
+  // for seq S would swallow a later (re-used) S. The simulator never
+  // re-uses seqs, but the queue contract should not rely on that.
+  auto q = make();
+  q->push({1.0, 1, {}});
+  q->push({2.0, 2, {}});
+  EXPECT_TRUE(q->cancel(1));
+  EXPECT_EQ(q->pop().seq, 2u);  // drains past the tombstone
+  EXPECT_TRUE(q->empty());
+  q->push({3.0, 1, {}});
+  EXPECT_EQ(q->size(), 1u);
+  ASSERT_FALSE(q->empty());
+  EXPECT_EQ(q->pop().seq, 1u);
 }
 
 TEST_P(EventQueueTest, InterleavedPushPop) {
@@ -137,9 +179,14 @@ TEST_P(EventQueueTest, SteadyStateHoldAndPop) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllQueues, EventQueueTest,
-                         ::testing::Values(QueueKind::kBinaryHeap, QueueKind::kCalendar),
+                         ::testing::ValuesIn(kAllQueueKinds),
                          [](const ::testing::TestParamInfo<QueueKind>& pi) {
-                           return pi.param == QueueKind::kBinaryHeap ? "BinaryHeap" : "Calendar";
+                           switch (pi.param) {
+                             case QueueKind::kBinaryHeap: return "BinaryHeap";
+                             case QueueKind::kCalendar: return "Calendar";
+                             case QueueKind::kSortedList: return "SortedList";
+                           }
+                           return "Unknown";
                          });
 
 TEST(QueueEquivalence, IdenticalPopSequences) {
@@ -172,9 +219,73 @@ TEST(QueueEquivalence, IdenticalPopSequences) {
   EXPECT_TRUE(cal->empty());
 }
 
-TEST(QueueFactory, NamesAreDistinct) {
+TEST(QueueEquivalence, FuzzedScheduleCancelRescheduleAcrossAllKinds) {
+  // Differential fuzz: every queue kind sees the same schedule / pop /
+  // cancel-pending / cancel-fired / cancel-unknown stream and must agree
+  // on size, emptiness, cancel outcome and exact pop order throughout.
+  std::vector<std::unique_ptr<EventQueue>> queues;
+  for (const QueueKind kind : kAllQueueKinds) queues.push_back(make_event_queue(kind));
+  RngStream rng(23, "fuzz");
+  std::vector<u64> pending;  // seqs currently live
+  std::vector<u64> fired;    // seqs popped or cancelled (no longer live)
+  u64 seq = 1;
+  f64 now = 0.0;
+  for (int round = 0; round < 20000; ++round) {
+    const f64 dice = rng.uniform01();
+    if (dice < 0.55 || pending.empty()) {
+      const f64 t = now + rng.uniform01() * 40.0;
+      for (auto& q : queues) q->push({t, seq, {}});
+      pending.push_back(seq);
+      ++seq;
+    } else if (dice < 0.80) {
+      const EventEntry a = queues[0]->pop();
+      for (usize k = 1; k < queues.size(); ++k) {
+        const EventEntry b = queues[k]->pop();
+        ASSERT_DOUBLE_EQ(a.time, b.time) << queues[k]->name();
+        ASSERT_EQ(a.seq, b.seq) << queues[k]->name();
+      }
+      now = a.time;
+      pending.erase(std::find(pending.begin(), pending.end(), a.seq));
+      fired.push_back(a.seq);
+    } else if (dice < 0.92) {
+      // Cancel a random pending seq: must succeed everywhere.
+      const u64 victim = pending[uniform_index(rng, pending.size())];
+      for (auto& q : queues) ASSERT_TRUE(q->cancel(victim)) << q->name();
+      pending.erase(std::find(pending.begin(), pending.end(), victim));
+      fired.push_back(victim);
+    } else {
+      // Cancel a fired or never-scheduled seq: must be a no-op everywhere.
+      const u64 bogus = (fired.empty() || rng.uniform01() < 0.3)
+                            ? seq + 1000
+                            : fired[uniform_index(rng, fired.size())];
+      for (auto& q : queues) ASSERT_FALSE(q->cancel(bogus)) << q->name();
+    }
+    for (auto& q : queues) {
+      ASSERT_EQ(q->size(), pending.size()) << q->name();
+      ASSERT_EQ(q->empty(), pending.empty()) << q->name();
+    }
+  }
+  // Drain: every queue must agree to the last event.
+  while (!queues[0]->empty()) {
+    const EventEntry a = queues[0]->pop();
+    for (usize k = 1; k < queues.size(); ++k) {
+      ASSERT_FALSE(queues[k]->empty()) << queues[k]->name();
+      const EventEntry b = queues[k]->pop();
+      ASSERT_EQ(a.seq, b.seq) << queues[k]->name();
+    }
+    pending.erase(std::find(pending.begin(), pending.end(), a.seq));
+  }
+  EXPECT_TRUE(pending.empty());
+  for (auto& q : queues) EXPECT_TRUE(q->empty()) << q->name();
+}
+
+TEST(QueueFactory, NamesAreDistinctAndMatchKindNames) {
+  for (const QueueKind kind : kAllQueueKinds) {
+    EXPECT_STREQ(make_event_queue(kind)->name(), queue_kind_name(kind));
+  }
   EXPECT_STREQ(make_event_queue(QueueKind::kBinaryHeap)->name(), "binary-heap");
   EXPECT_STREQ(make_event_queue(QueueKind::kCalendar)->name(), "calendar");
+  EXPECT_STREQ(make_event_queue(QueueKind::kSortedList)->name(), "sorted-list");
 }
 
 }  // namespace

@@ -150,10 +150,81 @@ TEST_P(SimulatorTest, CountsExecutedEvents) {
   EXPECT_EQ(sim.events_executed(), 37u);
 }
 
+TEST_P(SimulatorTest, CancelOfFiredHandleCannotTruncateTheRun) {
+  // Regression for the event-queue lifetime bug: cancelling a handle
+  // whose event already fired corrupted the live count, so empty()
+  // reported true while real events remained and run()/run_until()
+  // silently dropped the tail of the simulation.
+  Simulator sim(GetParam());
+  int fired = 0;
+  EventHandle h = sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(2.0, [&] { ++fired; });
+  sim.schedule_at(3.0, [&] { ++fired; });
+  EXPECT_EQ(sim.run_until(1.5), 1u);
+  ASSERT_EQ(fired, 1);
+  sim.cancel(h);  // h already fired: must be a no-op
+  EXPECT_EQ(sim.pending(), 2u);
+  EXPECT_EQ(sim.run_until(2.5), 1u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_TRUE(sim.invariants_ok());
+}
+
+TEST_P(SimulatorTest, RepeatedCancelOfFiredHandleIsStable) {
+  Simulator sim(GetParam());
+  int fired = 0;
+  EventHandle h = sim.schedule_at(1.0, [&] { ++fired; });
+  for (int i = 2; i <= 10; ++i) {
+    sim.schedule_at(static_cast<Time>(i), [&] { ++fired; });
+  }
+  sim.run_until(1.0);
+  for (int i = 0; i < 5; ++i) sim.cancel(h);
+  EXPECT_EQ(sim.pending(), 9u);
+  sim.run();
+  EXPECT_EQ(fired, 10);
+  EXPECT_EQ(sim.invariants().cancels_requested, 5u);
+  EXPECT_EQ(sim.invariants().cancels_effective, 0u);
+  EXPECT_EQ(sim.invariants().cancels_noop(), 5u);
+  EXPECT_TRUE(sim.invariants_ok());
+}
+
+TEST_P(SimulatorTest, InvariantLedgerReconciles) {
+  Simulator sim(GetParam());
+  int fired = 0;
+  std::vector<EventHandle> handles;
+  for (int i = 1; i <= 20; ++i) {
+    handles.push_back(sim.schedule_at(static_cast<Time>(i), [&] { ++fired; }));
+  }
+  sim.cancel(handles[4]);
+  sim.cancel(handles[4]);  // double cancel: one effective, two requested
+  sim.cancel(handles[9]);
+  sim.cancel(EventHandle{});  // invalid handle: not even counted
+  sim.run_until(12.0);
+  const SimInvariants& inv = sim.invariants();
+  EXPECT_EQ(inv.scheduled, 20u);
+  EXPECT_EQ(inv.cancels_requested, 3u);
+  EXPECT_EQ(inv.cancels_effective, 2u);
+  EXPECT_EQ(inv.executed, 10u);  // events at t=1..12 minus the two cancelled
+  EXPECT_EQ(inv.time_regressions, 0u);
+  EXPECT_EQ(inv.max_pending, 20u);
+  EXPECT_TRUE(inv.consistent(sim.pending()));
+  EXPECT_TRUE(sim.invariants_ok());
+  sim.run();
+  EXPECT_EQ(fired, 18);
+  EXPECT_TRUE(sim.invariants_ok());
+}
+
 INSTANTIATE_TEST_SUITE_P(AllQueues, SimulatorTest,
-                         ::testing::Values(QueueKind::kBinaryHeap, QueueKind::kCalendar),
+                         ::testing::ValuesIn(kAllQueueKinds),
                          [](const ::testing::TestParamInfo<QueueKind>& pi) {
-                           return pi.param == QueueKind::kBinaryHeap ? "BinaryHeap" : "Calendar";
+                           switch (pi.param) {
+                             case QueueKind::kBinaryHeap: return "BinaryHeap";
+                             case QueueKind::kCalendar: return "Calendar";
+                             case QueueKind::kSortedList: return "SortedList";
+                           }
+                           return "Unknown";
                          });
 
 }  // namespace

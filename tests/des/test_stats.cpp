@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "des/distributions.hpp"
 #include "des/rng.hpp"
@@ -100,6 +101,24 @@ TEST(Histogram, BinEdges) {
   EXPECT_DOUBLE_EQ(h.bin_hi(4), 20.0);
 }
 
+TEST(Histogram, NanGoesToDedicatedBucketNotUB) {
+  // NaN fails both range checks; the seed code then cast it to usize (UB).
+  Histogram h(0.0, 10.0, 10);
+  h.add(std::nan(""));
+  h.add(-std::numeric_limits<f64>::quiet_NaN());
+  h.add(5.0);
+  h.add(std::numeric_limits<f64>::infinity());
+  h.add(-std::numeric_limits<f64>::infinity());
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.nan_count(), 2u);
+  EXPECT_EQ(h.overflow(), 1u);   // +inf
+  EXPECT_EQ(h.underflow(), 1u);  // -inf
+  EXPECT_EQ(h.bin_count(5), 1u);
+  u64 binned = 0;
+  for (usize i = 0; i < h.bins(); ++i) binned += h.bin_count(i);
+  EXPECT_EQ(binned, 1u);  // NaN never lands in a bin
+}
+
 TEST(Histogram, QuantileOfUniformData) {
   Histogram h(0.0, 1.0, 100);
   RngStream rng(3, "hist");
@@ -133,6 +152,29 @@ TEST(StudentT, TableValues) {
   EXPECT_NEAR(student_t_critical(0.90, 30), 1.697, 1e-3);
   // Large dof approaches the normal quantiles.
   EXPECT_NEAR(student_t_critical(0.95, 100000), 1.96, 0.01);
+}
+
+TEST(StudentT, BetweenRowsMapsConservativelyDown) {
+  // A dof between tabulated rows must use the smaller-dof row (larger
+  // critical value). The seed snapped dof in (120, 1000) to the 1000 row,
+  // shrinking confidence intervals below their nominal coverage.
+  EXPECT_DOUBLE_EQ(student_t_critical(0.95, 121), student_t_critical(0.95, 120));
+  EXPECT_DOUBLE_EQ(student_t_critical(0.95, 500), student_t_critical(0.95, 120));
+  EXPECT_DOUBLE_EQ(student_t_critical(0.95, 999), student_t_critical(0.95, 120));
+  EXPECT_NEAR(student_t_critical(0.95, 999), 1.980, 1e-3);
+  EXPECT_NEAR(student_t_critical(0.95, 1000), 1.962, 1e-3);
+  // Same rule on the other sparse gaps, all three confidence levels.
+  EXPECT_NEAR(student_t_critical(0.95, 35), 2.042, 1e-3);   // 30-row, not 40
+  EXPECT_NEAR(student_t_critical(0.90, 45), 1.684, 1e-3);   // 40-row, not 60
+  EXPECT_NEAR(student_t_critical(0.99, 100), 2.660, 1e-3);  // 60-row, not 120
+  // Exact rows still hit exactly; critical values never increase with dof.
+  EXPECT_NEAR(student_t_critical(0.95, 60), 2.000, 1e-3);
+  f64 prev = student_t_critical(0.95, 1);
+  for (u64 dof = 2; dof <= 2000; ++dof) {
+    const f64 t = student_t_critical(0.95, dof);
+    EXPECT_LE(t, prev) << "dof=" << dof;
+    prev = t;
+  }
 }
 
 TEST(ConfidenceHalfWidth, MatchesManualComputation) {

@@ -29,7 +29,9 @@ int main(int argc, char** argv) {
     spec.base.heterogeneity = 0.3;
     spec.base.mobility_model = model;
     spec.t_switch_values = {100.0, 1'000.0, 10'000.0};
-    spec.seeds = args.get_u32("seeds", 4);
+    spec.min_seeds = 4;
+    spec.max_seeds = 8;
+    sim::apply_cli_flags(spec, args);
     const sim::FigureResult result =
         sim::run_figure(spec, sim::ExperimentOptions{}, args.get_u32("threads", 0));
     result.print(std::cout);

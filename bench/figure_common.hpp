@@ -1,12 +1,18 @@
 // Shared harness for the paper-figure benches (Figures 1-6 of the paper).
 //
 // Each figN binary reproduces one figure: N_tot as a function of T_switch
-// for TP, BCS and QBC under one (P_switch, H) combination, averaged over
-// several seeds, printed as a table plus the headline gains. Flags:
-//   --length=<tu>  simulation horizon per run   (default 1000000)
-//   --seeds=<n>    replications per point       (default 5)
-//   --threads=<n>  worker threads               (default hardware)
-//   --csv          additionally emit CSV rows
+// for TP, BCS and QBC under one (P_switch, H) combination, replicated
+// adaptively until each point's 95% CI is tight enough, printed as a
+// table plus the headline gains. Flags:
+//   --length=<tu>     simulation horizon per run            (default 1000000)
+//   --precision=<rel> target relative CI half-width         (default 0.04)
+//   --min-seeds=<n>   replications always run per point     (default 3)
+//   --max-seeds=<n>   replication cap per point             (default 16)
+//   --batch=<n>       replications per adaptive round       (default auto)
+//   --seeds=<n>       fixed replication count (min = max = n)
+//   --seed-base=<n>   replication seed root                 (default 42)
+//   --threads=<n>     worker threads                        (default hardware)
+//   --csv             additionally emit CSV rows
 #pragma once
 
 #include <cstdio>
@@ -31,8 +37,7 @@ inline int run_paper_figure(const FigureParams& params, int argc, char** argv) {
   spec.base.sim_length = args.get_f64("length", 1'000'000.0);
   spec.base.p_switch = params.p_switch;
   spec.base.heterogeneity = params.heterogeneity;
-  spec.seeds = args.get_u32("seeds", 5);
-  spec.seed_base = args.get_u64("seed-base", 42);
+  sim::apply_cli_flags(spec, args);
 
   const sim::FigureResult result =
       sim::run_figure(spec, sim::ExperimentOptions{}, args.get_u32("threads", 0));

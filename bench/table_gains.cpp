@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
     spec.base.sim_length = args.get_f64("length", 300'000.0);
     spec.base.p_switch = row.p_switch;
     spec.base.heterogeneity = row.h;
-    spec.seeds = args.get_u32("seeds", 5);
+    sim::apply_cli_flags(spec, args);
     const sim::FigureResult result =
         sim::run_figure(spec, sim::ExperimentOptions{}, args.get_u32("threads", 0));
 

@@ -11,7 +11,9 @@
 //
 // Common flags: --length --seed --tswitch --pswitch --psend --h
 //               --hosts --mss --comm-mean --protocols=TP,BCS,QBC
-// figure:       --seeds --threads --csv --json
+// figure:       --precision=<rel ci, default 0.04> --min-seeds --max-seeds
+//               --batch --seed-base --seeds=<n> (fixed replication)
+//               --threads --csv --json --gnuplot
 // recover:      --failed=<host id>
 // trace:        --out=<path>
 // run:          --audit-determinism (shorthand for the audit command)
@@ -106,7 +108,7 @@ int cmd_figure(const sim::ArgParser& args) {
   spec.title = "N_tot vs T_switch";
   spec.base = config_from(args);
   spec.protocols = protocols_from(args);
-  spec.seeds = args.get_u32("seeds", 5);
+  sim::apply_cli_flags(spec, args);
   const sim::FigureResult result =
       sim::run_figure(spec, sim::ExperimentOptions{}, args.get_u32("threads", 0));
   if (args.get_flag("json")) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "des/sorted_list_queue.hpp"
 
@@ -244,6 +246,13 @@ const char* queue_kind_name(QueueKind kind) noexcept {
       return "sorted-list";
   }
   return "unknown";
+}
+
+QueueKind queue_kind_from_name(std::string_view name) {
+  for (const QueueKind kind : kAllQueueKinds) {
+    if (name == queue_kind_name(kind)) return kind;
+  }
+  throw std::invalid_argument("unknown queue kind: " + std::string(name));
 }
 
 }  // namespace mobichk::des

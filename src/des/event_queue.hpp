@@ -14,6 +14,7 @@
 
 #include <functional>
 #include <memory>
+#include <string_view>
 #include <unordered_set>
 #include <vector>
 
@@ -76,6 +77,10 @@ inline constexpr QueueKind kAllQueueKinds[] = {QueueKind::kBinaryHeap, QueueKind
 
 /// Stable display name for a queue kind (matches EventQueue::name()).
 const char* queue_kind_name(QueueKind kind) noexcept;
+
+/// Inverse of queue_kind_name; throws std::invalid_argument on an
+/// unknown name (used when deserializing experiment options).
+QueueKind queue_kind_from_name(std::string_view name);
 
 /// Binary min-heap over (time, seq) with lazy cancellation.
 class BinaryHeapQueue final : public EventQueue {

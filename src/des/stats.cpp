@@ -3,6 +3,7 @@
 #include <array>
 #include <cassert>
 #include <cstdio>
+#include <limits>
 
 namespace mobichk::des {
 
@@ -96,6 +97,15 @@ f64 confidence_half_width(const Tally& tally, f64 confidence) {
   if (tally.count() < 2) return 0.0;
   const f64 t = student_t_critical(confidence, tally.count() - 1);
   return t * tally.stddev() / std::sqrt(static_cast<f64>(tally.count()));
+}
+
+f64 relative_half_width(const Tally& tally, f64 confidence) {
+  constexpr f64 kInf = std::numeric_limits<f64>::infinity();
+  if (tally.count() < 2) return kInf;
+  const f64 hw = confidence_half_width(tally, confidence);
+  const f64 scale = std::fabs(tally.mean());
+  if (scale == 0.0) return hw == 0.0 ? 0.0 : kInf;
+  return hw / scale;
 }
 
 std::string format_ci(const Tally& tally, f64 confidence) {

@@ -146,6 +146,14 @@ f64 student_t_critical(f64 confidence, u64 dof);
 /// independent observations.
 f64 confidence_half_width(const Tally& tally, f64 confidence);
 
+/// Relative precision of a Tally: confidence half-width divided by
+/// |mean|. Degenerate inputs resolve conservatively so a stopping rule
+/// built on this value can never declare precision it does not have:
+///  * fewer than 2 observations -> +infinity (no variance estimate yet);
+///  * mean == 0 with zero half-width -> 0 (every observation identical);
+///  * mean == 0 with nonzero half-width -> +infinity.
+f64 relative_half_width(const Tally& tally, f64 confidence);
+
 /// Formats mean +/- half-width, e.g. "123.4 ± 5.6".
 std::string format_ci(const Tally& tally, f64 confidence);
 

@@ -28,14 +28,42 @@ std::string ArgParser::get_string(const std::string& key, const std::string& fal
   return it == values_.end() ? fallback : it->second;
 }
 
+namespace {
+
+// std::stod/stoull accept trailing garbage ("5x" parses as 5) and report
+// bare "stod"/"stoull" on failure; flag values should fail loudly and
+// name the flag instead.
+template <typename Parse>
+auto parse_number(const std::string& key, const std::string& text, Parse parse) {
+  usize consumed = 0;
+  try {
+    const auto value = parse(text, &consumed);
+    if (consumed == text.size()) return value;
+  } catch (const std::exception&) {
+    // fall through to the uniform error below
+  }
+  throw std::invalid_argument("flag --" + key + ": expected a number, got '" + text + "'");
+}
+
+}  // namespace
+
 f64 ArgParser::get_f64(const std::string& key, f64 fallback) const {
   const auto it = values_.find(key);
-  return it == values_.end() ? fallback : std::stod(it->second);
+  if (it == values_.end()) return fallback;
+  return parse_number(key, it->second,
+                      [](const std::string& s, usize* pos) { return std::stod(s, pos); });
 }
 
 u64 ArgParser::get_u64(const std::string& key, u64 fallback) const {
   const auto it = values_.find(key);
-  return it == values_.end() ? fallback : std::stoull(it->second);
+  if (it == values_.end()) return fallback;
+  if (!it->second.empty() && it->second.front() == '-') {
+    // stoull would silently wrap "-5" to 2^64-5.
+    throw std::invalid_argument("flag --" + key + ": expected a non-negative integer, got '" +
+                                it->second + "'");
+  }
+  return parse_number(key, it->second,
+                      [](const std::string& s, usize* pos) { return std::stoull(s, pos); });
 }
 
 u32 ArgParser::get_u32(const std::string& key, u32 fallback) const {

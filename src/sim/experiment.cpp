@@ -1,6 +1,7 @@
 #include "sim/experiment.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 #include "core/recovery.hpp"
@@ -50,10 +51,13 @@ Experiment::Experiment(SimConfig cfg, ExperimentOptions opts)
 void Experiment::run() {
   if (ran_) throw std::logic_error("Experiment::run called twice");
   ran_ = true;
+  const auto wall_start = std::chrono::steady_clock::now();
   net_->start();
   workload_->start();
   mobility_->start();
   sim_->run_until(cfg_.sim_length);
+  result_.wall_seconds =
+      std::chrono::duration<f64>(std::chrono::steady_clock::now() - wall_start).count();
 
   result_.cfg = cfg_;
   result_.net = net_->stats();

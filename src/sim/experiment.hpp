@@ -62,6 +62,7 @@ struct RunResult {
   std::vector<ProtocolRunStats> protocols;
   u64 events_executed = 0;
   u64 workload_ops = 0;
+  f64 wall_seconds = 0.0;  ///< Host wall-clock time the run took (not part of the deterministic result).
   u64 trace_hash = 0;
   des::SimInvariants invariants;  ///< Engine self-check counters for the run.
   bool invariants_ok = true;      ///< Scheduled/executed/cancelled ledger reconciled.

@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
 
 namespace mobichk::sim {
 
@@ -99,6 +101,246 @@ JsonWriter& JsonWriter::value(bool v) {
   os_ << (v ? "true" : "false");
   return *this;
 }
+
+const JsonValue* JsonValue::find(std::string_view key) const noexcept {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  if (const JsonValue* v = find(key)) return *v;
+  throw std::out_of_range("JsonValue: no member \"" + std::string(key) + "\"");
+}
+
+f64 JsonValue::as_f64() const {
+  if (kind != Kind::kNumber) throw std::invalid_argument("JsonValue: not a number");
+  return number;
+}
+
+u64 JsonValue::as_u64() const {
+  const f64 v = as_f64();
+  if (v < 0.0 || v != std::floor(v)) {
+    throw std::invalid_argument("JsonValue: not a non-negative integer");
+  }
+  return static_cast<u64>(v);
+}
+
+bool JsonValue::as_bool() const {
+  if (kind != Kind::kBool) throw std::invalid_argument("JsonValue: not a boolean");
+  return boolean;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind != Kind::kString) throw std::invalid_argument("JsonValue: not a string");
+  return string;
+}
+
+const std::vector<JsonValue>& JsonValue::as_array() const {
+  if (kind != Kind::kArray) throw std::invalid_argument("JsonValue: not an array");
+  return array;
+}
+
+namespace {
+
+// Recursive-descent parser over the document text. Depth is bounded to
+// keep hostile input from exhausting the stack.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value(0);
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing characters after the document");
+    return value;
+  }
+
+ private:
+  static constexpr usize kMaxDepth = 64;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("json_parse: " + what + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  JsonValue parse_value(usize depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_whitespace();
+    const char c = peek();
+    JsonValue value;
+    switch (c) {
+      case '{': parse_object(value, depth); break;
+      case '[': parse_array(value, depth); break;
+      case '"':
+        value.kind = JsonValue::Kind::kString;
+        value.string = parse_string();
+        break;
+      case 't':
+      case 'f':
+        value.kind = JsonValue::Kind::kBool;
+        if (consume_literal("true")) value.boolean = true;
+        else if (consume_literal("false")) value.boolean = false;
+        else fail("bad literal");
+        break;
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        break;
+      default: {
+        value.kind = JsonValue::Kind::kNumber;
+        value.number = parse_number();
+      }
+    }
+    return value;
+  }
+
+  void parse_object(JsonValue& value, usize depth) {
+    value.kind = JsonValue::Kind::kObject;
+    expect('{');
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return;
+    }
+    for (;;) {
+      skip_whitespace();
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      value.object.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_whitespace();
+      const char next = peek();
+      ++pos_;
+      if (next == '}') return;
+      if (next != ',') fail("expected ',' or '}'");
+    }
+  }
+
+  void parse_array(JsonValue& value, usize depth) {
+    value.kind = JsonValue::Kind::kArray;
+    expect('[');
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return;
+    }
+    for (;;) {
+      value.array.push_back(parse_value(depth + 1));
+      skip_whitespace();
+      const char next = peek();
+      ++pos_;
+      if (next == ']') return;
+      if (next != ',') fail("expected ',' or ']'");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      const char c = peek();
+      ++pos_;
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = peek();
+      ++pos_;
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': append_codepoint(out, parse_hex4()); break;
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  u32 parse_hex4() {
+    u32 code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = peek();
+      ++pos_;
+      code <<= 4;
+      if (c >= '0' && c <= '9') code |= static_cast<u32>(c - '0');
+      else if (c >= 'a' && c <= 'f') code |= static_cast<u32>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') code |= static_cast<u32>(c - 'A' + 10);
+      else fail("bad \\u escape");
+    }
+    return code;
+  }
+
+  void append_codepoint(std::string& out, u32 code) {
+    // BMP only; surrogate pairs never appear in this writer's output.
+    if (code >= 0xD800 && code <= 0xDFFF) fail("surrogate escapes are not supported");
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  f64 parse_number() {
+    // Copy the token before strtod: the view need not be NUL-terminated.
+    const usize start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const f64 value = std::strtod(token.c_str(), &end);
+    if (token.empty() || end != token.c_str() + token.size()) fail("expected a value");
+    return value;
+  }
+
+  std::string_view text_;
+  usize pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue json_parse(std::string_view text) { return JsonParser(text).parse_document(); }
 
 void JsonWriter::escape(std::string_view s) {
   for (const char c : s) {

@@ -1,12 +1,16 @@
-// A minimal JSON emitter for structured experiment output.
+// Minimal JSON support for structured experiment output.
 //
-// Write-only and allocation-light: enough to serialize run results and
+// JsonWriter is a streaming emitter: enough to serialize run results and
 // figure tables for downstream tooling, with correct string escaping and
-// non-finite-number handling. Not a parser; not a DOM.
+// non-finite-number handling. JsonValue/json_parse is the matching
+// reader, just big enough to round-trip what the writer emits (specs and
+// reports); it is not a general-purpose JSON library.
 #pragma once
 
 #include <ostream>
+#include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "des/types.hpp"
@@ -57,5 +61,36 @@ class JsonWriter {
   bool pending_key_ = false;
   std::vector<Level> stack_;
 };
+
+/// Parsed JSON value. Numbers are kept as f64 (the writer emits them
+/// with 17 significant digits, so u64s up to 2^53 round-trip exactly).
+struct JsonValue {
+  enum class Kind : u8 { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  f64 number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;  ///< Insertion order preserved.
+
+  bool is_null() const noexcept { return kind == Kind::kNull; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const noexcept;
+  /// Object member lookup; throws std::out_of_range when absent.
+  const JsonValue& at(std::string_view key) const;
+
+  /// Typed accessors; throw std::invalid_argument on a kind mismatch.
+  f64 as_f64() const;
+  u64 as_u64() const;
+  bool as_bool() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& as_array() const;
+};
+
+/// Parses one JSON document (object, array or scalar); trailing
+/// non-whitespace and malformed input throw std::invalid_argument.
+JsonValue json_parse(std::string_view text);
 
 }  // namespace mobichk::sim

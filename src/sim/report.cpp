@@ -1,6 +1,7 @@
 #include "sim/report.hpp"
 
 #include <ostream>
+#include <stdexcept>
 
 #include "sim/json.hpp"
 
@@ -75,16 +76,23 @@ void write_json(std::ostream& os, const FigureResult& result) {
   w.key("protocols").begin_array();
   for (const auto& name : result.protocol_names) w.value(name);
   w.end_array();
+  w.key("precision").begin_object();
+  w.field("target_relative_ci", result.target_relative_ci)
+      .field("all_targets_met", result.all_targets_met());
+  w.end_object();
   w.key("points").begin_array();
   for (usize p = 0; p < result.t_switch_values.size(); ++p) {
     w.begin_object();
-    w.field("t_switch", result.t_switch_values[p]);
+    w.field("t_switch", result.t_switch_values[p])
+        .field("replications", static_cast<u64>(result.seeds_used[p]))
+        .field("target_met", static_cast<bool>(result.target_met[p]));
     w.key("n_tot").begin_array();
     for (usize k = 0; k < result.protocol_names.size(); ++k) {
       const des::Tally& tally = result.cells[p][k];
       w.begin_object();
       w.field("mean", tally.mean())
           .field("ci95", des::confidence_half_width(tally, 0.95))
+          .field("relative_ci95", des::relative_half_width(tally, 0.95))
           .field("min", tally.min())
           .field("max", tally.max())
           .field("replications", tally.count());
@@ -95,8 +103,124 @@ void write_json(std::ostream& os, const FigureResult& result) {
   }
   w.end_array();
   w.field("max_relative_spread", result.max_relative_spread());
+  w.key("ledger").begin_object();
+  w.field("wall_seconds", result.ledger.wall_seconds)
+      .field("events_executed", result.ledger.events_executed)
+      .field("events_per_second", result.ledger.events_per_second())
+      .field("replications_run", result.ledger.replications_run)
+      .field("replications_used", result.ledger.replications_used)
+      .field("replication_cap", result.ledger.replication_cap);
+  w.end_object();
   w.end_object();
   os << '\n';
+}
+
+void write_json(std::ostream& os, const FigureSpec& spec) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.field("title", spec.title);
+  w.key("t_switch_values").begin_array();
+  for (const f64 t : spec.t_switch_values) w.value(t);
+  w.end_array();
+  w.key("protocols").begin_array();
+  for (const auto kind : spec.protocols) w.value(core::protocol_kind_name(kind));
+  w.end_array();
+  w.field("target_relative_ci", spec.target_relative_ci)
+      .field("min_seeds", spec.min_seeds)
+      .field("max_seeds", spec.max_seeds)
+      .field("batch_size", spec.batch_size)
+      .field("seed_base", spec.seed_base);
+  w.key("base").begin_object();
+  w.field("n_hosts", spec.base.network.n_hosts)
+      .field("n_mss", spec.base.network.n_mss)
+      .field("sim_length", spec.base.sim_length)
+      .field("comm_mean", spec.base.comm_mean)
+      .field("p_send", spec.base.p_send)
+      .field("p_switch", spec.base.p_switch)
+      .field("disconnect_mean", spec.base.disconnect_mean)
+      .field("heterogeneity", spec.base.heterogeneity)
+      .field("mobility_model", mobility_model_name(spec.base.mobility_model));
+  w.end_object();
+  w.end_object();
+  os << '\n';
+}
+
+void write_json(std::ostream& os, const ExperimentOptions& opts) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("protocols").begin_array();
+  for (const auto kind : opts.protocols) w.value(core::protocol_kind_name(kind));
+  w.end_array();
+  w.field("with_storage", opts.with_storage)
+      .field("verify_consistency", opts.verify_consistency)
+      .field("verify_max_lines", static_cast<u64>(opts.verify_max_lines))
+      .field("queue_kind", des::queue_kind_name(opts.queue_kind))
+      .field("collect_trace_hash", opts.collect_trace_hash);
+  w.end_object();
+  os << '\n';
+}
+
+namespace {
+
+std::vector<core::ProtocolKind> protocols_from_json(const JsonValue& json) {
+  std::vector<core::ProtocolKind> kinds;
+  for (const JsonValue& name : json.as_array()) {
+    kinds.push_back(core::protocol_kind_from_name(name.as_string()));
+  }
+  return kinds;
+}
+
+MobilityModelKind mobility_model_from_name(const std::string& name) {
+  for (const auto kind :
+       {MobilityModelKind::kPaperUniform, MobilityModelKind::kRingNeighbor,
+        MobilityModelKind::kParetoResidence}) {
+    if (name == mobility_model_name(kind)) return kind;
+  }
+  throw std::invalid_argument("unknown mobility model: " + name);
+}
+
+}  // namespace
+
+FigureSpec figure_spec_from_json(const JsonValue& json) {
+  FigureSpec spec;
+  if (const JsonValue* v = json.find("title")) spec.title = v->as_string();
+  if (const JsonValue* v = json.find("t_switch_values")) {
+    spec.t_switch_values.clear();
+    for (const JsonValue& t : v->as_array()) spec.t_switch_values.push_back(t.as_f64());
+  }
+  if (const JsonValue* v = json.find("protocols")) spec.protocols = protocols_from_json(*v);
+  if (const JsonValue* v = json.find("target_relative_ci")) spec.target_relative_ci = v->as_f64();
+  if (const JsonValue* v = json.find("min_seeds")) spec.min_seeds = static_cast<u32>(v->as_u64());
+  if (const JsonValue* v = json.find("max_seeds")) spec.max_seeds = static_cast<u32>(v->as_u64());
+  if (const JsonValue* v = json.find("batch_size")) spec.batch_size = static_cast<u32>(v->as_u64());
+  if (const JsonValue* v = json.find("seed_base")) spec.seed_base = v->as_u64();
+  if (const JsonValue* base = json.find("base")) {
+    if (const JsonValue* v = base->find("n_hosts")) spec.base.network.n_hosts = static_cast<u32>(v->as_u64());
+    if (const JsonValue* v = base->find("n_mss")) spec.base.network.n_mss = static_cast<u32>(v->as_u64());
+    if (const JsonValue* v = base->find("sim_length")) spec.base.sim_length = v->as_f64();
+    if (const JsonValue* v = base->find("comm_mean")) spec.base.comm_mean = v->as_f64();
+    if (const JsonValue* v = base->find("p_send")) spec.base.p_send = v->as_f64();
+    if (const JsonValue* v = base->find("p_switch")) spec.base.p_switch = v->as_f64();
+    if (const JsonValue* v = base->find("disconnect_mean")) spec.base.disconnect_mean = v->as_f64();
+    if (const JsonValue* v = base->find("heterogeneity")) spec.base.heterogeneity = v->as_f64();
+    if (const JsonValue* v = base->find("mobility_model")) {
+      spec.base.mobility_model = mobility_model_from_name(v->as_string());
+    }
+  }
+  return spec;
+}
+
+ExperimentOptions experiment_options_from_json(const JsonValue& json) {
+  ExperimentOptions opts;
+  if (const JsonValue* v = json.find("protocols")) opts.protocols = protocols_from_json(*v);
+  if (const JsonValue* v = json.find("with_storage")) opts.with_storage = v->as_bool();
+  if (const JsonValue* v = json.find("verify_consistency")) opts.verify_consistency = v->as_bool();
+  if (const JsonValue* v = json.find("verify_max_lines")) opts.verify_max_lines = v->as_u64();
+  if (const JsonValue* v = json.find("queue_kind")) {
+    opts.queue_kind = des::queue_kind_from_name(v->as_string());
+  }
+  if (const JsonValue* v = json.find("collect_trace_hash")) opts.collect_trace_hash = v->as_bool();
+  return opts;
 }
 
 }  // namespace mobichk::sim

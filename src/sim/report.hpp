@@ -5,6 +5,7 @@
 #include <iosfwd>
 
 #include "sim/experiment.hpp"
+#include "sim/json.hpp"
 #include "sim/sweep.hpp"
 
 namespace mobichk::sim {
@@ -13,7 +14,24 @@ namespace mobichk::sim {
 /// checkpoint/overhead numbers.
 void write_json(std::ostream& os, const RunResult& result);
 
-/// Figure sweep: the t_switch series with mean / CI / min / max cells.
+/// Figure sweep: the t_switch series with mean / CI / min / max /
+/// replication cells, the precision echo and the sweep ledger.
 void write_json(std::ostream& os, const FigureResult& result);
+
+/// Sweep specification (title, points, protocols, precision fields and
+/// the swept base-config parameters). Round-trips through
+/// figure_spec_from_json.
+void write_json(std::ostream& os, const FigureSpec& spec);
+
+/// Experiment options (protocol set, storage/verification switches,
+/// queue kind). Round-trips through experiment_options_from_json.
+void write_json(std::ostream& os, const ExperimentOptions& opts);
+
+/// Inverse of write_json(FigureSpec): absent members keep their spec
+/// defaults; malformed members throw std::invalid_argument.
+FigureSpec figure_spec_from_json(const JsonValue& json);
+
+/// Inverse of write_json(ExperimentOptions).
+ExperimentOptions experiment_options_from_json(const JsonValue& json);
 
 }  // namespace mobichk::sim

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 namespace mobichk::sim {
 namespace {
 
@@ -69,6 +72,31 @@ TEST(ArgParser, LastValueWins) {
 TEST(ArgParser, NegativeNumbersViaEquals) {
   const auto args = parse({"--offset=-3.5"});
   EXPECT_DOUBLE_EQ(args.get_f64("offset", 0.0), -3.5);
+}
+
+TEST(ArgParser, RejectsTrailingGarbageInNumbers) {
+  // "--seeds=5x" used to silently parse as 5; the error names the flag.
+  const auto args = parse({"--seeds=5x", "--precision=0.04.1"});
+  try {
+    args.get_u32("seeds", 1);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--seeds"), std::string::npos) << e.what();
+  }
+  EXPECT_THROW(args.get_f64("precision", 0.0), std::invalid_argument);
+}
+
+TEST(ArgParser, RejectsNegativeUnsignedValues) {
+  // std::stoull would wrap "-5" to 2^64 - 5; the parser must refuse it.
+  const auto args = parse({"--max-seeds=-5"});
+  EXPECT_THROW(args.get_u32("max-seeds", 1), std::invalid_argument);
+  EXPECT_THROW(args.get_u64("max-seeds", 1), std::invalid_argument);
+}
+
+TEST(ArgParser, RejectsNonNumericText) {
+  const auto args = parse({"--batch=lots"});
+  EXPECT_THROW(args.get_u32("batch", 1), std::invalid_argument);
+  EXPECT_THROW(args.get_f64("batch", 1.0), std::invalid_argument);
 }
 
 }  // namespace

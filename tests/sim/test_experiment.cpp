@@ -150,7 +150,8 @@ TEST(Sweep, FigureAggregatesSeeds) {
   spec.title = "test";
   spec.base = small_config();
   spec.t_switch_values = {200.0, 2000.0};
-  spec.seeds = 3;
+  spec.min_seeds = 3;
+  spec.max_seeds = 3;  // fixed replication: every cell gets exactly 3
   const FigureResult result = run_figure(spec);
   ASSERT_EQ(result.cells.size(), 2u);
   ASSERT_EQ(result.cells[0].size(), 3u);
@@ -171,7 +172,8 @@ TEST(Sweep, FigurePrintAndCsv) {
   spec.title = "print-test";
   spec.base = small_config();
   spec.t_switch_values = {500.0};
-  spec.seeds = 2;
+  spec.min_seeds = 2;
+  spec.max_seeds = 2;
   const FigureResult result = run_figure(spec);
   std::ostringstream table, csv;
   result.print(table);

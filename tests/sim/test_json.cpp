@@ -99,7 +99,8 @@ TEST(GnuplotReport, FigureScriptIsWellFormed) {
   spec.title = "gp-test";
   spec.base.sim_length = 2'000.0;
   spec.t_switch_values = {500.0, 1'000.0};
-  spec.seeds = 2;
+  spec.min_seeds = 2;
+  spec.max_seeds = 2;
   const FigureResult result = run_figure(spec);
   std::ostringstream os;
   result.write_gnuplot(os);
@@ -120,7 +121,8 @@ TEST(JsonReport, FigureResultSerializes) {
   spec.title = "json-test";
   spec.base.sim_length = 2'000.0;
   spec.t_switch_values = {500.0, 1'000.0};
-  spec.seeds = 2;
+  spec.min_seeds = 2;
+  spec.max_seeds = 2;
   const FigureResult result = run_figure(spec);
   std::ostringstream os;
   write_json(os, result);
@@ -128,7 +130,165 @@ TEST(JsonReport, FigureResultSerializes) {
   EXPECT_NE(s.find("\"json-test\""), std::string::npos);
   EXPECT_NE(s.find("\"points\""), std::string::npos);
   EXPECT_NE(s.find("\"ci95\""), std::string::npos);
+  // Adaptive-precision additions: echo of the target, per-point
+  // replication spend, and the sweep ledger.
+  for (const char* needle : {"\"precision\"", "\"target_relative_ci\"", "\"replications\"",
+                             "\"target_met\"", "\"relative_ci95\"", "\"ledger\"",
+                             "\"events_per_second\"", "\"wall_seconds\""}) {
+    EXPECT_NE(s.find(needle), std::string::npos) << needle;
+  }
   EXPECT_EQ(std::count(s.begin(), s.end(), '{'), std::count(s.begin(), s.end(), '}'));
+  // The report must be parseable by our own reader.
+  const JsonValue doc = json_parse(s);
+  EXPECT_EQ(doc.at("title").as_string(), "json-test");
+  EXPECT_EQ(doc.at("points").as_array().size(), 2u);
+  EXPECT_EQ(doc.at("ledger").at("replications_used").as_u64(),
+            result.ledger.replications_used);
+}
+
+// ---------------------------------------------------------------------------
+// json_parse
+// ---------------------------------------------------------------------------
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(json_parse("null").is_null());
+  EXPECT_TRUE(json_parse("true").as_bool());
+  EXPECT_FALSE(json_parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(json_parse("-2.5e2").as_f64(), -250.0);
+  EXPECT_EQ(json_parse("42").as_u64(), 42u);
+  EXPECT_EQ(json_parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, NestedContainersAndOrder) {
+  const JsonValue doc = json_parse(R"({"b": [1, {"k": true}], "a": null})");
+  ASSERT_EQ(doc.kind, JsonValue::Kind::kObject);
+  ASSERT_EQ(doc.object.size(), 2u);
+  EXPECT_EQ(doc.object[0].first, "b");  // insertion order preserved
+  EXPECT_EQ(doc.object[1].first, "a");
+  const auto& arr = doc.at("b").as_array();
+  ASSERT_EQ(arr.size(), 2u);
+  EXPECT_EQ(arr[0].as_u64(), 1u);
+  EXPECT_TRUE(arr[1].at("k").as_bool());
+  EXPECT_TRUE(doc.at("a").is_null());
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_THROW(doc.at("missing"), std::out_of_range);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(json_parse(R"("a\"b\\c\/d\n\t")").as_string(), "a\"b\\c/d\n\t");
+  EXPECT_EQ(json_parse(R"("Aé")").as_string(), "A\xc3\xa9");  // A, é (UTF-8)
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  for (const char* bad : {"", "{", "[1,", "tru", "1 2", "{\"a\" 1}", "{\"a\": 1,}",
+                          "\"unterminated", "\"\\ud834\\udd1e\"", "nan", "01x"}) {
+    EXPECT_THROW(json_parse(bad), std::invalid_argument) << bad;
+  }
+}
+
+TEST(JsonParse, TypedAccessorsRejectWrongKinds) {
+  EXPECT_THROW(json_parse("true").as_f64(), std::invalid_argument);
+  EXPECT_THROW(json_parse("\"x\"").as_bool(), std::invalid_argument);
+  EXPECT_THROW(json_parse("1").as_array(), std::invalid_argument);
+  EXPECT_THROW(json_parse("-1").as_u64(), std::invalid_argument);
+}
+
+TEST(JsonParse, RejectsOverDeepNesting) {
+  std::string deep;
+  for (int i = 0; i < 80; ++i) deep += '[';
+  for (int i = 0; i < 80; ++i) deep += ']';
+  EXPECT_THROW(json_parse(deep), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Spec / options round-trips through the writer + reader pair
+// ---------------------------------------------------------------------------
+
+TEST(JsonRoundTrip, FigureSpecAllFields) {
+  FigureSpec spec;
+  spec.title = "round \"trip\" \\ test";
+  spec.t_switch_values = {123.5, 4'567.0};
+  spec.protocols = {core::ProtocolKind::kQbc, core::ProtocolKind::kTp};
+  spec.target_relative_ci = 0.025;
+  spec.min_seeds = 4;
+  spec.max_seeds = 21;
+  spec.batch_size = 3;
+  spec.seed_base = 987'654'321;
+  spec.base.network.n_hosts = 14;
+  spec.base.network.n_mss = 5;
+  spec.base.sim_length = 77'000.0;
+  spec.base.comm_mean = 12.5;
+  spec.base.p_send = 0.75;
+  spec.base.p_switch = 0.9;
+  spec.base.disconnect_mean = 333.0;
+  spec.base.heterogeneity = 0.4;
+  spec.base.mobility_model = MobilityModelKind::kRingNeighbor;
+
+  std::ostringstream os;
+  write_json(os, spec);
+  const FigureSpec back = figure_spec_from_json(json_parse(os.str()));
+
+  EXPECT_EQ(back.title, spec.title);
+  EXPECT_EQ(back.t_switch_values, spec.t_switch_values);
+  EXPECT_EQ(back.protocols, spec.protocols);
+  EXPECT_DOUBLE_EQ(back.target_relative_ci, spec.target_relative_ci);
+  EXPECT_EQ(back.min_seeds, spec.min_seeds);
+  EXPECT_EQ(back.max_seeds, spec.max_seeds);
+  EXPECT_EQ(back.batch_size, spec.batch_size);
+  EXPECT_EQ(back.seed_base, spec.seed_base);
+  EXPECT_EQ(back.base.network.n_hosts, spec.base.network.n_hosts);
+  EXPECT_EQ(back.base.network.n_mss, spec.base.network.n_mss);
+  EXPECT_DOUBLE_EQ(back.base.sim_length, spec.base.sim_length);
+  EXPECT_DOUBLE_EQ(back.base.comm_mean, spec.base.comm_mean);
+  EXPECT_DOUBLE_EQ(back.base.p_send, spec.base.p_send);
+  EXPECT_DOUBLE_EQ(back.base.p_switch, spec.base.p_switch);
+  EXPECT_DOUBLE_EQ(back.base.disconnect_mean, spec.base.disconnect_mean);
+  EXPECT_DOUBLE_EQ(back.base.heterogeneity, spec.base.heterogeneity);
+  EXPECT_EQ(back.base.mobility_model, spec.base.mobility_model);
+  // The recovered spec drives the same replication seeds — the property
+  // the round-trip exists to preserve.
+  EXPECT_EQ(back.replication_seed(1, 3), spec.replication_seed(1, 3));
+}
+
+TEST(JsonRoundTrip, FigureSpecDefaultsSurviveEmptyObject) {
+  const FigureSpec defaults;
+  const FigureSpec back = figure_spec_from_json(json_parse("{}"));
+  EXPECT_EQ(back.t_switch_values, defaults.t_switch_values);
+  EXPECT_EQ(back.protocols, defaults.protocols);
+  EXPECT_DOUBLE_EQ(back.target_relative_ci, defaults.target_relative_ci);
+  EXPECT_EQ(back.min_seeds, defaults.min_seeds);
+  EXPECT_EQ(back.max_seeds, defaults.max_seeds);
+  EXPECT_EQ(back.seed_base, defaults.seed_base);
+}
+
+TEST(JsonRoundTrip, ExperimentOptionsAllFields) {
+  ExperimentOptions opts;
+  opts.protocols = {core::ProtocolKind::kBcs};
+  opts.with_storage = true;
+  opts.verify_consistency = true;
+  opts.verify_max_lines = 123;
+  opts.queue_kind = des::QueueKind::kCalendar;
+  opts.collect_trace_hash = true;
+
+  std::ostringstream os;
+  write_json(os, opts);
+  const ExperimentOptions back = experiment_options_from_json(json_parse(os.str()));
+
+  EXPECT_EQ(back.protocols, opts.protocols);
+  EXPECT_EQ(back.with_storage, opts.with_storage);
+  EXPECT_EQ(back.verify_consistency, opts.verify_consistency);
+  EXPECT_EQ(back.verify_max_lines, opts.verify_max_lines);
+  EXPECT_EQ(back.queue_kind, opts.queue_kind);
+  EXPECT_EQ(back.collect_trace_hash, opts.collect_trace_hash);
+}
+
+TEST(JsonRoundTrip, RejectsUnknownEnumNames) {
+  EXPECT_THROW(figure_spec_from_json(json_parse(R"({"base": {"mobility_model": "warp"}})")),
+               std::invalid_argument);
+  EXPECT_THROW(experiment_options_from_json(json_parse(R"({"queue_kind": "skiplist"})")),
+               std::invalid_argument);
+  EXPECT_THROW(figure_spec_from_json(json_parse(R"({"protocols": ["NOPE"]})")),
+               std::invalid_argument);
 }
 
 }  // namespace

@@ -1,0 +1,199 @@
+// KERNEL SMOKE: release-build perf gate for the typed-event DES kernel.
+//
+// Measures, without google-benchmark (so CI can parse one small JSON):
+//  * closure-churn events/s on the binary-heap queue (std::function path),
+//  * typed-churn events/s on the same workload (EventPayload hot path),
+//  * heap allocations per event on both paths (global new/delete counter),
+//  * one Figure 1 point end-to-end (events/s, wall-clock, trace hash).
+//
+// Output: a BENCH_kernel.json blob on the path given by --out= (default
+// ./BENCH_kernel.json). The CI perf-smoke job archives it per commit so
+// kernel regressions show up as a trajectory, not an anecdote. The
+// typed/closure speedup on the binary heap is the headline number; the
+// refactor's acceptance bar is >= 1.3x in a release build.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+
+#include "des/event.hpp"
+#include "des/rng.hpp"
+#include "des/simulator.hpp"
+#include "sim/cli.hpp"
+#include "sim/experiment.hpp"
+
+namespace {
+
+std::atomic<unsigned long long> g_allocs{0};
+
+}  // namespace
+
+// Count every heap allocation the process makes; the churn loops below
+// difference the counter around their measured region.
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+namespace {
+
+using namespace mobichk;
+
+constexpr u64 kChurnEvents = 200'000;
+constexpr int kChurnFanout = 16;
+constexpr int kRepeats = 5;
+
+struct Measurement {
+  f64 events_per_second = 0.0;
+  f64 allocs_per_event = 0.0;
+};
+
+f64 seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<f64>(std::chrono::steady_clock::now() - t0).count();
+}
+
+/// Self-rescheduling exponential-ish churn via the closure escape hatch.
+u64 run_closure_churn(des::Simulator& sim, des::RngStream& rng) {
+  u64 fired = 0;
+  std::function<void()> tick = [&] {
+    ++fired;
+    if (fired < kChurnEvents) sim.schedule_after(rng.uniform01(), tick);
+  };
+  for (int i = 0; i < kChurnFanout; ++i) sim.schedule_after(rng.uniform01(), tick);
+  sim.run();
+  return fired;
+}
+
+struct ChurnTarget final : des::EventTarget {
+  des::Simulator* sim = nullptr;
+  des::RngStream* rng = nullptr;
+  u64 fired = 0;
+
+  void on_event(const des::EventPayload& p) override {
+    ++fired;
+    if (fired < kChurnEvents) sim->schedule_after(rng->uniform01(), p);
+  }
+};
+
+/// The same workload through the typed-payload hot path.
+u64 run_typed_churn(des::Simulator& sim, des::RngStream& rng) {
+  ChurnTarget target;
+  target.sim = &sim;
+  target.rng = &rng;
+  des::EventPayload tick;
+  tick.target = &target;
+  tick.kind = des::EventKind::kWorkloadOp;
+  for (int i = 0; i < kChurnFanout; ++i) sim.schedule_after(rng.uniform01(), tick);
+  sim.run();
+  return target.fired;
+}
+
+template <typename Fn>
+Measurement measure_churn(Fn&& run_one) {
+  Measurement best;
+  for (int r = 0; r < kRepeats; ++r) {
+    des::Simulator sim(des::QueueKind::kBinaryHeap);
+    des::RngStream rng(1, "kernel-smoke");
+    const unsigned long long allocs_before = g_allocs.load(std::memory_order_relaxed);
+    const auto t0 = std::chrono::steady_clock::now();
+    const u64 fired = run_one(sim, rng);
+    const f64 wall = seconds_since(t0);
+    const unsigned long long allocs = g_allocs.load(std::memory_order_relaxed) - allocs_before;
+    const f64 eps = static_cast<f64>(fired) / wall;
+    if (eps > best.events_per_second) {
+      best.events_per_second = eps;
+      best.allocs_per_event = static_cast<f64>(allocs) / static_cast<f64>(fired);
+    }
+  }
+  return best;
+}
+
+int run(int argc, char** argv) {
+  const sim::ArgParser args(argc, argv);
+  const std::string out_path = args.get_string("out", "BENCH_kernel.json");
+
+  std::printf("kernel smoke: %llu-event churn on the binary-heap queue, best of %d\n",
+              static_cast<unsigned long long>(kChurnEvents), kRepeats);
+  const Measurement closure =
+      measure_churn([](des::Simulator& s, des::RngStream& r) { return run_closure_churn(s, r); });
+  const Measurement typed =
+      measure_churn([](des::Simulator& s, des::RngStream& r) { return run_typed_churn(s, r); });
+  const f64 speedup = typed.events_per_second / closure.events_per_second;
+  std::printf("  closure path: %.3gM events/s, %.3f allocs/event\n",
+              closure.events_per_second / 1e6, closure.allocs_per_event);
+  std::printf("  typed path:   %.3gM events/s, %.3f allocs/event\n",
+              typed.events_per_second / 1e6, typed.allocs_per_event);
+  std::printf("  typed/closure speedup: %.2fx\n", speedup);
+
+  // One Figure 1 point, end-to-end (the golden determinism config).
+  sim::SimConfig cfg;
+  cfg.sim_length = 50'000.0;
+  cfg.t_switch = 1'000.0;
+  cfg.p_switch = 1.0;
+  cfg.heterogeneity = 0.0;
+  cfg.seed = 42;
+  sim::ExperimentOptions opts;
+  opts.collect_trace_hash = true;
+  const auto t0 = std::chrono::steady_clock::now();
+  const sim::RunResult fig1 = sim::run_experiment(cfg, opts);
+  const f64 fig1_wall = seconds_since(t0);
+  const f64 fig1_eps = static_cast<f64>(fig1.events_executed) / fig1_wall;
+  std::printf("  fig1 point: %llu events in %.3fs (%.3gM events/s), hash=%016llx\n",
+              static_cast<unsigned long long>(fig1.events_executed), fig1_wall, fig1_eps / 1e6,
+              static_cast<unsigned long long>(fig1.trace_hash));
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"benchmark\": \"kernel_smoke\",\n");
+  std::fprintf(out, "  \"queue\": \"binary-heap\",\n");
+  std::fprintf(out, "  \"churn_events\": %llu,\n",
+               static_cast<unsigned long long>(kChurnEvents));
+  std::fprintf(out, "  \"closure_events_per_second\": %.1f,\n", closure.events_per_second);
+  std::fprintf(out, "  \"closure_allocs_per_event\": %.4f,\n", closure.allocs_per_event);
+  std::fprintf(out, "  \"typed_events_per_second\": %.1f,\n", typed.events_per_second);
+  std::fprintf(out, "  \"typed_allocs_per_event\": %.4f,\n", typed.allocs_per_event);
+  std::fprintf(out, "  \"typed_speedup\": %.3f,\n", speedup);
+  std::fprintf(out, "  \"fig1_events\": %llu,\n",
+               static_cast<unsigned long long>(fig1.events_executed));
+  std::fprintf(out, "  \"fig1_wall_seconds\": %.4f,\n", fig1_wall);
+  std::fprintf(out, "  \"fig1_events_per_second\": %.1f,\n", fig1_eps);
+  std::fprintf(out, "  \"fig1_trace_hash\": \"%016llx\"\n",
+               static_cast<unsigned long long>(fig1.trace_hash));
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  // Gate: the typed hot path must stay allocation-free per event and
+  // meaningfully faster than the closure path.
+  if (typed.allocs_per_event > 0.01) {
+    std::fprintf(stderr, "FAIL: typed path allocates (%.4f allocs/event)\n",
+                 typed.allocs_per_event);
+    return 1;
+  }
+  if (speedup < 1.3) {
+    std::fprintf(stderr, "FAIL: typed/closure speedup %.2fx below the 1.3x bar\n", speedup);
+    return 1;
+  }
+  std::printf("PASS\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return run(argc, argv); }

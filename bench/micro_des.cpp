@@ -15,17 +15,24 @@ namespace {
 
 using namespace mobichk;
 
+des::EventEntry bare_entry(des::Time t, u64 seq) {
+  des::EventEntry e;
+  e.time = t;
+  e.seq = seq;
+  return e;
+}
+
 void BM_QueueHoldModel(benchmark::State& state, des::QueueKind kind) {
   const auto population = static_cast<usize>(state.range(0));
   auto queue = des::make_event_queue(kind);
   des::RngStream rng(1, "bench.hold");
   u64 seq = 1;
   for (usize i = 0; i < population; ++i) {
-    queue->push({rng.uniform01() * 100.0, seq++, {}});
+    queue->push(bare_entry(rng.uniform01() * 100.0, seq++));
   }
   for (auto _ : state) {
     des::EventEntry e = queue->pop();
-    queue->push({e.time + rng.uniform01() * 100.0, seq++, {}});
+    queue->push(bare_entry(e.time + rng.uniform01() * 100.0, seq++));
     benchmark::DoNotOptimize(e.time);
   }
   state.SetItemsProcessed(static_cast<i64>(state.iterations()));
@@ -88,6 +95,40 @@ void BM_SimulatorEventChurn(benchmark::State& state, des::QueueKind kind) {
 BENCHMARK_CAPTURE(BM_SimulatorEventChurn, BinaryHeap, des::QueueKind::kBinaryHeap)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_SimulatorEventChurn, Calendar, des::QueueKind::kCalendar)
+    ->Unit(benchmark::kMillisecond);
+
+/// Self-rescheduling EventTarget: the typed-payload equivalent of the
+/// closure churn above, exercising the allocation-free hot path.
+struct ChurnTarget final : des::EventTarget {
+  des::Simulator* sim = nullptr;
+  des::RngStream* rng = nullptr;
+  u64 fired = 0;
+
+  void on_event(const des::EventPayload& p) override {
+    ++fired;
+    if (fired < 50'000) sim->schedule_after(rng->uniform01(), p);
+  }
+};
+
+void BM_SimulatorTypedChurn(benchmark::State& state, des::QueueKind kind) {
+  for (auto _ : state) {
+    des::Simulator sim(kind);
+    des::RngStream rng(1, "bench.churn");
+    ChurnTarget target;
+    target.sim = &sim;
+    target.rng = &rng;
+    des::EventPayload tick;
+    tick.target = &target;
+    tick.kind = des::EventKind::kWorkloadOp;
+    for (int i = 0; i < 16; ++i) sim.schedule_after(rng.uniform01(), tick);
+    sim.run();
+    benchmark::DoNotOptimize(target.fired);
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * 50'000);
+}
+BENCHMARK_CAPTURE(BM_SimulatorTypedChurn, BinaryHeap, des::QueueKind::kBinaryHeap)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SimulatorTypedChurn, Calendar, des::QueueKind::kCalendar)
     ->Unit(benchmark::kMillisecond);
 
 void BM_FullSimulation(benchmark::State& state, des::QueueKind kind) {

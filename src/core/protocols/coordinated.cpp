@@ -4,22 +4,44 @@
 
 namespace mobichk::core {
 
+void CoordinatedProtocol::on_event(const des::EventPayload& p) {
+  if (p.sub == kSubInitiate) {
+    initiate_round();
+  } else {
+    marker_arrive(static_cast<net::HostId>(p.a), p.b);
+  }
+}
+
 void CoordinatedProtocol::host_init(const net::MobileHost& host) {
   CheckpointProtocol::host_init(host);
   if (!scheduler_armed_ && ctx_.net != nullptr) {
     scheduler_armed_ = true;
-    ctx_.sim->schedule_after(interval_, [this] { initiate_round(); });
+    des::EventPayload p;
+    p.target = this;
+    p.kind = des::EventKind::kCheckpointTransfer;
+    p.sub = kSubInitiate;
+    ctx_.sim->schedule_after(interval_, p);
   }
 }
 
 void CoordinatedProtocol::initiate_round() {
   const u64 round = next_round_++;
+  des::EventPayload marker;
+  marker.target = this;
+  marker.kind = des::EventKind::kCheckpointTransfer;
+  marker.sub = kSubMarker;
+  marker.b = round;
   for (net::HostId h = 0; h < ctx_.n_hosts; ++h) {
     // One marker per host: locate it and deliver through its MSS.
     ++control_messages_;
-    ctx_.sim->schedule_after(marker_latency_, [this, h, round] { marker_arrive(h, round); });
+    marker.a = h;
+    ctx_.sim->schedule_after(marker_latency_, marker);
   }
-  ctx_.sim->schedule_after(interval_, [this] { initiate_round(); });
+  des::EventPayload next;
+  next.target = this;
+  next.kind = des::EventKind::kCheckpointTransfer;
+  next.sub = kSubInitiate;
+  ctx_.sim->schedule_after(interval_, next);
 }
 
 void CoordinatedProtocol::marker_arrive(net::HostId host_id, u64 round) {

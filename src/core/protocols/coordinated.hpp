@@ -22,10 +22,11 @@
 #include <vector>
 
 #include "core/protocol.hpp"
+#include "des/event.hpp"
 
 namespace mobichk::core {
 
-class CoordinatedProtocol final : public CheckpointProtocol {
+class CoordinatedProtocol final : public CheckpointProtocol, public des::EventTarget {
  public:
   /// `interval`: time between snapshot initiations. `marker_latency`:
   /// modeled initiator-to-host marker delivery delay (wireless + wired +
@@ -47,10 +48,17 @@ class CoordinatedProtocol final : public CheckpointProtocol {
   u64 round_of(net::HostId host) const { return round_.at(host); }
   u64 rounds_initiated() const noexcept { return next_round_ - 1; }
 
+  /// Typed-event dispatch: kCheckpointTransfer sub 0 fires a snapshot
+  /// initiation, sub 1 a marker arrival (a = host, b = round).
+  void on_event(const des::EventPayload& payload) override;
+
  protected:
   void do_bind() override { round_.assign(ctx_.n_hosts, 0); }
 
  private:
+  /// kCheckpointTransfer sub-kinds.
+  enum : u8 { kSubInitiate = 0, kSubMarker = 1 };
+
   void initiate_round();
   void marker_arrive(net::HostId host_id, u64 round);
   void join_round(const net::MobileHost& host, u64 round);

@@ -10,15 +10,22 @@ void UncoordinatedProtocol::host_init(const net::MobileHost& host) {
 }
 
 void UncoordinatedProtocol::schedule_timer(net::HostId host_id) {
-  ctx_.sim->schedule_after(period_.sample(rng_), [this, host_id] {
-    const net::MobileHost& host = ctx_.net->host(host_id);
-    // A disconnected host cannot transfer its state to an MSS; it skips
-    // the tick (its disconnect checkpoint already covers the gap).
-    if (host.connected()) {
-      checkpoint(host, CheckpointKind::kForced);
-    }
-    schedule_timer(host_id);
-  });
+  des::EventPayload p;
+  p.target = this;
+  p.kind = des::EventKind::kCheckpointTransfer;
+  p.a = host_id;
+  ctx_.sim->schedule_after(period_.sample(rng_), p);
+}
+
+void UncoordinatedProtocol::on_event(const des::EventPayload& p) {
+  const auto host_id = static_cast<net::HostId>(p.a);
+  const net::MobileHost& host = ctx_.net->host(host_id);
+  // A disconnected host cannot transfer its state to an MSS; it skips
+  // the tick (its disconnect checkpoint already covers the gap).
+  if (host.connected()) {
+    checkpoint(host, CheckpointKind::kForced);
+  }
+  schedule_timer(host_id);
 }
 
 }  // namespace mobichk::core

@@ -10,11 +10,12 @@
 
 #include "core/protocol.hpp"
 #include "des/distributions.hpp"
+#include "des/event.hpp"
 #include "des/rng.hpp"
 
 namespace mobichk::core {
 
-class UncoordinatedProtocol final : public CheckpointProtocol {
+class UncoordinatedProtocol final : public CheckpointProtocol, public des::EventTarget {
  public:
   /// `mean_period`: mean of the exponentially distributed local
   /// checkpoint interval. `seed` feeds the timer randomness.
@@ -34,6 +35,10 @@ class UncoordinatedProtocol final : public CheckpointProtocol {
   }
 
   void host_init(const net::MobileHost& host) override;
+
+  /// Typed-event dispatch: one kCheckpointTransfer per local timer tick
+  /// (a = host).
+  void on_event(const des::EventPayload& payload) override;
 
  protected:
   void do_bind() override { count_.assign(ctx_.n_hosts, 0); }

@@ -10,20 +10,32 @@
 
 namespace mobichk::des {
 
+namespace {
+/// Cancelled entries tolerated in a structure beyond the live count before
+/// a compaction pass reclaims them. Keeps stored entries <= 2*live + slack
+/// so cancel-heavy runs cannot grow the queues without bound, while small
+/// queues never thrash on compaction.
+constexpr usize kDeadSlack = 64;
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // BinaryHeapQueue
 // ---------------------------------------------------------------------------
 
-void BinaryHeapQueue::push(EventEntry entry) {
-  pending_.insert(entry.seq);
+EventHandle BinaryHeapQueue::push(EventEntry entry) {
+  const EventHandle handle = slots_.acquire();
+  entry.slot = handle.slot;
   heap_.push_back(std::move(entry));
   sift_up(heap_.size() - 1);
   ++live_;
+  assert(heap_.size() == live_ + dead_);
+  return handle;
 }
 
 void BinaryHeapQueue::drop_cancelled_top() {
-  while (!heap_.empty() && cancelled_.contains(heap_.front().seq)) {
-    cancelled_.erase(heap_.front().seq);
+  while (!heap_.empty() && slots_.is_cancelled(heap_.front().slot)) {
+    slots_.release(heap_.front().slot);
+    --dead_;
     std::swap(heap_.front(), heap_.back());
     heap_.pop_back();
     if (!heap_.empty()) sift_down(0);
@@ -37,25 +49,47 @@ EventEntry BinaryHeapQueue::pop() {
   std::swap(heap_.front(), heap_.back());
   heap_.pop_back();
   if (!heap_.empty()) sift_down(0);
-  pending_.erase(out.seq);
+  slots_.release(out.slot);
   --live_;
-  assert(live_ == pending_.size());
+  assert(heap_.size() == live_ + dead_);
   return out;
 }
 
-bool BinaryHeapQueue::cancel(u64 seq) {
-  // Lazy: mark and skip at pop time. Only a seq that is still pending may
-  // be cancelled; a fired, unknown or double-cancelled seq must neither
-  // disturb live_ nor leave an immortal tombstone behind.
-  if (pending_.erase(seq) == 0) return false;
-  cancelled_.insert(seq);
+Time BinaryHeapQueue::peek_time() {
+  drop_cancelled_top();
+  assert(!heap_.empty() && "peek_time() on empty queue");
+  return heap_.front().time;
+}
+
+bool BinaryHeapQueue::cancel(EventHandle handle) {
+  // Lazy: mark the slot and skip the entry when it surfaces. Only a
+  // still-pending generation may be cancelled; a fired, unknown or
+  // double-cancelled handle must neither disturb live_ nor leak a
+  // tombstone.
+  if (!slots_.cancel(handle)) return false;
   --live_;
+  ++dead_;
+  if (dead_ > live_ + kDeadSlack) compact();
   return true;
 }
 
-bool BinaryHeapQueue::empty() {
-  drop_cancelled_top();
-  return heap_.empty();
+void BinaryHeapQueue::compact() {
+  // Reclaim every cancelled entry in one pass and rebuild the heap. Pop
+  // order is unaffected: the heap property plus the (time, seq) comparator
+  // determine it regardless of internal layout.
+  usize kept = 0;
+  for (usize i = 0; i < heap_.size(); ++i) {
+    if (slots_.is_cancelled(heap_[i].slot)) {
+      slots_.release(heap_[i].slot);
+      continue;
+    }
+    if (kept != i) heap_[kept] = std::move(heap_[i]);
+    ++kept;
+  }
+  heap_.resize(kept);
+  dead_ = 0;
+  for (usize i = heap_.size() / 2; i-- > 0;) sift_down(i);
+  assert(heap_.size() == live_);
 }
 
 void BinaryHeapQueue::sift_up(usize i) {
@@ -113,37 +147,54 @@ void CalendarQueue::reposition(Time t) noexcept {
   current_bucket_ = bucket_of(t);
 }
 
-void CalendarQueue::push(EventEntry entry) {
+EventHandle CalendarQueue::push(EventEntry entry) {
   assert(entry.time >= last_popped_ && "calendar queue does not support scheduling in the past");
   // The cursor may sit past this event's year (e.g. after a jump to a far
   // minimum that was then superseded): pull it back so the scan cannot
   // skip the new event.
   if (entry.time < cursor_time_) reposition(entry.time);
-  pending_.insert(entry.seq);
+  const EventHandle handle = slots_.acquire();
+  entry.slot = handle.slot;
   insert_sorted(buckets_[bucket_of(entry.time)], std::move(entry));
   ++live_;
   if (live_ > 2 * buckets_.size()) resize(buckets_.size() * 2);
+  return handle;
 }
 
-bool CalendarQueue::cancel(u64 seq) {
-  // Only a still-pending seq may be cancelled: decrementing live_ for a
-  // fired or unknown seq made empty() report true while real events were
-  // still bucketed, silently truncating the simulation.
-  if (pending_.erase(seq) == 0) return false;
-  cancelled_.insert(seq);
+bool CalendarQueue::cancel(EventHandle handle) {
+  // Only a still-pending generation may be cancelled: decrementing live_
+  // for a fired or unknown handle made empty() report true while real
+  // events were still bucketed, silently truncating the simulation.
+  if (!slots_.cancel(handle)) return false;
   --live_;
+  ++dead_;
+  if (dead_ > live_ + kDeadSlack) compact();
   return true;
 }
 
-bool CalendarQueue::empty() {
-  assert(live_ == pending_.size());
-  // Tombstoned entries may remain in the buckets; they are purged lazily
-  // by pop()/resize(), so the queue is logically empty at live_ == 0.
-  return live_ == 0;
+void CalendarQueue::purge_tail(std::vector<EventEntry>& bucket) {
+  while (!bucket.empty() && slots_.is_cancelled(bucket.back().slot)) {
+    slots_.release(bucket.back().slot);
+    --dead_;
+    bucket.pop_back();
+  }
 }
 
-EventEntry CalendarQueue::pop() {
-  assert(live_ > 0 && "pop() on empty queue");
+void CalendarQueue::compact() {
+  // Erase every cancelled entry in place; buckets stay sorted, so pop
+  // order is unaffected.
+  for (auto& bucket : buckets_) {
+    std::erase_if(bucket, [this](const EventEntry& e) {
+      if (!slots_.is_cancelled(e.slot)) return false;
+      slots_.release(e.slot);
+      return true;
+    });
+  }
+  dead_ = 0;
+}
+
+usize CalendarQueue::seek_min() {
+  assert(live_ > 0 && "seek_min() on empty queue");
   const usize nb = buckets_.size();
   for (;;) {
     const Time year_len = bucket_width_ * static_cast<f64>(nb);
@@ -154,34 +205,23 @@ EventEntry CalendarQueue::pop() {
       const usize b = raw % nb;
       auto& bucket = buckets_[b];
       // Purge cancelled entries at the tail (the earliest events).
-      while (!bucket.empty() && cancelled_.contains(bucket.back().seq)) {
-        cancelled_.erase(bucket.back().seq);
-        bucket.pop_back();
-      }
+      purge_tail(bucket);
       const Time year_start = current_year_start_ + (wrapped ? year_len : 0.0);
       const Time bucket_top = year_start + bucket_width_ * static_cast<f64>(b + 1);
       if (!bucket.empty() && bucket.back().time < bucket_top) {
-        EventEntry out = std::move(bucket.back());
-        bucket.pop_back();
         if (wrapped) current_year_start_ += year_len;
         current_bucket_ = b;
-        cursor_time_ = out.time;
-        last_popped_ = out.time;
-        pending_.erase(out.seq);
-        --live_;
-        if (live_ < buckets_.size() / 2 && buckets_.size() > kMinBuckets) {
-          resize(buckets_.size() / 2);
-        }
-        return out;
+        // Commit the cursor time too: a later push of an earlier event
+        // must see a cursor it has to pull back, even when the found
+        // minimum was only peeked and not removed.
+        cursor_time_ = bucket.back().time;
+        return b;
       }
     }
     // Nothing due within a year: jump directly to the global minimum.
     const EventEntry* min_entry = nullptr;
     for (auto& bucket : buckets_) {
-      while (!bucket.empty() && cancelled_.contains(bucket.back().seq)) {
-        cancelled_.erase(bucket.back().seq);
-        bucket.pop_back();
-      }
+      purge_tail(bucket);
       if (!bucket.empty() && (min_entry == nullptr || bucket.back() < *min_entry)) {
         min_entry = &bucket.back();
       }
@@ -192,20 +232,45 @@ EventEntry CalendarQueue::pop() {
   }
 }
 
+EventEntry CalendarQueue::pop() {
+  assert(live_ > 0 && "pop() on empty queue");
+  auto& bucket = buckets_[seek_min()];
+  EventEntry out = std::move(bucket.back());
+  bucket.pop_back();
+  cursor_time_ = out.time;
+  last_popped_ = out.time;
+  slots_.release(out.slot);
+  --live_;
+  if (live_ < buckets_.size() / 2 && buckets_.size() > kMinBuckets) {
+    resize(buckets_.size() / 2);
+  }
+  return out;
+}
+
+Time CalendarQueue::peek_time() {
+  assert(live_ > 0 && "peek_time() on empty queue");
+  // seek_min commits the cursor to the minimum's bucket, which the
+  // following pop re-uses; it never removes the entry, so a push of an
+  // earlier event in between still pulls the cursor back.
+  return buckets_[seek_min()].back().time;
+}
+
 void CalendarQueue::resize(usize new_bucket_count) {
   // Estimate a bucket width from the spacing of the earliest events.
   std::vector<EventEntry> all;
   all.reserve(live_);
   for (auto& bucket : buckets_) {
     for (auto& e : bucket) {
-      if (cancelled_.contains(e.seq)) {
-        cancelled_.erase(e.seq);
+      if (slots_.is_cancelled(e.slot)) {
+        slots_.release(e.slot);
+        --dead_;
         continue;
       }
       all.push_back(std::move(e));
     }
     bucket.clear();
   }
+  assert(dead_ == 0);
   std::sort(all.begin(), all.end());
   if (all.size() >= 2) {
     const usize sample = std::min<usize>(all.size(), 25);

@@ -10,26 +10,44 @@
 // All order events by (time, sequence number), so a simulation produces an
 // identical trace whichever queue it runs on (verified by tests and by the
 // determinism audit, sim/audit.hpp).
+//
+// Cancellation is handle-based: push() returns an EventHandle carrying a
+// slot index and a generation stamp. The slot is released (and its
+// generation bumped) the moment the entry physically leaves the structure,
+// so a stale handle — already fired, already cancelled, never scheduled —
+// fails the generation check in O(1) without any hash-set bookkeeping.
 #pragma once
 
-#include <functional>
+#include <cassert>
 #include <memory>
 #include <string_view>
-#include <unordered_set>
 #include <vector>
 
+#include "des/event.hpp"
 #include "des/types.hpp"
 
 namespace mobichk::des {
 
-/// Callback executed when an event fires.
-using EventFn = std::function<void()>;
+/// Handle to a scheduled event: which slot the queue filed it under and
+/// the slot's generation at push time. Cancelling with a stale generation
+/// (the event fired, was cancelled, or the slot was since reused) is a
+/// strict no-op. A default-constructed handle is invalid (generations
+/// start at 1).
+struct EventHandle {
+  u32 slot = 0;
+  u32 gen = 0;
+
+  /// True if this handle ever referred to an event.
+  bool valid() const noexcept { return gen != 0; }
+};
 
 /// A scheduled event as stored in / returned by a queue.
 struct EventEntry {
   Time time = 0.0;
   u64 seq = 0;  ///< Global scheduling order; breaks time ties deterministically.
-  EventFn fn;
+  u32 slot = 0; ///< Filled by the queue at push; cancellation bookkeeping.
+  EventPayload payload;  ///< Inline typed payload (no per-event allocation).
+  EventFn fn;            ///< Engaged only when payload.kind == kClosure.
 
   friend bool operator<(const EventEntry& a, const EventEntry& b) noexcept {
     if (a.time != b.time) return a.time < b.time;
@@ -37,28 +55,98 @@ struct EventEntry {
   }
 };
 
+/// Generation-stamped slot registry shared by the queue implementations.
+///
+/// One slot per physically stored entry; state transitions are
+/// free -> pending (acquire), pending -> cancelled (cancel) and
+/// {pending, cancelled} -> free with a generation bump (release, at
+/// physical removal). Every operation is O(1) on a flat array.
+class SlotTable {
+ public:
+  /// Claims a slot for a new entry and returns its handle.
+  EventHandle acquire() {
+    u32 slot;
+    if (!free_.empty()) {
+      slot = free_.back();
+      free_.pop_back();
+    } else {
+      slot = static_cast<u32>(recs_.size());
+      recs_.push_back(Rec{});
+    }
+    recs_[slot].state = State::kPending;
+    return EventHandle{slot, recs_[slot].gen};
+  }
+
+  /// pending -> cancelled. False (and no state change) when the handle is
+  /// stale: wrong generation, already cancelled, or already released.
+  bool cancel(EventHandle h) noexcept {
+    if (h.slot >= recs_.size()) return false;
+    Rec& rec = recs_[h.slot];
+    if (rec.gen != h.gen || rec.state != State::kPending) return false;
+    rec.state = State::kCancelled;
+    return true;
+  }
+
+  /// True when `slot` holds a cancelled (tombstoned) entry.
+  bool is_cancelled(u32 slot) const noexcept {
+    return recs_[slot].state == State::kCancelled;
+  }
+
+  /// Frees `slot` when its entry leaves the structure; the generation bump
+  /// invalidates every outstanding handle to it.
+  void release(u32 slot) noexcept {
+    Rec& rec = recs_[slot];
+    assert(rec.state != State::kFree && "releasing a free slot");
+    rec.state = State::kFree;
+    ++rec.gen;
+    free_.push_back(slot);
+  }
+
+  /// Slots currently allocated (capacity high-water mark, for tests).
+  usize capacity() const noexcept { return recs_.size(); }
+
+ private:
+  enum class State : u8 { kFree, kPending, kCancelled };
+  struct Rec {
+    u32 gen = 1;  ///< 0 is reserved for the invalid handle.
+    State state = State::kFree;
+  };
+
+  std::vector<Rec> recs_;
+  std::vector<u32> free_;
+};
+
 /// Abstract pending-event set ordered by (time, seq).
 class EventQueue {
  public:
   virtual ~EventQueue() = default;
 
-  /// Inserts an event. `seq` values must be unique across the queue's life.
-  virtual void push(EventEntry entry) = 0;
+  /// Inserts an event (the queue assigns entry.slot). `seq` values must be
+  /// unique across the queue's life. Returns the cancellation handle.
+  virtual EventHandle push(EventEntry entry) = 0;
 
-  /// Removes and returns the minimum event. Pre: !empty().
+  /// Removes and returns the minimum live event. Pre: !empty().
   virtual EventEntry pop() = 0;
 
-  /// Cancels the event with the given sequence number. Returns true when a
-  /// live pending event was removed; cancelling a seq that already fired,
-  /// was already cancelled, or was never scheduled is a no-op returning
-  /// false and must not disturb the live count.
-  virtual bool cancel(u64 seq) = 0;
+  /// Time of the minimum live event without removing it. Pre: !empty().
+  virtual Time peek_time() = 0;
+
+  /// Cancels the event behind `handle`. Returns true when a live pending
+  /// event was removed; a stale handle (already fired, already cancelled,
+  /// or never scheduled) is a no-op returning false and must not disturb
+  /// the live count.
+  virtual bool cancel(EventHandle handle) = 0;
 
   /// True when no live (non-cancelled) events remain.
-  virtual bool empty() = 0;
+  virtual bool empty() const = 0;
 
   /// Number of live events.
   virtual usize size() const = 0;
+
+  /// Physical entries held (live + cancelled-but-unreclaimed). The
+  /// tombstone bound — stored() <= 2 * size() + slack — is part of the
+  /// contract and verified by the cancel-churn tests.
+  virtual usize stored() const = 0;
 
   /// Human-readable implementation name (for benches and logs).
   virtual const char* name() const noexcept = 0;
@@ -82,39 +170,48 @@ const char* queue_kind_name(QueueKind kind) noexcept;
 /// unknown name (used when deserializing experiment options).
 QueueKind queue_kind_from_name(std::string_view name);
 
-/// Binary min-heap over (time, seq) with lazy cancellation.
+/// Binary min-heap over (time, seq) with lazy, handle-based cancellation.
+/// Cancelled entries stay in the heap until they surface (or until a
+/// compaction pass); their count is bounded by the live count plus a
+/// constant, so cancel-heavy runs cannot grow the structure without bound.
 class BinaryHeapQueue final : public EventQueue {
  public:
-  void push(EventEntry entry) override;
+  EventHandle push(EventEntry entry) override;
   EventEntry pop() override;
-  bool cancel(u64 seq) override;
-  bool empty() override;
+  Time peek_time() override;
+  bool cancel(EventHandle handle) override;
+  bool empty() const override { return live_ == 0; }
   usize size() const override { return live_; }
+  usize stored() const override { return heap_.size(); }
   const char* name() const noexcept override { return "binary-heap"; }
 
  private:
   void sift_up(usize i);
   void sift_down(usize i);
   void drop_cancelled_top();
+  void compact();
 
   std::vector<EventEntry> heap_;
-  std::unordered_set<u64> pending_;    ///< Seqs physically in the heap and not cancelled.
-  std::unordered_set<u64> cancelled_;  ///< Tombstones; always a subset of the heap's seqs.
-  usize live_ = 0;
+  SlotTable slots_;
+  usize live_ = 0;  ///< Entries neither cancelled nor popped.
+  usize dead_ = 0;  ///< Cancelled entries still physically in the heap.
 };
 
 /// Brown's calendar queue: an array of day-buckets covering a rotating
 /// "year"; each bucket holds a sorted list of events. Resizes itself to
-/// keep ~1 event per bucket.
+/// keep ~1 event per bucket. Cancellation is lazy and handle-based, with
+/// the same dead-entry bound as the binary heap.
 class CalendarQueue final : public EventQueue {
  public:
   CalendarQueue();
 
-  void push(EventEntry entry) override;
+  EventHandle push(EventEntry entry) override;
   EventEntry pop() override;
-  bool cancel(u64 seq) override;
-  bool empty() override;
+  Time peek_time() override;
+  bool cancel(EventHandle handle) override;
+  bool empty() const override { return live_ == 0; }
   usize size() const override { return live_; }
+  usize stored() const override { return live_ + dead_; }
   const char* name() const noexcept override { return "calendar"; }
 
  private:
@@ -123,16 +220,22 @@ class CalendarQueue final : public EventQueue {
   void insert_sorted(std::vector<EventEntry>& bucket, EventEntry entry);
   /// Moves the search cursor (bucket + year) to cover time `t`.
   void reposition(Time t) noexcept;
+  /// Advances the cursor to the bucket whose tail is the next live event
+  /// and returns that bucket's index. Pre: live_ > 0.
+  usize seek_min();
+  /// Pops cancelled entries off a bucket's tail, releasing their slots.
+  void purge_tail(std::vector<EventEntry>& bucket);
+  void compact();
 
   std::vector<std::vector<EventEntry>> buckets_;
-  std::unordered_set<u64> pending_;    ///< Seqs in some bucket and not cancelled.
-  std::unordered_set<u64> cancelled_;  ///< Tombstones; always a subset of bucketed seqs.
+  SlotTable slots_;
   f64 bucket_width_ = 1.0;
   usize current_bucket_ = 0;  ///< Bucket the search cursor is on.
   Time current_year_start_ = 0.0;
   Time cursor_time_ = 0.0;    ///< Virtual time the cursor has reached.
   Time last_popped_ = 0.0;
-  usize live_ = 0;
+  usize live_ = 0;  ///< Entries neither cancelled nor popped.
+  usize dead_ = 0;  ///< Cancelled entries still bucketed.
 };
 
 /// Factory for the queue implementations.

@@ -2,24 +2,40 @@
 
 #include <cassert>
 #include <stdexcept>
+#include <utility>
 
 namespace mobichk::des {
 
 Simulator::Simulator(QueueKind queue_kind) : queue_(make_event_queue(queue_kind)) {}
 
-EventHandle Simulator::schedule_at(Time t, EventFn fn) {
+EventHandle Simulator::enqueue(Time t, EventEntry entry) {
   if (t < now_) throw std::invalid_argument("Simulator::schedule_at: time is in the past");
-  const u64 seq = next_seq_++;
-  queue_->push(EventEntry{t, seq, std::move(fn)});
+  entry.time = t;
+  entry.seq = next_seq_++;
+  const EventHandle handle = queue_->push(std::move(entry));
   ++invariants_.scheduled;
   if (queue_->size() > invariants_.max_pending) invariants_.max_pending = queue_->size();
-  return EventHandle(seq);
+  return handle;
+}
+
+EventHandle Simulator::schedule_at(Time t, const EventPayload& payload) {
+  assert(payload.kind != EventKind::kClosure && "typed payload must not be kClosure");
+  assert(payload.target != nullptr && "typed payload needs a target");
+  EventEntry entry;
+  entry.payload = payload;
+  return enqueue(t, std::move(entry));
+}
+
+EventHandle Simulator::schedule_at(Time t, EventFn fn) {
+  EventEntry entry;
+  entry.fn = std::move(fn);
+  return enqueue(t, std::move(entry));
 }
 
 void Simulator::cancel(EventHandle handle) {
   if (!handle.valid()) return;
   ++invariants_.cancels_requested;
-  if (queue_->cancel(handle.seq_)) ++invariants_.cancels_effective;
+  if (queue_->cancel(handle)) ++invariants_.cancels_effective;
 }
 
 void Simulator::advance_to(const EventEntry& e) noexcept {
@@ -38,16 +54,12 @@ u64 Simulator::run_until(Time t_end) {
   u64 count = 0;
   stop_requested_ = false;
   while (!queue_->empty()) {
-    // Peek by popping; if beyond the horizon, push back and stop.
+    // peek_time (not pop/push-back): re-pushing would file the entry under
+    // a fresh slot and silently invalidate every outstanding handle to it.
+    if (queue_->peek_time() > t_end) break;
     EventEntry e = queue_->pop();
-    if (e.time > t_end) {
-      // Not fired: the pop/push round-trip keeps the ledger net-zero and
-      // the seq stays eligible to fire (and be double-pop-checked) later.
-      queue_->push(std::move(e));
-      break;
-    }
     advance_to(e);
-    e.fn();
+    fire(e);
     ++executed_;
     ++invariants_.executed;
     ++count;
@@ -63,7 +75,7 @@ u64 Simulator::run() {
   while (!queue_->empty()) {
     EventEntry e = queue_->pop();
     advance_to(e);
-    e.fn();
+    fire(e);
     ++executed_;
     ++invariants_.executed;
     ++count;

@@ -1,8 +1,9 @@
 // The discrete-event simulation engine.
 //
 // A Simulator owns a virtual clock and a pending-event set; entities
-// schedule closures to run at future virtual times. Execution is strictly
-// deterministic: events fire in (time, scheduling-sequence) order.
+// schedule typed event payloads (or closure escape hatches) to run at
+// future virtual times. Execution is strictly deterministic: events fire
+// in (time, scheduling-sequence) order, whatever their representation.
 #pragma once
 
 #include <memory>
@@ -10,6 +11,7 @@
 #include <unordered_set>
 #endif
 
+#include "des/event.hpp"
 #include "des/event_queue.hpp"
 #include "des/types.hpp"
 
@@ -39,20 +41,6 @@ struct SimInvariants {
   }
 };
 
-/// Handle to a scheduled event, usable for cancellation.
-class EventHandle {
- public:
-  EventHandle() = default;
-
-  /// True if this handle ever referred to an event.
-  bool valid() const noexcept { return seq_ != 0; }
-
- private:
-  friend class Simulator;
-  explicit EventHandle(u64 seq) noexcept : seq_(seq) {}
-  u64 seq_ = 0;  ///< 0 = never assigned (sequence numbers start at 1).
-};
-
 /// Discrete-event simulation engine.
 class Simulator {
  public:
@@ -64,10 +52,21 @@ class Simulator {
   /// Current virtual time.
   Time now() const noexcept { return now_; }
 
-  /// Schedules `fn` at absolute time `t` (must be >= now()).
+  /// Schedules a typed payload at absolute time `t` (must be >= now()).
+  /// This is the allocation-free hot path: the payload is stored inline
+  /// in the queue entry.
+  EventHandle schedule_at(Time t, const EventPayload& payload);
+
+  /// Schedules a typed payload after a delay of `dt` (must be >= 0).
+  EventHandle schedule_after(Time dt, const EventPayload& payload) {
+    return schedule_at(now_ + dt, payload);
+  }
+
+  /// Schedules closure `fn` at absolute time `t` — the escape hatch for
+  /// tests, probes and one-off hooks; pays a per-event allocation.
   EventHandle schedule_at(Time t, EventFn fn);
 
-  /// Schedules `fn` after a delay of `dt` (must be >= 0).
+  /// Schedules closure `fn` after a delay of `dt` (must be >= 0).
   EventHandle schedule_after(Time dt, EventFn fn) { return schedule_at(now_ + dt, std::move(fn)); }
 
   /// Cancels a previously scheduled event; no-op if it already fired.
@@ -100,8 +99,21 @@ class Simulator {
   const char* queue_name() const noexcept { return queue_->name(); }
 
  private:
+  /// Assigns the next sequence number and pushes the finished entry.
+  EventHandle enqueue(Time t, EventEntry entry);
+
   /// Advances the clock to a popped event's time, with invariant checks.
   void advance_to(const EventEntry& e) noexcept;
+
+  /// Dispatches one popped event: typed payloads go through their
+  /// EventTarget, closures through fn.
+  static void fire(EventEntry& e) {
+    if (e.payload.kind == EventKind::kClosure) {
+      e.fn();
+    } else {
+      e.payload.target->on_event(e.payload);
+    }
+  }
 
   std::unique_ptr<EventQueue> queue_;
   Time now_ = 0.0;

@@ -4,7 +4,10 @@
 // Deliberately the simplest implementation that can be correct — O(n)
 // push and cancel, O(1) pop — so the determinism audit (sim/audit.hpp)
 // and the queue-equivalence fuzz tests can use it as an oracle against
-// the optimised BinaryHeapQueue and CalendarQueue.
+// the optimised BinaryHeapQueue and CalendarQueue. It shares the
+// generation-stamped SlotTable so handle semantics (stale handles are
+// no-ops, slots recycle with a generation bump) are byte-for-byte the
+// contract the optimised queues must match.
 #pragma once
 
 #include <vector>
@@ -17,15 +20,18 @@ namespace mobichk::des {
 /// event to fire sits at the back of the vector.
 class SortedListQueue final : public EventQueue {
  public:
-  void push(EventEntry entry) override;
+  EventHandle push(EventEntry entry) override;
   EventEntry pop() override;
-  bool cancel(u64 seq) override;
-  bool empty() override { return entries_.empty(); }
+  Time peek_time() override;
+  bool cancel(EventHandle handle) override;
+  bool empty() const override { return entries_.empty(); }
   usize size() const override { return entries_.size(); }
+  usize stored() const override { return entries_.size(); }
   const char* name() const noexcept override { return "sorted-list"; }
 
  private:
   std::vector<EventEntry> entries_;
+  SlotTable slots_;
 };
 
 }  // namespace mobichk::des

@@ -22,13 +22,16 @@ struct Piggyback {
   std::vector<u32> vec_b;   ///< TP: LOC[] transitive dependency on MH locations.
   u32 tag = 0;              ///< Protocol-specific marker / flag.
   bool has_sn = false;      ///< Whether `sn` is meaningful (affects wire size).
+  bool has_tag = false;     ///< Whether `tag` is carried (affects wire size).
 
   /// Bytes of control information this piggyback adds on the wire.
   usize wire_bytes() const noexcept {
     usize bytes = 0;
     if (has_sn) bytes += sizeof(u64);
     bytes += (vec_a.size() + vec_b.size()) * sizeof(u32);
-    if (tag != 0) bytes += sizeof(u32);
+    // A carried tag costs wire bytes even when its value happens to be 0;
+    // gating on the value silently undercounted those messages.
+    if (has_tag) bytes += sizeof(u32);
     return bytes;
   }
 };

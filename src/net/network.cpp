@@ -55,6 +55,62 @@ void Network::start(const std::vector<MssId>& placement) {
   for (auto& host : hosts_) handler_->on_host_init(host);
 }
 
+u32 Network::park(AppMessage msg) {
+  u32 idx;
+  if (!park_free_.empty()) {
+    idx = park_free_.back();
+    park_free_.pop_back();
+    parked_[idx] = std::move(msg);
+  } else {
+    idx = static_cast<u32>(parked_.size());
+    parked_.push_back(std::move(msg));
+  }
+  return idx;
+}
+
+AppMessage Network::unpark(u32 idx) {
+  AppMessage msg = std::move(parked_[idx]);
+  park_free_.push_back(idx);
+  return msg;
+}
+
+des::EventPayload Network::hop_payload(u8 sub, MssId at, u32 park_idx, bool flag) noexcept {
+  des::EventPayload p;
+  p.target = this;
+  p.kind = des::EventKind::kMessageHop;
+  p.sub = sub;
+  p.flags = flag ? 1 : 0;
+  p.a = at;
+  p.b = park_idx;
+  return p;
+}
+
+void Network::on_event(const des::EventPayload& p) {
+  const MssId at = static_cast<MssId>(p.a);
+  const u32 park_idx = static_cast<u32>(p.b);
+  switch (p.sub) {
+    case kSubUplink:
+      // Location search: modeled as extra wired hops before forwarding.
+      if (cfg_.location_search_hops > 0) {
+        stats_.wired_hops += cfg_.location_search_hops;
+        const f64 delay = cfg_.wired_latency * static_cast<f64>(cfg_.location_search_hops);
+        // The message stays parked across the search leg.
+        sim_.schedule_after(delay, hop_payload(kSubRouted, at, park_idx, /*targeted=*/false));
+      } else {
+        msg_at_mss(at, unpark(park_idx), /*targeted=*/false);
+      }
+      break;
+    case kSubRouted:
+      msg_at_mss(at, unpark(park_idx), /*targeted=*/(p.flags & 1) != 0);
+      break;
+    case kSubDeliver:
+      deliver_to_host(at, unpark(park_idx), /*is_duplicate=*/(p.flags & 1) != 0);
+      break;
+    default:
+      assert(false && "unknown kMessageHop sub-kind");
+  }
+}
+
 f64 Network::wireless_delay(MssId cell, usize bytes) {
   if (cfg_.wireless_bandwidth <= 0.0) return cfg_.wireless_latency;
   const f64 service =
@@ -66,9 +122,7 @@ void Network::wired_forward(MssId from, MssId to, AppMessage msg) {
   const u32 hops = topology_.hops(from, to);
   stats_.wired_hops += hops;
   sim_.schedule_after(cfg_.wired_latency * static_cast<f64>(hops),
-                      [this, to, msg = std::move(msg)]() mutable {
-                        msg_at_mss(to, std::move(msg), /*targeted=*/true);
-                      });
+                      hop_payload(kSubRouted, to, park(std::move(msg)), /*targeted=*/true));
 }
 
 void Network::occupy_control(MssId cell) {
@@ -116,18 +170,7 @@ void Network::send_app_message(HostId src, HostId dst, u32 payload_bytes) {
 
   const MssId src_mss = s.mss();
   const f64 uplink = wireless_delay(src_mss, msg.wire_bytes());
-  sim_.schedule_after(uplink, [this, src_mss, msg = std::move(msg)]() mutable {
-    // Location search: modeled as extra wired hops before forwarding.
-    if (cfg_.location_search_hops > 0) {
-      stats_.wired_hops += cfg_.location_search_hops;
-      const f64 delay = cfg_.wired_latency * static_cast<f64>(cfg_.location_search_hops);
-      sim_.schedule_after(delay, [this, src_mss, msg = std::move(msg)]() mutable {
-        msg_at_mss(src_mss, std::move(msg), /*targeted=*/false);
-      });
-    } else {
-      msg_at_mss(src_mss, std::move(msg), /*targeted=*/false);
-    }
-  });
+  sim_.schedule_after(uplink, hop_payload(kSubUplink, src_mss, park(std::move(msg)), false));
 }
 
 void Network::msg_at_mss(MssId at, AppMessage msg, bool targeted) {
@@ -151,11 +194,9 @@ void Network::msg_at_mss(MssId at, AppMessage msg, bool targeted) {
   }
   // Destination is attached here: wireless downlink.
   ++stats_.wireless_messages;
-  const MssId from = at;
   const f64 downlink = wireless_delay(at, msg.wire_bytes());
-  sim_.schedule_after(downlink, [this, from, msg = std::move(msg)]() mutable {
-    deliver_to_host(from, std::move(msg), /*is_duplicate=*/false);
-  });
+  sim_.schedule_after(downlink, hop_payload(kSubDeliver, at, park(std::move(msg)),
+                                            /*is_duplicate=*/false));
 }
 
 void Network::deliver_to_host(MssId from_mss, AppMessage msg, bool is_duplicate) {
@@ -178,9 +219,8 @@ void Network::deliver_to_host(MssId from_mss, AppMessage msg, bool is_duplicate)
     ++stats_.wireless_messages;
     AppMessage copy = msg;
     const f64 redelivery = wireless_delay(from_mss, copy.wire_bytes());
-    sim_.schedule_after(redelivery, [this, from_mss, copy = std::move(copy)]() mutable {
-      deliver_to_host(from_mss, std::move(copy), /*is_duplicate=*/true);
-    });
+    sim_.schedule_after(redelivery, hop_payload(kSubDeliver, from_mss, park(std::move(copy)),
+                                               /*is_duplicate=*/true));
   }
   if (cfg_.duplicate_prob > 0.0 && cfg_.transport_dedup) {
     if (!d.seen_ids_.insert(msg.id).second) {

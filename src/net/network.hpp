@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "des/distributions.hpp"
+#include "des/event.hpp"
 #include "des/stats.hpp"
 #include "des/rng.hpp"
 #include "des/simulator.hpp"
@@ -76,7 +77,13 @@ struct NetworkStats {
 
 /// The network substrate. Owns hosts, MSSs, the location directory, and
 /// the channel model; mechanisms only (policy lives in src/sim/).
-class Network {
+///
+/// Message legs (uplink, wired routing, downlink, duplicate redelivery)
+/// are scheduled as typed kMessageHop events dispatched back into this
+/// object: the in-flight AppMessage is parked in a pooled slot and the
+/// event payload carries only the pool index, the MSS the leg ends at,
+/// and a flag bit — no per-event allocation.
+class Network final : public des::EventTarget {
  public:
   /// `seed` feeds the channel randomness (duplication). `sink` may be
   /// nullptr to discard traces.
@@ -141,7 +148,24 @@ class Network {
   /// Pre: disconnected.
   void reconnect(HostId host, MssId new_mss);
 
+  /// Typed-event dispatch for in-flight message legs (des::EventTarget).
+  void on_event(const des::EventPayload& payload) override;
+
  private:
+  /// kMessageHop sub-kinds (EventPayload::sub).
+  enum : u8 {
+    kSubUplink = 0,   ///< MH -> MSS wireless leg arrived (a = source MSS).
+    kSubRouted = 1,   ///< Wired transfer / search done (a = MSS, flags bit0 = targeted).
+    kSubDeliver = 2,  ///< MSS -> MH wireless leg arrived (flags bit0 = is_duplicate).
+  };
+
+  /// Parks an in-flight message in the pool; returns its slot index.
+  u32 park(AppMessage msg);
+  /// Reclaims a parked message, freeing its slot for reuse.
+  AppMessage unpark(u32 idx);
+  /// Builds the kMessageHop payload for one message leg.
+  des::EventPayload hop_payload(u8 sub, MssId at, u32 park_idx, bool flag) noexcept;
+
   /// `targeted` is true when `at` was chosen because the destination was
   /// believed to be there (so finding it gone is a chase, not routing).
   void msg_at_mss(MssId at, AppMessage msg, bool targeted = false);
@@ -167,6 +191,8 @@ class Network {
   std::vector<Mss> mss_;
   std::vector<CellChannel> channels_;
   NetworkStats stats_;
+  std::vector<AppMessage> parked_;  ///< In-flight message pool.
+  std::vector<u32> park_free_;     ///< Free slots in parked_.
   u64 next_msg_id_ = 1;
   bool started_ = false;
 };

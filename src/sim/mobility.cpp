@@ -48,15 +48,30 @@ net::MssId MobilityDriver::pick_switch_target(net::HostId host) {
   return static_cast<net::MssId>(des::uniform_index_excluding(rng_.at(host), n, current));
 }
 
+void MobilityDriver::on_event(const des::EventPayload& p) {
+  const auto host = static_cast<net::HostId>(p.a);
+  if (p.kind == des::EventKind::kHandoff) {
+    do_switch(host);
+  } else {
+    p.sub == kSubDisconnect ? do_disconnect(host) : do_reconnect(host);
+  }
+}
+
 void MobilityDriver::enter_cell(net::HostId host) {
   des::RngStream& rng = rng_.at(host);
   const f64 mean = cfg_.residence_mean_for(host);
+  des::EventPayload p;
+  p.target = this;
+  p.a = host;
   if (des::bernoulli(rng, cfg_.p_switch)) {
     const f64 residence = sample_residence(host, mean);
-    sim_.schedule_after(residence, [this, host] { do_switch(host); });
+    p.kind = des::EventKind::kHandoff;
+    sim_.schedule_after(residence, p);
   } else {
     const f64 residence = sample_residence(host, mean / cfg_.disconnect_residence_divisor);
-    sim_.schedule_after(residence, [this, host] { do_disconnect(host); });
+    p.kind = des::EventKind::kConnectivity;
+    p.sub = kSubDisconnect;
+    sim_.schedule_after(residence, p);
   }
 }
 
@@ -69,7 +84,12 @@ void MobilityDriver::do_disconnect(net::HostId host) {
   net_.disconnect(host);
   if (workload_ != nullptr) workload_->pause(host);
   const f64 away = des::Exponential(cfg_.disconnect_mean).sample(rng_.at(host));
-  sim_.schedule_after(away, [this, host] { do_reconnect(host); });
+  des::EventPayload p;
+  p.target = this;
+  p.kind = des::EventKind::kConnectivity;
+  p.sub = kSubReconnect;
+  p.a = host;
+  sim_.schedule_after(away, p);
 }
 
 void MobilityDriver::do_reconnect(net::HostId host) {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "des/distributions.hpp"
+#include "des/event.hpp"
 #include "des/rng.hpp"
 #include "des/simulator.hpp"
 #include "net/network.hpp"
@@ -25,7 +26,7 @@
 
 namespace mobichk::sim {
 
-class MobilityDriver {
+class MobilityDriver final : public des::EventTarget {
  public:
   /// `workload` may be null (pure-mobility tests); when present it is
   /// paused on disconnect and resumed on reconnect.
@@ -36,7 +37,15 @@ class MobilityDriver {
   /// net.start().
   void start();
 
+  /// Typed-event dispatch: kHandoff fires a cell switch; kConnectivity
+  /// fires a disconnect (sub 0) or reconnect (sub 1). a = host in all
+  /// cases.
+  void on_event(const des::EventPayload& payload) override;
+
  private:
+  /// kConnectivity sub-kinds.
+  enum : u8 { kSubDisconnect = 0, kSubReconnect = 1 };
+
   void enter_cell(net::HostId host);
   void do_switch(net::HostId host);
   void do_disconnect(net::HostId host);

@@ -28,18 +28,26 @@ void WorkloadDriver::resume(net::HostId host) {
 
 void WorkloadDriver::schedule_next(net::HostId host, f64 extra_delay) {
   HostState& hs = per_host_.at(host);
-  const u64 epoch = hs.epoch;
   const f64 gap = comm_gap_.sample(hs.rng);
   // The gap is filled with internal events of mean execution time
   // internal_mean each.
   const u64 internal_count = static_cast<u64>(std::llround(gap / cfg_.internal_mean));
-  sim_.schedule_after(gap + extra_delay, [this, host, epoch, internal_count] {
-    HostState& state = per_host_.at(host);
-    // Stale events from before a disconnect/reconnect cycle are dropped;
-    // resume() restarted the loop under a fresh epoch.
-    if (state.epoch != epoch || !net_.host(host).connected()) return;
-    execute_op(host, internal_count);
-  });
+  des::EventPayload p;
+  p.target = this;
+  p.kind = des::EventKind::kWorkloadOp;
+  p.a = host;
+  p.b = hs.epoch;
+  p.c = internal_count;
+  sim_.schedule_after(gap + extra_delay, p);
+}
+
+void WorkloadDriver::on_event(const des::EventPayload& p) {
+  const auto host = static_cast<net::HostId>(p.a);
+  HostState& state = per_host_.at(host);
+  // Stale events from before a disconnect/reconnect cycle are dropped;
+  // resume() restarted the loop under a fresh epoch.
+  if (state.epoch != p.b || !net_.host(host).connected()) return;
+  execute_op(host, p.c);
 }
 
 void WorkloadDriver::execute_op(net::HostId host, u64 internal_count) {

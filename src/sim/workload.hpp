@@ -9,6 +9,7 @@
 
 #include "core/checkpoint_log.hpp"
 #include "des/distributions.hpp"
+#include "des/event.hpp"
 #include "des/rng.hpp"
 #include "des/simulator.hpp"
 #include "net/network.hpp"
@@ -16,7 +17,7 @@
 
 namespace mobichk::sim {
 
-class WorkloadDriver {
+class WorkloadDriver final : public des::EventTarget {
  public:
   WorkloadDriver(des::Simulator& sim, net::Network& net, const SimConfig& cfg);
 
@@ -49,6 +50,10 @@ class WorkloadDriver {
   void set_latency_probe(const core::CheckpointLog* log) {
     set_latency_probes({log});
   }
+
+  /// Typed-event dispatch: one kWorkloadOp per scheduled operation
+  /// (a = host, b = epoch at scheduling, c = internal-event count).
+  void on_event(const des::EventPayload& payload) override;
 
  private:
   struct HostState {

@@ -216,6 +216,110 @@ TEST_P(SimulatorTest, InvariantLedgerReconciles) {
   EXPECT_TRUE(sim.invariants_ok());
 }
 
+/// Test target recording every dispatched payload.
+struct RecordingTarget final : EventTarget {
+  struct Hit {
+    Time at;
+    EventKind kind;
+    u8 sub;
+    u32 a;
+    u64 b;
+    u64 c;
+  };
+  Simulator* sim = nullptr;
+  std::vector<Hit> hits;
+
+  void on_event(const EventPayload& p) override {
+    hits.push_back(Hit{sim->now(), p.kind, p.sub, p.a, p.b, p.c});
+  }
+};
+
+EventPayload typed(EventTarget* target, EventKind kind, u8 sub = 0, u32 a = 0, u64 b = 0,
+                   u64 c = 0) {
+  EventPayload p;
+  p.target = target;
+  p.kind = kind;
+  p.sub = sub;
+  p.a = a;
+  p.b = b;
+  p.c = c;
+  return p;
+}
+
+TEST_P(SimulatorTest, TypedEventsDispatchWithOperandsIntact) {
+  Simulator sim(GetParam());
+  RecordingTarget target;
+  target.sim = &sim;
+  sim.schedule_at(2.0, typed(&target, EventKind::kMessageHop, 1, 42, 7, 99));
+  sim.schedule_at(1.0, typed(&target, EventKind::kHandoff, 0, 3));
+  sim.schedule_after(3.0, typed(&target, EventKind::kWorkloadOp, 2, 5, 11, 13));
+  EXPECT_EQ(sim.run(), 3u);
+  ASSERT_EQ(target.hits.size(), 3u);
+  EXPECT_DOUBLE_EQ(target.hits[0].at, 1.0);
+  EXPECT_EQ(target.hits[0].kind, EventKind::kHandoff);
+  EXPECT_EQ(target.hits[0].a, 3u);
+  EXPECT_DOUBLE_EQ(target.hits[1].at, 2.0);
+  EXPECT_EQ(target.hits[1].kind, EventKind::kMessageHop);
+  EXPECT_EQ(target.hits[1].sub, 1);
+  EXPECT_EQ(target.hits[1].a, 42u);
+  EXPECT_EQ(target.hits[1].b, 7u);
+  EXPECT_EQ(target.hits[1].c, 99u);
+  EXPECT_DOUBLE_EQ(target.hits[2].at, 3.0);
+  EXPECT_EQ(target.hits[2].kind, EventKind::kWorkloadOp);
+  EXPECT_TRUE(sim.invariants_ok());
+}
+
+TEST_P(SimulatorTest, TypedAndClosureEventsInterleaveInScheduleOrder) {
+  // Mixed representation must not perturb (time, seq) ordering: ties at
+  // the same instant fire in scheduling order regardless of kind.
+  Simulator sim(GetParam());
+  RecordingTarget target;
+  target.sim = &sim;
+  std::vector<int> order;
+  sim.schedule_at(5.0, [&] { order.push_back(1); });
+  sim.schedule_at(5.0, typed(&target, EventKind::kConnectivity, 0, 2));
+  sim.schedule_at(5.0, [&] { order.push_back(3); });
+  sim.schedule_at(5.0, typed(&target, EventKind::kConnectivity, 1, 4));
+  sim.run();
+  ASSERT_EQ(target.hits.size(), 2u);
+  // Closures saw positions 1 and 3; typed events fired between them.
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+  EXPECT_EQ(target.hits[0].a, 2u);
+  EXPECT_EQ(target.hits[1].a, 4u);
+}
+
+TEST_P(SimulatorTest, TypedEventsCancelLikeClosures) {
+  Simulator sim(GetParam());
+  RecordingTarget target;
+  target.sim = &sim;
+  const EventHandle h =
+      sim.schedule_at(1.0, typed(&target, EventKind::kCheckpointTransfer, 0, 8));
+  sim.schedule_at(2.0, typed(&target, EventKind::kCheckpointTransfer, 1, 9));
+  sim.cancel(h);
+  sim.run();
+  ASSERT_EQ(target.hits.size(), 1u);
+  EXPECT_EQ(target.hits[0].a, 9u);
+  EXPECT_EQ(sim.invariants().cancels_effective, 1u);
+  EXPECT_TRUE(sim.invariants_ok());
+}
+
+TEST_P(SimulatorTest, RunUntilHorizonPeekKeepsHandlesLive) {
+  // Regression guard for the peek path: an event beyond the horizon is
+  // only peeked, never popped-and-repushed, so its handle must stay
+  // cancellable after run_until returns.
+  Simulator sim(GetParam());
+  int fired = 0;
+  const EventHandle h = sim.schedule_at(10.0, [&] { ++fired; });
+  sim.schedule_at(1.0, [&] { ++fired; });
+  EXPECT_EQ(sim.run_until(5.0), 1u);
+  sim.cancel(h);  // must still refer to the t=10 event
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.run(), 0u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.invariants().cancels_effective, 1u);
+  EXPECT_TRUE(sim.invariants_ok());
+}
+
 INSTANTIATE_TEST_SUITE_P(AllQueues, SimulatorTest,
                          ::testing::ValuesIn(kAllQueueKinds),
                          [](const ::testing::TestParamInfo<QueueKind>& pi) {

@@ -32,11 +32,22 @@ TEST(Piggyback, VectorsCostFourBytesPerEntry) {
   EXPECT_EQ(pb.wire_bytes(), 20 * sizeof(u32));
 }
 
-TEST(Piggyback, TagCostsFourBytesWhenSet) {
+TEST(Piggyback, TagCostsFourBytesWhenCarried) {
   Piggyback pb;
   pb.tag = 7;
+  pb.has_tag = true;
   EXPECT_EQ(pb.wire_bytes(), sizeof(u32));
+  // Regression: a carried tag whose value happens to be 0 still rides
+  // the wire; the old value-gated accounting silently dropped it.
   pb.tag = 0;
+  EXPECT_EQ(pb.wire_bytes(), sizeof(u32));
+}
+
+TEST(Piggyback, TagWithoutFlagIsFree) {
+  // Mirrors the sn rule: a leftover tag value is not wire data unless
+  // the protocol claims it.
+  Piggyback pb;
+  pb.tag = 7;
   EXPECT_EQ(pb.wire_bytes(), 0u);
 }
 

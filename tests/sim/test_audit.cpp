@@ -75,6 +75,38 @@ TEST(AuditDeterminism, MismatchesAreReported) {
   EXPECT_NE(os.str().find("trace hash"), std::string::npos);
 }
 
+TEST(AuditDeterminism, GoldenFig1TraceHashIsStable) {
+  // Bit-identity anchor for kernel refactors: this hash was captured on
+  // the pre-typed-event (std::function) kernel for the Figure 1
+  // configuration below. Any change to event representation, queue
+  // internals or scheduling-call order that alters the (time, seq)
+  // execution sequence shows up here as a hash break — if this test
+  // fails, the kernel is no longer trace-compatible and the golden value
+  // must only be re-captured after an explicit determinism review.
+  SimConfig cfg;
+  cfg.sim_length = 50'000.0;
+  cfg.t_switch = 1'000.0;
+  cfg.p_switch = 1.0;       // Fig. 1: handoffs only, no disconnections
+  cfg.heterogeneity = 0.0;  // homogeneous hosts
+  cfg.seed = 42;
+  constexpr u64 kGoldenHash = 0xd165928ffbf08bb4ULL;
+  constexpr u64 kGoldenEvents = 53'541;
+  constexpr u64 kGoldenOps = 25'058;
+  for (const des::QueueKind kind : des::kAllQueueKinds) {
+    ExperimentOptions opts;
+    opts.queue_kind = kind;
+    opts.collect_trace_hash = true;
+    const RunResult r = run_experiment(cfg, opts);
+    EXPECT_EQ(r.trace_hash, kGoldenHash) << des::queue_kind_name(kind);
+    EXPECT_EQ(r.events_executed, kGoldenEvents) << des::queue_kind_name(kind);
+    EXPECT_EQ(r.workload_ops, kGoldenOps) << des::queue_kind_name(kind);
+    EXPECT_EQ(r.by_name("TP").n_tot, 5'365u) << des::queue_kind_name(kind);
+    EXPECT_EQ(r.by_name("BCS").n_tot, 1'788u) << des::queue_kind_name(kind);
+    EXPECT_EQ(r.by_name("QBC").n_tot, 1'598u) << des::queue_kind_name(kind);
+    EXPECT_TRUE(r.invariants_ok) << des::queue_kind_name(kind);
+  }
+}
+
 TEST(Experiment, RunResultExposesReconciledInvariants) {
   const RunResult r = run_experiment(small_config(2));
   EXPECT_TRUE(r.invariants_ok);

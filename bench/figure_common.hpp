@@ -3,23 +3,14 @@
 // Each figN binary reproduces one figure: N_tot as a function of T_switch
 // for TP, BCS and QBC under one (P_switch, H) combination, replicated
 // adaptively until each point's 95% CI is tight enough, printed as a
-// table plus the headline gains. Flags:
-//   --length=<tu>     simulation horizon per run            (default 1000000)
-//   --precision=<rel> target relative CI half-width         (default 0.04)
-//   --min-seeds=<n>   replications always run per point     (default 3)
-//   --max-seeds=<n>   replication cap per point             (default 16)
-//   --batch=<n>       replications per adaptive round       (default auto)
-//   --seeds=<n>       fixed replication count (min = max = n)
-//   --seed-base=<n>   replication seed root                 (default 42)
-//   --threads=<n>     worker threads                        (default hardware)
-//   --csv             additionally emit CSV rows
+// table plus the headline gains. Run any figN binary with --help for the
+// flag list (schema-checked: unknown flags fail with a suggestion).
 #pragma once
 
 #include <cstdio>
 #include <iostream>
 
-#include "sim/cli.hpp"
-#include "sim/sweep.hpp"
+#include "mobichk.hpp"
 
 namespace mobichk::bench {
 
@@ -29,8 +20,33 @@ struct FigureParams {
   f64 heterogeneity;
 };
 
+inline sim::FlagSet figure_flags(const char* title) {
+  sim::FlagSet fs(std::string(title) + " [flags]");
+  fs.add("length", sim::FlagType::kNumber, "1000000", "simulation horizon per run")
+      .add("precision", sim::FlagType::kNumber, "0.04", "target relative CI half-width")
+      .add("min-seeds", sim::FlagType::kUInt, "3", "replications always run per point")
+      .add("max-seeds", sim::FlagType::kUInt, "16", "replication cap per point")
+      .add("batch", sim::FlagType::kUInt, "", "replications per adaptive round (default auto)")
+      .add("seeds", sim::FlagType::kUInt, "", "fixed replication count (min = max = n)")
+      .add("seed-base", sim::FlagType::kUInt, "42", "replication seed root")
+      .add("threads", sim::FlagType::kUInt, "0", "worker threads (0 = hardware concurrency)")
+      .add("csv", sim::FlagType::kBool, "", "additionally emit CSV rows");
+  return fs;
+}
+
 inline int run_paper_figure(const FigureParams& params, int argc, char** argv) {
-  const sim::ArgParser args(argc, argv);
+  const sim::FlagSet flags = figure_flags(params.title);
+  sim::ArgParser args(0, nullptr);
+  try {
+    args = flags.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  if (args.get_flag("help")) {
+    flags.print_help(std::cout);
+    return 0;
+  }
 
   sim::FigureSpec spec;
   spec.title = params.title;

@@ -3,26 +3,30 @@
 // Measures, without google-benchmark (so CI can parse one small JSON):
 //  * closure-churn events/s on the binary-heap queue (std::function path),
 //  * typed-churn events/s on the same workload (EventPayload hot path),
-//  * heap allocations per event on both paths (global new/delete counter),
+//    with observability off AND with a KernelProbe attached,
+//  * heap allocations per event on all paths (global new/delete counter),
 //  * one Figure 1 point end-to-end (events/s, wall-clock, trace hash).
 //
 // Output: a BENCH_kernel.json blob on the path given by --out= (default
 // ./BENCH_kernel.json). The CI perf-smoke job archives it per commit so
 // kernel regressions show up as a trajectory, not an anecdote. The
 // typed/closure speedup on the binary heap is the headline number; the
-// refactor's acceptance bar is >= 1.3x in a release build.
+// refactor's acceptance bar is >= 1.3x in a release build, and with
+// --baseline=<json> the observability-off speedup must additionally stay
+// within 2% of the committed bench/kernel_baseline.json ratio (a ratio,
+// not an absolute events/s, so the gate is machine-independent).
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <iostream>
 #include <new>
+#include <sstream>
 #include <string>
 
 #include "des/event.hpp"
-#include "des/rng.hpp"
-#include "des/simulator.hpp"
-#include "sim/cli.hpp"
-#include "sim/experiment.hpp"
+#include "mobichk.hpp"
 
 namespace {
 
@@ -101,10 +105,11 @@ u64 run_typed_churn(des::Simulator& sim, des::RngStream& rng) {
 }
 
 template <typename Fn>
-Measurement measure_churn(Fn&& run_one) {
+Measurement measure_churn(Fn&& run_one, const obs::KernelProbe* probe = nullptr) {
   Measurement best;
   for (int r = 0; r < kRepeats; ++r) {
     des::Simulator sim(des::QueueKind::kBinaryHeap);
+    if (probe != nullptr) sim.set_probe(probe);
     des::RngStream rng(1, "kernel-smoke");
     const unsigned long long allocs_before = g_allocs.load(std::memory_order_relaxed);
     const auto t0 = std::chrono::steady_clock::now();
@@ -120,9 +125,38 @@ Measurement measure_churn(Fn&& run_one) {
   return best;
 }
 
+/// typed_speedup recorded in a committed baseline JSON; 0.0 = no file /
+/// no usable field (gate skipped).
+f64 baseline_speedup_from(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "cannot read baseline %s\n", path.c_str());
+    return 0.0;
+  }
+  std::ostringstream text;
+  text << file.rdbuf();
+  try {
+    const sim::JsonValue doc = sim::json_parse(text.str());
+    if (const sim::JsonValue* v = doc.find("typed_speedup")) return v->as_f64();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "baseline %s: %s\n", path.c_str(), e.what());
+  }
+  return 0.0;
+}
+
 int run(int argc, char** argv) {
-  const sim::ArgParser args(argc, argv);
+  sim::FlagSet flags("kernel_smoke [flags]");
+  flags.add("out", sim::FlagType::kString, "BENCH_kernel.json", "result JSON path")
+      .add("baseline", sim::FlagType::kString, "",
+           "committed baseline JSON; gate the obs-off typed/closure speedup "
+           "against its typed_speedup (2% tolerance)");
+  const sim::ArgParser args = flags.parse(argc, argv);
+  if (args.get_flag("help")) {
+    flags.print_help(std::cout);
+    return 0;
+  }
   const std::string out_path = args.get_string("out", "BENCH_kernel.json");
+  const std::string baseline_path = args.get_string("baseline", "");
 
   std::printf("kernel smoke: %llu-event churn on the binary-heap queue, best of %d\n",
               static_cast<unsigned long long>(kChurnEvents), kRepeats);
@@ -130,11 +164,21 @@ int run(int argc, char** argv) {
       measure_churn([](des::Simulator& s, des::RngStream& r) { return run_closure_churn(s, r); });
   const Measurement typed =
       measure_churn([](des::Simulator& s, des::RngStream& r) { return run_typed_churn(s, r); });
+  // Same workload with a resolved KernelProbe attached: every push/pop
+  // goes through the branch-on-null counters. The observer lives outside
+  // the measured region; counter increments must not allocate.
+  obs::RunObserver observer;
+  const Measurement typed_obs = measure_churn(
+      [](des::Simulator& s, des::RngStream& r) { return run_typed_churn(s, r); },
+      observer.kernel_probe());
   const f64 speedup = typed.events_per_second / closure.events_per_second;
-  std::printf("  closure path: %.3gM events/s, %.3f allocs/event\n",
+  const f64 obs_ratio = typed_obs.events_per_second / typed.events_per_second;
+  std::printf("  closure path:   %.3gM events/s, %.3f allocs/event\n",
               closure.events_per_second / 1e6, closure.allocs_per_event);
-  std::printf("  typed path:   %.3gM events/s, %.3f allocs/event\n",
+  std::printf("  typed path:     %.3gM events/s, %.3f allocs/event\n",
               typed.events_per_second / 1e6, typed.allocs_per_event);
+  std::printf("  typed+obs path: %.3gM events/s, %.3f allocs/event (%.1f%% of obs-off)\n",
+              typed_obs.events_per_second / 1e6, typed_obs.allocs_per_event, 100.0 * obs_ratio);
   std::printf("  typed/closure speedup: %.2fx\n", speedup);
 
   // One Figure 1 point, end-to-end (the golden determinism config).
@@ -168,6 +212,9 @@ int run(int argc, char** argv) {
   std::fprintf(out, "  \"closure_allocs_per_event\": %.4f,\n", closure.allocs_per_event);
   std::fprintf(out, "  \"typed_events_per_second\": %.1f,\n", typed.events_per_second);
   std::fprintf(out, "  \"typed_allocs_per_event\": %.4f,\n", typed.allocs_per_event);
+  std::fprintf(out, "  \"typed_obs_events_per_second\": %.1f,\n", typed_obs.events_per_second);
+  std::fprintf(out, "  \"typed_obs_allocs_per_event\": %.4f,\n", typed_obs.allocs_per_event);
+  std::fprintf(out, "  \"obs_on_off_ratio\": %.3f,\n", obs_ratio);
   std::fprintf(out, "  \"typed_speedup\": %.3f,\n", speedup);
   std::fprintf(out, "  \"fig1_events\": %llu,\n",
                static_cast<unsigned long long>(fig1.events_executed));
@@ -179,16 +226,39 @@ int run(int argc, char** argv) {
   std::fclose(out);
   std::printf("wrote %s\n", out_path.c_str());
 
-  // Gate: the typed hot path must stay allocation-free per event and
-  // meaningfully faster than the closure path.
+  // Gate: the typed hot path must stay allocation-free per event (with
+  // and without a probe attached) and meaningfully faster than the
+  // closure path.
   if (typed.allocs_per_event > 0.01) {
     std::fprintf(stderr, "FAIL: typed path allocates (%.4f allocs/event)\n",
                  typed.allocs_per_event);
     return 1;
   }
+  if (typed_obs.allocs_per_event > 0.01) {
+    std::fprintf(stderr, "FAIL: typed path with probe allocates (%.4f allocs/event)\n",
+                 typed_obs.allocs_per_event);
+    return 1;
+  }
   if (speedup < 1.3) {
     std::fprintf(stderr, "FAIL: typed/closure speedup %.2fx below the 1.3x bar\n", speedup);
     return 1;
+  }
+  // Trajectory gate against the committed baseline: the obs-off speedup
+  // ratio must not regress more than 2%. Ratios cancel the machine out,
+  // so the same baseline file gates every CI runner.
+  if (!baseline_path.empty()) {
+    const f64 base = baseline_speedup_from(baseline_path);
+    if (base <= 0.0) {
+      std::fprintf(stderr, "FAIL: baseline %s unusable\n", baseline_path.c_str());
+      return 1;
+    }
+    if (speedup < 0.98 * base) {
+      std::fprintf(stderr,
+                   "FAIL: obs-off typed/closure speedup %.3fx regressed >2%% vs baseline %.3fx\n",
+                   speedup, base);
+      return 1;
+    }
+    std::printf("baseline gate: %.3fx vs committed %.3fx (within 2%%)\n", speedup, base);
   }
   std::printf("PASS\n");
   return 0;

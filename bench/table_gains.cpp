@@ -8,8 +8,7 @@
 //   * QBC gain over BCS "up to 23%" in heterogeneous environments.
 #include <cstdio>
 
-#include "sim/cli.hpp"
-#include "sim/sweep.hpp"
+#include "mobichk.hpp"
 
 int main(int argc, char** argv) {
   using namespace mobichk;

@@ -7,8 +7,7 @@
 // "Global Checkpoint Collection Latency" paragraph raises.
 #include <cstdio>
 
-#include "sim/cli.hpp"
-#include "sim/experiment.hpp"
+#include "mobichk.hpp"
 
 int main(int argc, char** argv) {
   using namespace mobichk;

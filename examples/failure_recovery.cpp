@@ -8,9 +8,7 @@
 // quantify the undone computation — the paper's §6 future work, live.
 #include <cstdio>
 
-#include "core/recovery.hpp"
-#include "sim/cli.hpp"
-#include "sim/experiment.hpp"
+#include "mobichk.hpp"
 
 int main(int argc, char** argv) {
   using namespace mobichk;

@@ -13,8 +13,7 @@
 // overhead — the numbers an integrator would use to pick a protocol.
 #include <cstdio>
 
-#include "sim/cli.hpp"
-#include "sim/experiment.hpp"
+#include "mobichk.hpp"
 
 int main(int argc, char** argv) {
   using namespace mobichk;

@@ -1,6 +1,8 @@
 // mobichk_cli: the command-line face of the library.
 //
-//   mobichk_cli run     [flags]   one simulation, table or --json output
+//   mobichk_cli run     [flags]   one simulation, table or --json output;
+//                                 --metrics / --chrome-trace attach the
+//                                 observability layer and export it
 //   mobichk_cli figure  [flags]   a T_switch sweep (any figure's config)
 //   mobichk_cli recover [flags]   failure injection + recovery-time report
 //   mobichk_cli trace   [flags]   dump the run's event trace (--out file)
@@ -9,33 +11,104 @@
 //                                 give identical trace hashes and N_tot
 //                                 (exit 1 on divergence)
 //
-// Common flags: --length --seed --tswitch --pswitch --psend --h
-//               --hosts --mss --comm-mean --protocols=TP,BCS,QBC
-// figure:       --precision=<rel ci, default 0.04> --min-seeds --max-seeds
-//               --batch --seed-base --seeds=<n> (fixed replication)
-//               --threads --csv --json --gnuplot
-// recover:      --failed=<host id>
-// trace:        --out=<path>
-// run:          --audit-determinism (shorthand for the audit command)
+// Every command supports --help; flags are schema-checked (unknown flags
+// fail with a did-you-mean suggestion, malformed numbers fail naming the
+// flag).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
-#include "core/gc.hpp"
-#include "core/recovery.hpp"
-#include "core/recovery_time.hpp"
-#include "des/trace_io.hpp"
-#include "sim/audit.hpp"
-#include "sim/cli.hpp"
-#include "sim/experiment.hpp"
-#include "sim/report.hpp"
-#include "sim/sweep.hpp"
+#include "mobichk.hpp"
 
 namespace {
 
 using namespace mobichk;
+
+std::string fmt_num(f64 v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+/// The simulation-shape flags every command understands.
+void add_config_flags(sim::FlagSet& fs) {
+  const sim::SimConfig d;
+  fs.add("hosts", sim::FlagType::kUInt, std::to_string(d.network.n_hosts),
+         "number of mobile hosts")
+      .add("mss", sim::FlagType::kUInt, std::to_string(d.network.n_mss),
+           "number of mobile support stations")
+      .add("length", sim::FlagType::kNumber, fmt_num(d.sim_length),
+           "simulated time units to run")
+      .add("seed", sim::FlagType::kUInt, std::to_string(d.seed), "root RNG seed")
+      .add("tswitch", sim::FlagType::kNumber, fmt_num(d.t_switch),
+           "mean time between cell-switch attempts (the paper's T_switch)")
+      .add("pswitch", sim::FlagType::kNumber, fmt_num(d.p_switch),
+           "probability a switch attempt changes cell (the paper's p_switch)")
+      .add("psend", sim::FlagType::kNumber, fmt_num(d.p_send),
+           "probability a workload operation sends a message")
+      .add("comm-mean", sim::FlagType::kNumber, fmt_num(d.comm_mean),
+           "mean time between workload operations")
+      .add("h", sim::FlagType::kNumber, fmt_num(d.heterogeneity),
+           "checkpoint-rate heterogeneity in [0,1]")
+      .add("outage", sim::FlagType::kNumber, fmt_num(d.disconnect_mean),
+           "mean disconnection length (0 = no disconnections)")
+      .add("mobility", sim::FlagType::kString, "paper", "mobility model: paper|ring|pareto")
+      .add("topology", sim::FlagType::kString, "mesh",
+           "MSS wired topology: mesh|ring|line|star")
+      .add("bandwidth", sim::FlagType::kNumber, "0",
+           "wireless bandwidth in bytes/tu (0 = unlimited)")
+      .add("protocols", sim::FlagType::kString, "TP,BCS,QBC",
+           "comma-separated protocol set (TP,BCS,QBC,BASIC,UNCOORD,COORD,LAZY-BCS)");
+}
+
+sim::FlagSet make_flags(const std::string& cmd) {
+  if (cmd == "run") {
+    sim::FlagSet fs("mobichk_cli run [flags]");
+    add_config_flags(fs);
+    fs.add("verify", sim::FlagType::kBool, "", "run the orphan-consistency oracle after the run")
+        .add("json", sim::FlagType::kBool, "", "emit the run result as JSON on stdout")
+        .add("audit-determinism", sim::FlagType::kBool, "", "shorthand for the audit command")
+        .add("metrics", sim::FlagType::kString, "",
+             "observe the run and write a JSONL metrics/timeline dump to <path>")
+        .add("chrome-trace", sim::FlagType::kString, "",
+             "observe the run and write a Perfetto-loadable trace-event JSON to <path>");
+    return fs;
+  }
+  if (cmd == "figure") {
+    sim::FlagSet fs("mobichk_cli figure [flags]");
+    add_config_flags(fs);
+    fs.add("seeds", sim::FlagType::kUInt, "", "fixed replication count (min = max = n)")
+        .add("precision", sim::FlagType::kNumber, "0.04",
+             "target relative 95% CI half-width per cell")
+        .add("min-seeds", sim::FlagType::kUInt, "", "replications always run per point")
+        .add("max-seeds", sim::FlagType::kUInt, "", "replication cap per point")
+        .add("batch", sim::FlagType::kUInt, "", "replications dispatched per adaptive round")
+        .add("seed-base", sim::FlagType::kUInt, "", "root of the replication seed derivation")
+        .add("threads", sim::FlagType::kUInt, "0", "worker threads (0 = hardware concurrency)")
+        .add("json", sim::FlagType::kBool, "", "emit the figure as JSON")
+        .add("csv", sim::FlagType::kBool, "", "emit the figure as CSV")
+        .add("gnuplot", sim::FlagType::kBool, "", "emit a self-contained gnuplot script");
+    return fs;
+  }
+  if (cmd == "recover") {
+    sim::FlagSet fs("mobichk_cli recover [flags]");
+    add_config_flags(fs);
+    fs.add("failed", sim::FlagType::kUInt, "0", "id of the mobile host that fails");
+    return fs;
+  }
+  if (cmd == "trace") {
+    sim::FlagSet fs("mobichk_cli trace [flags]");
+    add_config_flags(fs);
+    fs.add("out", sim::FlagType::kString, "", "write the full trace to <path>");
+    return fs;
+  }
+  // audit
+  sim::FlagSet fs("mobichk_cli audit [flags]");
+  add_config_flags(fs);
+  return fs;
+}
 
 sim::SimConfig config_from(const sim::ArgParser& args) {
   sim::SimConfig cfg;
@@ -85,7 +158,13 @@ int cmd_run(const sim::ArgParser& args) {
   opts.protocols = protocols_from(args);
   opts.with_storage = true;
   opts.verify_consistency = args.get_flag("verify");
+  const std::string metrics_path = args.get_string("metrics", "");
+  const std::string trace_path = args.get_string("chrome-trace", "");
+  obs::RunObserver observer;
+  if (!metrics_path.empty() || !trace_path.empty()) opts.observer = &observer;
   const sim::RunResult r = sim::run_experiment(config_from(args), opts);
+  if (!metrics_path.empty() && !obs::write_metrics_jsonl(metrics_path, observer)) return 1;
+  if (!trace_path.empty() && !obs::write_chrome_trace(trace_path, observer)) return 1;
   if (args.get_flag("json")) {
     sim::write_json(std::cout, r);
     return 0;
@@ -194,24 +273,32 @@ int cmd_trace(const sim::ArgParser& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: mobichk_cli <run|figure|recover|trace|audit> [--flags]\n"
-                 "see the header of examples/mobichk_cli.cpp for the flag list\n");
+  static const char* kUsage =
+      "usage: mobichk_cli <run|figure|recover|trace|audit> [--flags]\n"
+      "       mobichk_cli <command> --help    for the command's flag list\n";
+  if (argc < 2 || std::strcmp(argv[1], "--help") == 0) {
+    std::fputs(kUsage, argc < 2 ? stderr : stdout);
+    return argc < 2 ? 2 : 0;
+  }
+  const std::string cmd = argv[1];
+  if (cmd != "run" && cmd != "figure" && cmd != "recover" && cmd != "trace" && cmd != "audit") {
+    std::fprintf(stderr, "unknown command: %s\n%s", cmd.c_str(), kUsage);
     return 2;
   }
-  const sim::ArgParser args(argc - 1, argv + 1);
-  const std::string cmd = argv[1];
   try {
+    const sim::FlagSet flags = make_flags(cmd);
+    const sim::ArgParser args = flags.parse(argc - 1, argv + 1);
+    if (args.get_flag("help")) {
+      flags.print_help(std::cout);
+      return 0;
+    }
     if (cmd == "run") return cmd_run(args);
     if (cmd == "figure") return cmd_figure(args);
     if (cmd == "recover") return cmd_recover(args);
     if (cmd == "trace") return cmd_trace(args);
-    if (cmd == "audit") return cmd_audit(args);
+    return cmd_audit(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
-  return 2;
 }

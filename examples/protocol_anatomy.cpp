@@ -7,11 +7,11 @@
 // documentation of the §4.2 pseudocode.
 #include <cstdio>
 
-#include "core/harness.hpp"
+#include "mobichk.hpp"
+// This example deliberately dissects protocol internals, so it reaches
+// past the umbrella into two internal headers for the concrete classes.
 #include "core/protocols/bcs.hpp"
 #include "core/protocols/qbc.hpp"
-#include "des/simulator.hpp"
-#include "net/network.hpp"
 
 using namespace mobichk;
 

@@ -9,8 +9,7 @@
 // accounting, and (with --verify) the orphan-message consistency oracle.
 #include <cstdio>
 
-#include "sim/cli.hpp"
-#include "sim/experiment.hpp"
+#include "mobichk.hpp"
 
 int main(int argc, char** argv) {
   using namespace mobichk;

@@ -26,6 +26,8 @@ usize ProtocolHarness::add_protocol(std::unique_ptr<CheckpointProtocol> protocol
   ctx.log = &stored.log;
   ctx.storage = stored.storage.get();
   ctx.sink = sink_;
+  ctx.timeline = timeline_;
+  ctx.slot = static_cast<i32>(slots_.size()) - 1;
   stored.protocol->bind(ctx);
   return slots_.size() - 1;
 }

@@ -59,6 +59,10 @@ class ProtocolHarness final : public net::HostEventHandler {
   /// network exposes duplicate deliveries to the application).
   void retain_piggybacks(bool retain) noexcept { retain_piggybacks_ = retain; }
 
+  /// Routes checkpoint-timeline probes into `timeline` (nullptr = off).
+  /// Must be called before add_protocol; later slots inherit it.
+  void set_timeline(obs::Timeline* timeline) noexcept { timeline_ = timeline; }
+
   // -- net::HostEventHandler --------------------------------------------
   void on_host_init(net::MobileHost& host) override;
   void on_send(net::MobileHost& host, net::AppMessage& msg) override;
@@ -77,6 +81,7 @@ class ProtocolHarness final : public net::HostEventHandler {
 
   net::Network& net_;
   des::TraceSink* sink_;
+  obs::Timeline* timeline_ = nullptr;
   /// Heap-allocated: protocols hold pointers into their slot's log and
   /// storage, which must stay stable as more slots are added.
   std::vector<std::unique_ptr<Slot>> slots_;

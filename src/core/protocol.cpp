@@ -19,15 +19,17 @@ void CheckpointProtocol::host_init(const net::MobileHost& host) {
 void CheckpointProtocol::handle_reconnect(const net::MobileHost&, net::MssId) {}
 
 const CheckpointRecord& CheckpointProtocol::take_checkpoint(const net::MobileHost& host,
-                                                            CheckpointKind kind, u64 sn) {
-  return take_checkpoint(host, kind, sn, {}, {}, false);
+                                                            CheckpointKind kind, u64 sn,
+                                                            obs::ForcedRule rule) {
+  return take_checkpoint(host, kind, sn, {}, {}, false, rule);
 }
 
 const CheckpointRecord& CheckpointProtocol::take_checkpoint(const net::MobileHost& host,
                                                             CheckpointKind kind, u64 sn,
                                                             std::vector<u32> dep_ckpt,
                                                             std::vector<u32> dep_loc,
-                                                            bool replaced) {
+                                                            bool replaced,
+                                                            obs::ForcedRule rule) {
   CheckpointRecord rec;
   rec.host = host.id();
   rec.sn = sn;
@@ -46,6 +48,18 @@ const CheckpointRecord& CheckpointProtocol::take_checkpoint(const net::MobileHos
     const auto tk = kind == CheckpointKind::kForced ? des::TraceKind::kForcedCheckpoint
                                                     : des::TraceKind::kBasicCheckpoint;
     ctx_.sink->record(des::TraceRecord{ctx_.sim->now(), host.id(), tk, stored.sn, stored.ordinal});
+  }
+  if (ctx_.timeline != nullptr) {
+    obs::ProbeEvent e;
+    e.t = ctx_.sim->now();
+    e.kind = obs::ProbeKind::kCheckpoint;
+    e.ckpt_kind = static_cast<obs::CkptKind>(kind);  // value-identical enums
+    e.rule = rule;
+    e.replaced = replaced;
+    e.actor = static_cast<i32>(host.id());
+    e.track = ctx_.slot;
+    e.a = sn;
+    ctx_.timeline->record(e);
   }
   return stored;
 }

@@ -14,7 +14,7 @@ void BcsProtocol::handle_receive(const net::MobileHost& host, const net::AppMess
   u64& sn = sn_.at(host.id());
   if (pb.sn > sn) {
     sn = pb.sn;
-    take_checkpoint(host, CheckpointKind::kForced, sn);
+    take_checkpoint(host, CheckpointKind::kForced, sn, obs::ForcedRule::kSnGreater);
   }
 }
 

@@ -63,7 +63,7 @@ void CoordinatedProtocol::join_round(const net::MobileHost& host, u64 round) {
   u64& r = round_.at(host.id());
   if (round <= r) return;
   r = round;
-  take_checkpoint(host, CheckpointKind::kForced, r);
+  take_checkpoint(host, CheckpointKind::kForced, r, obs::ForcedRule::kMarker);
 }
 
 net::Piggyback CoordinatedProtocol::make_piggyback(const net::MobileHost& host) {

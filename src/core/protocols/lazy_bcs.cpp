@@ -15,7 +15,7 @@ void LazyBcsProtocol::handle_receive(const net::MobileHost& host, const net::App
   if (pb.sn > hs.sn) {
     hs.sn = pb.sn;
     hs.basics_since_increment = 0;  // a fresh index level just started here
-    take_checkpoint(host, CheckpointKind::kForced, hs.sn);
+    take_checkpoint(host, CheckpointKind::kForced, hs.sn, obs::ForcedRule::kSnGreater);
   }
 }
 

@@ -17,7 +17,7 @@ void QbcProtocol::handle_receive(const net::MobileHost& host, const net::AppMess
   hs.rn = std::max<i64>(static_cast<i64>(pb.sn), hs.rn);
   if (pb.sn > hs.sn) {
     hs.sn = pb.sn;
-    take_checkpoint(host, CheckpointKind::kForced, hs.sn);
+    take_checkpoint(host, CheckpointKind::kForced, hs.sn, obs::ForcedRule::kSnGreater);
   }
 }
 

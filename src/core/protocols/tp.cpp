@@ -23,7 +23,10 @@ void TpProtocol::checkpoint(const net::MobileHost& host, CheckpointKind kind) {
   std::vector<u32> dep = hs.ckpt_req;
   dep[host.id()] = static_cast<u32>(hs.ckpt_count);  // anchor ordinal
   hs.loc[host.id()] = host.mss();
-  take_checkpoint(host, kind, hs.ckpt_count, std::move(dep), hs.loc);
+  const obs::ForcedRule rule = kind == CheckpointKind::kForced
+                                   ? obs::ForcedRule::kReceiveAfterSend
+                                   : obs::ForcedRule::kNone;
+  take_checkpoint(host, kind, hs.ckpt_count, std::move(dep), hs.loc, /*replaced=*/false, rule);
   ++hs.ckpt_count;
   // A fresh interval has no sends yet; phase returns to RECV (Russell's
   // discipline: forced checkpoints are needed only for receives that

@@ -77,6 +77,7 @@ void BinaryHeapQueue::compact() {
   // Reclaim every cancelled entry in one pass and rebuild the heap. Pop
   // order is unaffected: the heap property plus the (time, seq) comparator
   // determine it regardless of internal layout.
+  ++compactions_;
   usize kept = 0;
   for (usize i = 0; i < heap_.size(); ++i) {
     if (slots_.is_cancelled(heap_[i].slot)) {
@@ -183,6 +184,7 @@ void CalendarQueue::purge_tail(std::vector<EventEntry>& bucket) {
 void CalendarQueue::compact() {
   // Erase every cancelled entry in place; buckets stay sorted, so pop
   // order is unaffected.
+  ++compactions_;
   for (auto& bucket : buckets_) {
     std::erase_if(bucket, [this](const EventEntry& e) {
       if (!slots_.is_cancelled(e.slot)) return false;

@@ -148,6 +148,12 @@ class EventQueue {
   /// contract and verified by the cancel-churn tests.
   virtual usize stored() const = 0;
 
+  /// Tombstone-compaction passes run so far (0 for queues that never
+  /// compact, e.g. the eager sorted list). Pull-based observability:
+  /// the kernel probe reads this after the run instead of hooking the
+  /// compaction path.
+  virtual u64 compactions() const noexcept { return 0; }
+
   /// Human-readable implementation name (for benches and logs).
   virtual const char* name() const noexcept = 0;
 };
@@ -183,6 +189,7 @@ class BinaryHeapQueue final : public EventQueue {
   bool empty() const override { return live_ == 0; }
   usize size() const override { return live_; }
   usize stored() const override { return heap_.size(); }
+  u64 compactions() const noexcept override { return compactions_; }
   const char* name() const noexcept override { return "binary-heap"; }
 
  private:
@@ -195,6 +202,7 @@ class BinaryHeapQueue final : public EventQueue {
   SlotTable slots_;
   usize live_ = 0;  ///< Entries neither cancelled nor popped.
   usize dead_ = 0;  ///< Cancelled entries still physically in the heap.
+  u64 compactions_ = 0;
 };
 
 /// Brown's calendar queue: an array of day-buckets covering a rotating
@@ -212,6 +220,7 @@ class CalendarQueue final : public EventQueue {
   bool empty() const override { return live_ == 0; }
   usize size() const override { return live_; }
   usize stored() const override { return live_ + dead_; }
+  u64 compactions() const noexcept override { return compactions_; }
   const char* name() const noexcept override { return "calendar"; }
 
  private:
@@ -236,6 +245,7 @@ class CalendarQueue final : public EventQueue {
   Time last_popped_ = 0.0;
   usize live_ = 0;  ///< Entries neither cancelled nor popped.
   usize dead_ = 0;  ///< Cancelled entries still bucketed.
+  u64 compactions_ = 0;
 };
 
 /// Factory for the queue implementations.

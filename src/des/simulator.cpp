@@ -15,6 +15,7 @@ EventHandle Simulator::enqueue(Time t, EventEntry entry) {
   const EventHandle handle = queue_->push(std::move(entry));
   ++invariants_.scheduled;
   if (queue_->size() > invariants_.max_pending) invariants_.max_pending = queue_->size();
+  if (probe_ != nullptr) probe_->pushes->add();
   return handle;
 }
 
@@ -35,7 +36,10 @@ EventHandle Simulator::schedule_at(Time t, EventFn fn) {
 void Simulator::cancel(EventHandle handle) {
   if (!handle.valid()) return;
   ++invariants_.cancels_requested;
-  if (queue_->cancel(handle)) ++invariants_.cancels_effective;
+  if (queue_->cancel(handle)) {
+    ++invariants_.cancels_effective;
+    if (probe_ != nullptr) probe_->cancels->add();
+  }
 }
 
 void Simulator::advance_to(const EventEntry& e) noexcept {
@@ -59,6 +63,7 @@ u64 Simulator::run_until(Time t_end) {
     if (queue_->peek_time() > t_end) break;
     EventEntry e = queue_->pop();
     advance_to(e);
+    if (probe_ != nullptr) observe_pop(e);
     fire(e);
     ++executed_;
     ++invariants_.executed;
@@ -75,6 +80,7 @@ u64 Simulator::run() {
   while (!queue_->empty()) {
     EventEntry e = queue_->pop();
     advance_to(e);
+    if (probe_ != nullptr) observe_pop(e);
     fire(e);
     ++executed_;
     ++invariants_.executed;

@@ -14,6 +14,7 @@
 #include "des/event.hpp"
 #include "des/event_queue.hpp"
 #include "des/types.hpp"
+#include "obs/probes.hpp"
 
 namespace mobichk::des {
 
@@ -98,6 +99,14 @@ class Simulator {
   /// The queue implementation in use.
   const char* queue_name() const noexcept { return queue_->name(); }
 
+  /// Tombstone-compaction passes the queue has run (pull-based metric).
+  u64 queue_compactions() const noexcept { return queue_->compactions(); }
+
+  /// Attaches (or detaches, with nullptr) the kernel observability probe.
+  /// The probe's metric pointers must outlive the simulator or be reset
+  /// before they dangle. Null probe == zero-cost unobserved run.
+  void set_probe(const obs::KernelProbe* probe) noexcept { probe_ = probe; }
+
  private:
   /// Assigns the next sequence number and pushes the finished entry.
   EventHandle enqueue(Time t, EventEntry entry);
@@ -115,7 +124,15 @@ class Simulator {
     }
   }
 
+  /// Counts a popped event on the probe, bucketed by payload kind.
+  void observe_pop(const EventEntry& e) noexcept {
+    probe_->pops->add();
+    const usize k = static_cast<usize>(e.payload.kind);
+    if (k < obs::KernelProbe::kMaxEventKinds) probe_->dispatched[k]->add();
+  }
+
   std::unique_ptr<EventQueue> queue_;
+  const obs::KernelProbe* probe_ = nullptr;
   Time now_ = 0.0;
   u64 next_seq_ = 1;
   u64 executed_ = 0;

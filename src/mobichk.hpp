@@ -1,0 +1,43 @@
+// Umbrella header: the public surface of the mobichk library.
+//
+// Examples, benches and downstream tools should include this header and
+// nothing else; everything re-exported here is API the project commits
+// to. Headers NOT listed here (src/README.md marks them) are internal —
+// event-queue implementations, protocol internals, pooled slot tables —
+// and may change shape between commits without notice.
+//
+// What this gives you, layer by layer:
+//   des::Simulator, des::QueueKind          the event kernel
+//   des::VectorSink / write_trace           trace capture + portable dump
+//   net::Network, net::NetworkStats         hosts, MSSs, channels, mobility
+//   core::make_protocol, ProtocolHarness    the checkpointing protocols
+//   core::rollback_to_consistent, gc        recovery lines + garbage collection
+//   obs::MetricRegistry, RunObserver        counters/gauges/histograms + the
+//   obs::write_metrics_jsonl/chrome_trace   checkpoint timeline exporters
+//   sim::SimConfig, Experiment, RunResult   one end-to-end run
+//   sim::FigureSpec, run_figure             adaptive-precision sweeps
+//   sim::audit_determinism                  cross-queue determinism audit
+//   sim::ArgParser, FlagSet                 CLI flag schema + --help
+//   sim::write_json / *_from_json           result (de)serialization
+#pragma once
+
+#include "core/factory.hpp"
+#include "core/gc.hpp"
+#include "core/harness.hpp"
+#include "core/recovery.hpp"
+#include "core/recovery_time.hpp"
+#include "des/simulator.hpp"
+#include "des/trace_io.hpp"
+#include "net/network.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/observer.hpp"
+#include "obs/timeline.hpp"
+#include "sim/audit.hpp"
+#include "sim/cli.hpp"
+#include "sim/config.hpp"
+#include "sim/experiment.hpp"
+#include "sim/mobility.hpp"
+#include "sim/report.hpp"
+#include "sim/sweep.hpp"
+#include "sim/workload.hpp"

@@ -93,6 +93,7 @@ void Network::on_event(const des::EventPayload& p) {
       // Location search: modeled as extra wired hops before forwarding.
       if (cfg_.location_search_hops > 0) {
         stats_.wired_hops += cfg_.location_search_hops;
+        if (probe_ != nullptr) probe_->wired_hops->add(cfg_.location_search_hops);
         const f64 delay = cfg_.wired_latency * static_cast<f64>(cfg_.location_search_hops);
         // The message stays parked across the search leg.
         sim_.schedule_after(delay, hop_payload(kSubRouted, at, park_idx, /*targeted=*/false));
@@ -121,6 +122,7 @@ f64 Network::wireless_delay(MssId cell, usize bytes) {
 void Network::wired_forward(MssId from, MssId to, AppMessage msg) {
   const u32 hops = topology_.hops(from, to);
   stats_.wired_hops += hops;
+  if (probe_ != nullptr) probe_->wired_hops->add(hops);
   sim_.schedule_after(cfg_.wired_latency * static_cast<f64>(hops),
                       hop_payload(kSubRouted, to, park(std::move(msg)), /*targeted=*/true));
 }
@@ -167,6 +169,11 @@ void Network::send_app_message(HostId src, HostId dst, u32 payload_bytes) {
   ++stats_.wireless_messages;  // MH -> MSS uplink.
   stats_.payload_bytes += payload_bytes;
   stats_.piggyback_bytes += msg.pb.wire_bytes();
+  if (probe_ != nullptr) {
+    probe_->uplink_legs->add();
+    probe_->payload_bytes->add(payload_bytes);
+    probe_->piggyback_bytes->add(msg.pb.wire_bytes());
+  }
 
   const MssId src_mss = s.mss();
   const f64 uplink = wireless_delay(src_mss, msg.wire_bytes());
@@ -194,6 +201,7 @@ void Network::msg_at_mss(MssId at, AppMessage msg, bool targeted) {
   }
   // Destination is attached here: wireless downlink.
   ++stats_.wireless_messages;
+  if (probe_ != nullptr) probe_->downlink_legs->add();
   const f64 downlink = wireless_delay(at, msg.wire_bytes());
   sim_.schedule_after(downlink, hop_payload(kSubDeliver, at, park(std::move(msg)),
                                             /*is_duplicate=*/false));
@@ -217,6 +225,7 @@ void Network::deliver_to_host(MssId from_mss, AppMessage msg, bool is_duplicate)
       des::bernoulli(channel_rng_, cfg_.duplicate_prob)) {
     ++stats_.duplicates_generated;
     ++stats_.wireless_messages;
+    if (probe_ != nullptr) probe_->downlink_legs->add();
     AppMessage copy = msg;
     const f64 redelivery = wireless_delay(from_mss, copy.wire_bytes());
     sim_.schedule_after(redelivery, hop_payload(kSubDeliver, from_mss, park(std::move(copy)),
@@ -231,6 +240,7 @@ void Network::deliver_to_host(MssId from_mss, AppMessage msg, bool is_duplicate)
   trace(des::TraceKind::kDeliver, msg.dst, msg.id, msg.src);
   ++stats_.app_delivered;
   stats_.delivery_latency.add(sim_.now() - msg.sent_at);
+  if (probe_ != nullptr) probe_->delivery_latency->add(sim_.now() - msg.sent_at);
   d.mailbox_.push_back(std::move(msg));
 }
 
@@ -259,6 +269,8 @@ void Network::switch_cell(HostId host_id, MssId new_mss) {
   stats_.control_messages += 2;
   stats_.wireless_messages += 2;
   ++stats_.handoffs;
+  if (probe_ != nullptr) probe_->handoffs->add();
+  observe_mobility(obs::ProbeKind::kHandoff, host_id, static_cast<i32>(new_mss));
   occupy_control(old_mss);
   occupy_control(new_mss);
   h.mss_ = new_mss;
@@ -273,6 +285,8 @@ void Network::disconnect(HostId host_id) {
   stats_.control_messages += 1;
   stats_.wireless_messages += 1;
   ++stats_.disconnects;
+  if (probe_ != nullptr) probe_->disconnects->add();
+  observe_mobility(obs::ProbeKind::kDisconnect, host_id, -1);
   occupy_control(h.mss());
   trace(des::TraceKind::kDisconnect, host_id, h.mss());
   // The basic checkpoint is taken while still attached.
@@ -288,6 +302,8 @@ void Network::reconnect(HostId host_id, MssId new_mss) {
   stats_.control_messages += 1;
   stats_.wireless_messages += 1;
   ++stats_.reconnects;
+  if (probe_ != nullptr) probe_->reconnects->add();
+  observe_mobility(obs::ProbeKind::kReconnect, host_id, static_cast<i32>(new_mss));
   occupy_control(new_mss);
   h.connected_ = true;
   h.mss_ = new_mss;

@@ -30,6 +30,8 @@
 #include "net/mobile_host.hpp"
 #include "net/mss.hpp"
 #include "net/topology.hpp"
+#include "obs/probes.hpp"
+#include "obs/timeline.hpp"
 
 namespace mobichk::net {
 
@@ -95,6 +97,13 @@ class Network final : public des::EventTarget {
   /// Installs the checkpointing-layer upcall handler. Must be called
   /// before start().
   void set_handler(HostEventHandler* handler) noexcept { handler_ = handler; }
+
+  /// Attaches observability (both may be nullptr = off). The probe's
+  /// metric pointers and the timeline must outlive the network.
+  void set_observer(const obs::NetProbe* probe, obs::Timeline* timeline) noexcept {
+    probe_ = probe;
+    timeline_ = timeline;
+  }
 
   /// Places hosts round-robin over MSSs and fires on_host_init upcalls.
   void start();
@@ -180,9 +189,22 @@ class Network final : public des::EventTarget {
   void deliver_to_host(MssId from_mss, AppMessage msg, bool is_duplicate);
   void trace(des::TraceKind kind, u32 actor, u64 a = 0, u64 b = 0);
 
+  /// Records a mobility marker on the timeline (handoff / (dis)connect).
+  void observe_mobility(obs::ProbeKind kind, HostId host, i32 track) {
+    if (timeline_ == nullptr) return;
+    obs::ProbeEvent e;
+    e.t = sim_.now();
+    e.kind = kind;
+    e.actor = static_cast<i32>(host);
+    e.track = track;
+    timeline_->record(e);
+  }
+
   des::Simulator& sim_;
   NetworkConfig cfg_;
   HostEventHandler* handler_ = nullptr;
+  const obs::NetProbe* probe_ = nullptr;
+  obs::Timeline* timeline_ = nullptr;
   des::NullSink null_sink_;
   des::TraceSink* sink_;
   des::RngStream channel_rng_;

@@ -1,0 +1,200 @@
+#include "obs/export.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+
+namespace mobichk::obs {
+namespace {
+
+// Shortest round-trip decimal form (std::to_chars), so exports are
+// byte-deterministic and free of printf locale surprises.
+void emit_number(std::ostream& os, f64 v) {
+  if (!std::isfinite(v)) {
+    os << "0";  // JSON has no NaN/Inf; metrics should never produce them
+    return;
+  }
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  os.write(buf, res.ptr - buf);
+}
+
+void emit_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+const char* ckpt_event_name(const ProbeEvent& e) {
+  if (e.ckpt_kind == CkptKind::kForced) return "forced checkpoint";
+  if (e.replaced) return "basic checkpoint (equivalence reuse)";
+  if (e.ckpt_kind == CkptKind::kBasic) return "basic checkpoint";
+  return "initial checkpoint";
+}
+
+std::string protocol_label(const RunObserver& run, i32 slot) {
+  const auto& names = run.protocol_names();
+  if (slot >= 0 && static_cast<usize>(slot) < names.size()) return names[static_cast<usize>(slot)];
+  return "protocol " + std::to_string(slot);
+}
+
+// Chrome trace ts is integer microseconds; we map 1 simulation tu to
+// 1000 us so a 50k-tu run spans a readable 50 s of trace time.
+void emit_ts(std::ostream& os, f64 t) { emit_number(os, t * 1000.0); }
+
+void emit_metadata(std::ostream& os, const char* what, i32 pid, i32 tid,
+                   std::string_view name, bool& first) {
+  if (!first) os << ",\n";
+  first = false;
+  os << "  {\"ph\":\"M\",\"name\":\"" << what << "\",\"pid\":" << pid << ",\"tid\":" << tid
+     << ",\"args\":{\"name\":";
+  emit_string(os, name);
+  os << "}}";
+}
+
+}  // namespace
+
+void write_metrics_jsonl(std::ostream& os, const RunObserver& run) {
+  for (const ProbeEvent& e : run.timeline().events()) {
+    os << "{\"type\":\"event\",\"t\":";
+    emit_number(os, e.t);
+    os << ",\"kind\":";
+    emit_string(os, probe_kind_name(e.kind));
+    if (e.kind == ProbeKind::kCheckpoint) {
+      os << ",\"host\":" << e.actor << ",\"slot\":" << e.track << ",\"protocol\":";
+      emit_string(os, protocol_label(run, e.track));
+      os << ",\"ckpt\":"
+         << (e.ckpt_kind == CkptKind::kForced
+                 ? "\"forced\""
+                 : (e.ckpt_kind == CkptKind::kBasic ? "\"basic\"" : "\"initial\""));
+      os << ",\"rule\":";
+      emit_string(os, forced_rule_name(e.rule));
+      os << ",\"replaced\":" << (e.replaced ? "true" : "false") << ",\"sn\":" << e.a;
+    } else if (e.kind == ProbeKind::kHandoff) {
+      os << ",\"host\":" << e.actor << ",\"mss\":" << e.track;
+    } else if (e.kind == ProbeKind::kDisconnect || e.kind == ProbeKind::kReconnect) {
+      os << ",\"host\":" << e.actor;
+    } else if (e.kind == ProbeKind::kReplication) {
+      os << ",\"point\":" << e.actor << ",\"replications\":" << e.a << ",\"wall_seconds\":";
+      emit_number(os, e.value);
+    } else if (e.kind == ProbeKind::kConvergence) {
+      os << ",\"point\":" << e.actor << ",\"replications\":" << e.a << ",\"half_width\":";
+      emit_number(os, e.value);
+    }
+    os << "}\n";
+  }
+  for (const MetricSample& s : run.registry().snapshot()) {
+    os << "{\"type\":\"metric\",\"name\":";
+    emit_string(os, s.name);
+    os << ",\"value\":";
+    emit_number(os, s.value);
+    os << "}\n";
+  }
+}
+
+void write_chrome_trace(std::ostream& os, const RunObserver& run) {
+  os << "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+  bool first = true;
+
+  // Track naming. pid 0 carries network & mobility (one thread per
+  // host); pid slot+1 carries one protocol's checkpoints (again one
+  // thread per host), so Perfetto groups each protocol as a process.
+  emit_metadata(os, "process_name", 0, 0, "network & mobility", first);
+  for (i32 h = 0; h < run.n_hosts(); ++h) {
+    emit_metadata(os, "thread_name", 0, h, "host " + std::to_string(h), first);
+  }
+  const usize n_protocols = run.protocol_names().size();
+  for (usize slot = 0; slot < n_protocols; ++slot) {
+    const i32 pid = static_cast<i32>(slot) + 1;
+    emit_metadata(os, "process_name", pid, 0,
+                  "protocol: " + run.protocol_names()[slot], first);
+    for (i32 h = 0; h < run.n_hosts(); ++h) {
+      emit_metadata(os, "thread_name", pid, h, "host " + std::to_string(h), first);
+    }
+  }
+
+  for (const ProbeEvent& e : run.timeline().events()) {
+    if (e.kind == ProbeKind::kReplication || e.kind == ProbeKind::kConvergence) {
+      continue;  // sweep-level entries have no place on a per-run trace
+    }
+    if (!first) os << ",\n";
+    first = false;
+    if (e.kind == ProbeKind::kCheckpoint) {
+      os << "  {\"name\":";
+      emit_string(os, ckpt_event_name(e));
+      os << ",\"ph\":\"i\",\"s\":\"t\",\"ts\":";
+      emit_ts(os, e.t);
+      os << ",\"pid\":" << (e.track + 1) << ",\"tid\":" << e.actor << ",\"args\":{\"sn\":" << e.a
+         << ",\"rule\":";
+      emit_string(os, forced_rule_name(e.rule));
+      if (e.replaced) os << ",\"replaced\":true";
+      os << "}}";
+    } else {
+      os << "  {\"name\":";
+      emit_string(os, probe_kind_name(e.kind));
+      os << ",\"ph\":\"i\",\"s\":\"t\",\"ts\":";
+      emit_ts(os, e.t);
+      os << ",\"pid\":0,\"tid\":" << e.actor;
+      if (e.kind == ProbeKind::kHandoff) {
+        os << ",\"args\":{\"mss\":" << e.track << "}";
+      }
+      os << "}";
+    }
+  }
+
+  os << "\n],\n\"metrics\": {";
+  bool first_metric = true;
+  for (const MetricSample& s : run.registry().snapshot()) {
+    if (!first_metric) os << ",";
+    first_metric = false;
+    os << "\n  ";
+    emit_string(os, s.name);
+    os << ": ";
+    emit_number(os, s.value);
+  }
+  os << "\n}\n}\n";
+}
+
+namespace {
+
+bool write_file(const std::string& path, const RunObserver& run,
+                void (*writer)(std::ostream&, const RunObserver&)) {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "obs: cannot open " << path << " for writing\n";
+    return false;
+  }
+  writer(os, run);
+  return static_cast<bool>(os);
+}
+
+}  // namespace
+
+bool write_metrics_jsonl(const std::string& path, const RunObserver& run) {
+  return write_file(path, run, &write_metrics_jsonl);
+}
+
+bool write_chrome_trace(const std::string& path, const RunObserver& run) {
+  return write_file(path, run, &write_chrome_trace);
+}
+
+}  // namespace mobichk::obs

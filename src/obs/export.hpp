@@ -1,0 +1,29 @@
+// Exporters for one observed run:
+//  * write_metrics_jsonl — newline-delimited JSON: one "event" line per
+//    timeline entry (time-ordered), then one "metric" line per registry
+//    sample. Greppable, streamable, trivially diffable.
+//  * write_chrome_trace — Chrome trace-event JSON (the chrome://tracing /
+//    Perfetto "JSON Object Format"): per-host tracks, checkpoint instant
+//    events with the triggering rule, mobility markers.
+//
+// The obs layer sits below sim/, so these implement their own minimal
+// JSON emission (escaping + shortest-round-trip doubles) rather than
+// reusing sim::JsonWriter.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/observer.hpp"
+
+namespace mobichk::obs {
+
+void write_metrics_jsonl(std::ostream& os, const RunObserver& run);
+void write_chrome_trace(std::ostream& os, const RunObserver& run);
+
+/// Convenience wrappers: write to `path`, returning false (with a
+/// message on stderr) when the file cannot be opened.
+bool write_metrics_jsonl(const std::string& path, const RunObserver& run);
+bool write_chrome_trace(const std::string& path, const RunObserver& run);
+
+}  // namespace mobichk::obs

@@ -1,0 +1,11 @@
+#include "obs/observer.hpp"
+
+namespace mobichk::obs {
+
+RunObserver::RunObserver() {
+  kernel_.resolve(registry_);
+  net_.resolve(registry_);
+  sweep_.resolve(registry_);
+}
+
+}  // namespace mobichk::obs

@@ -1,0 +1,52 @@
+// RunObserver: the one object a caller creates to observe a run.
+//
+// Owns the MetricRegistry, the Timeline and the resolved probe structs;
+// the Experiment wires non-owning probe pointers into the simulator, the
+// network and the protocol harness. When no RunObserver is attached every
+// probe pointer is null and the run is bit-identical to an unobserved one.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/probes.hpp"
+#include "obs/timeline.hpp"
+
+namespace mobichk::obs {
+
+class RunObserver {
+ public:
+  RunObserver();
+  RunObserver(const RunObserver&) = delete;
+  RunObserver& operator=(const RunObserver&) = delete;
+
+  MetricRegistry& registry() noexcept { return registry_; }
+  const MetricRegistry& registry() const noexcept { return registry_; }
+  Timeline& timeline() noexcept { return timeline_; }
+  const Timeline& timeline() const noexcept { return timeline_; }
+
+  const KernelProbe* kernel_probe() const noexcept { return &kernel_; }
+  const NetProbe* net_probe() const noexcept { return &net_; }
+  const SweepProbe* sweep_probe() const noexcept { return &sweep_; }
+
+  /// Display names for protocol slots, in slot order; used by the
+  /// Chrome-trace exporter to label per-protocol processes.
+  void set_protocol_names(std::vector<std::string> names) { protocol_names_ = std::move(names); }
+  const std::vector<std::string>& protocol_names() const noexcept { return protocol_names_; }
+
+  /// Number of mobile hosts in the observed run (track labelling).
+  void set_n_hosts(i32 n) noexcept { n_hosts_ = n; }
+  i32 n_hosts() const noexcept { return n_hosts_; }
+
+ private:
+  MetricRegistry registry_;
+  Timeline timeline_;
+  KernelProbe kernel_;
+  NetProbe net_;
+  SweepProbe sweep_;
+  std::vector<std::string> protocol_names_;
+  i32 n_hosts_ = 0;
+};
+
+}  // namespace mobichk::obs

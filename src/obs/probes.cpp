@@ -1,0 +1,50 @@
+#include "obs/probes.hpp"
+
+namespace mobichk::obs {
+namespace {
+
+// Names must track des::EventKind's enumerators (see des/event.hpp);
+// slots past the last real kind are reserved.
+constexpr const char* kDispatchNames[KernelProbe::kMaxEventKinds] = {
+    "des.dispatch.closure",
+    "des.dispatch.message_hop",
+    "des.dispatch.handoff",
+    "des.dispatch.connectivity",
+    "des.dispatch.workload_op",
+    "des.dispatch.checkpoint_transfer",
+    "des.dispatch.reserved6",
+    "des.dispatch.reserved7",
+};
+
+}  // namespace
+
+void KernelProbe::resolve(MetricRegistry& reg) {
+  for (usize k = 0; k < kMaxEventKinds; ++k) {
+    dispatched[k] = &reg.counter(kDispatchNames[k]);
+  }
+  pushes = &reg.counter("des.queue.pushes");
+  pops = &reg.counter("des.queue.pops");
+  cancels = &reg.counter("des.queue.cancels");
+  compactions = &reg.counter("des.queue.compactions");
+  max_pending = &reg.gauge("des.queue.max_pending");
+}
+
+void NetProbe::resolve(MetricRegistry& reg) {
+  uplink_legs = &reg.counter("net.leg.uplink");
+  wired_hops = &reg.counter("net.leg.wired_hop");
+  downlink_legs = &reg.counter("net.leg.downlink");
+  payload_bytes = &reg.counter("net.bytes.payload");
+  piggyback_bytes = &reg.counter("net.bytes.piggyback");
+  handoffs = &reg.counter("net.mobility.handoffs");
+  disconnects = &reg.counter("net.mobility.disconnects");
+  reconnects = &reg.counter("net.mobility.reconnects");
+  delivery_latency = &reg.histogram("net.delivery_latency_tu", 0.0, 50.0, 100);
+}
+
+void SweepProbe::resolve(MetricRegistry& reg) {
+  replications = &reg.counter("sweep.replications");
+  replication_wall = &reg.histogram("sweep.replication_wall_s", 0.0, 5.0, 100);
+  last_half_width = &reg.gauge("sweep.last_half_width");
+}
+
+}  // namespace mobichk::obs

@@ -1,0 +1,27 @@
+#include "obs/timeline.hpp"
+
+namespace mobichk::obs {
+
+const char* forced_rule_name(ForcedRule rule) noexcept {
+  switch (rule) {
+    case ForcedRule::kNone: return "none";
+    case ForcedRule::kSnGreater: return "m.sn > sn_i";
+    case ForcedRule::kReceiveAfterSend: return "first receive after send";
+    case ForcedRule::kMarker: return "coordinator marker";
+  }
+  return "none";
+}
+
+const char* probe_kind_name(ProbeKind kind) noexcept {
+  switch (kind) {
+    case ProbeKind::kCheckpoint: return "checkpoint";
+    case ProbeKind::kHandoff: return "handoff";
+    case ProbeKind::kDisconnect: return "disconnect";
+    case ProbeKind::kReconnect: return "reconnect";
+    case ProbeKind::kReplication: return "replication";
+    case ProbeKind::kConvergence: return "convergence";
+  }
+  return "unknown";
+}
+
+}  // namespace mobichk::obs

@@ -1,0 +1,75 @@
+// Checkpoint / mobility timeline: timestamped probe events recorded when
+// observability is on, consumed by the JSONL and Chrome-trace exporters.
+//
+// The DES kernel and the protocols are deliberately ignorant of export
+// formats — they append POD ProbeEvents here; src/obs/export.* turns the
+// vector into files after the run.
+#pragma once
+
+#include <vector>
+
+#include "des/types.hpp"
+
+namespace mobichk::obs {
+
+/// What happened. Values are stable (they appear in JSONL output).
+enum class ProbeKind : u8 {
+  kCheckpoint = 0,   ///< a protocol took a checkpoint on some host
+  kHandoff = 1,      ///< host crossed a cell boundary (MSS switch)
+  kDisconnect = 2,   ///< host voluntarily disconnected
+  kReconnect = 3,    ///< host reconnected after a disconnection
+  kReplication = 4,  ///< sweep engine finished one replication
+  kConvergence = 5,  ///< sweep engine evaluated the CI stopping rule
+};
+
+/// Mirror of core::CheckpointKind — kept value-identical so recording is
+/// a static_cast, but defined here so obs never includes core headers.
+enum class CkptKind : u8 {
+  kInitial = 0,
+  kBasic = 1,
+  kForced = 2,
+};
+
+/// Why a forced checkpoint fired (the paper's triggering conditions).
+enum class ForcedRule : u8 {
+  kNone = 0,              ///< not forced (basic / initial), or rule unknown
+  kSnGreater = 1,         ///< CIC index rule: piggybacked m.sn > sn_i (BCS/QBC)
+  kReceiveAfterSend = 2,  ///< TP: first receive after a send (phase_send set)
+  kMarker = 3,            ///< coordinated protocol: coordinator marker
+};
+
+/// Human-readable rule text used by the exporters (and tests).
+const char* forced_rule_name(ForcedRule rule) noexcept;
+const char* probe_kind_name(ProbeKind kind) noexcept;
+
+/// One timestamped occurrence. Fields beyond (t, kind, actor) are
+/// kind-specific; unused ones stay zero.
+struct ProbeEvent {
+  f64 t = 0.0;         ///< simulation time (tu); replication index for sweep kinds
+  ProbeKind kind = ProbeKind::kCheckpoint;
+  CkptKind ckpt_kind = CkptKind::kInitial;  ///< kCheckpoint only
+  ForcedRule rule = ForcedRule::kNone;      ///< kCheckpoint only
+  bool replaced = false;  ///< QBC equivalence rule reused an existing checkpoint
+  i32 actor = -1;         ///< host id (kCheckpoint/mobility), point index (sweep)
+  i32 track = -1;         ///< protocol slot (kCheckpoint), MSS id (kHandoff), -1 otherwise
+  u64 a = 0;              ///< checkpoint sn / replications used
+  f64 value = 0.0;        ///< wall seconds (kReplication), CI half-width (kConvergence)
+};
+
+/// Append-only recorder. Reserves up front so steady-state recording does
+/// not allocate on most runs; an occasional vector growth is acceptable
+/// because the timeline only exists when observability is on.
+class Timeline {
+ public:
+  explicit Timeline(usize reserve_hint = 4096) { events_.reserve(reserve_hint); }
+
+  void record(const ProbeEvent& e) { events_.push_back(e); }
+  const std::vector<ProbeEvent>& events() const noexcept { return events_; }
+  usize size() const noexcept { return events_.size(); }
+  void clear() noexcept { events_.clear(); }
+
+ private:
+  std::vector<ProbeEvent> events_;
+};
+
+}  // namespace mobichk::obs

@@ -1,5 +1,8 @@
 #include "sim/cli.hpp"
 
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
 #include <stdexcept>
 
 namespace mobichk::sim {
@@ -74,6 +77,111 @@ bool ArgParser::get_flag(const std::string& key) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return false;
   return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<std::string> ArgParser::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [key, value] : values_) out.push_back(key);
+  return out;
+}
+
+namespace {
+
+const char* flag_type_name(FlagType type) {
+  switch (type) {
+    case FlagType::kString: return "string";
+    case FlagType::kUInt: return "uint";
+    case FlagType::kNumber: return "number";
+    case FlagType::kBool: return "";
+  }
+  return "";
+}
+
+/// Classic two-row Levenshtein; early-outs are pointless at flag-name
+/// lengths.
+usize edit_distance(const std::string& a, const std::string& b) {
+  std::vector<usize> prev(b.size() + 1), cur(b.size() + 1);
+  for (usize j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (usize i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (usize j = 1; j <= b.size(); ++j) {
+      const usize sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+}  // namespace
+
+FlagSet::FlagSet(std::string usage) : usage_(std::move(usage)) {
+  add("help", FlagType::kBool, "", "show this help and exit");
+}
+
+FlagSet& FlagSet::add(std::string name, FlagType type, std::string default_text,
+                      std::string help) {
+  if (known(name)) throw std::logic_error("FlagSet: flag --" + name + " registered twice");
+  flags_.push_back(FlagSpec{std::move(name), type, std::move(default_text), std::move(help)});
+  return *this;
+}
+
+bool FlagSet::known(const std::string& name) const noexcept {
+  return std::any_of(flags_.begin(), flags_.end(),
+                     [&](const FlagSpec& f) { return f.name == name; });
+}
+
+std::string FlagSet::suggest(const std::string& name) const {
+  std::string best;
+  usize best_dist = 3;  // accept distance <= 2
+  for (const FlagSpec& f : flags_) {
+    // A unique registered extension of what was typed ("--prec" for
+    // "--precision") beats edit distance.
+    if (name.size() >= 3 && f.name.rfind(name, 0) == 0) return f.name;
+    const usize d = edit_distance(name, f.name);
+    if (d < best_dist) {
+      best_dist = d;
+      best = f.name;
+    }
+  }
+  return best;
+}
+
+void FlagSet::print_help(std::ostream& os) const {
+  os << "usage: " << usage_ << "\n\nflags:\n";
+  for (const FlagSpec& f : flags_) {
+    std::string left = "  --" + f.name;
+    const char* type = flag_type_name(f.type);
+    if (type[0] != '\0') left += "=<" + std::string(type) + ">";
+    os << std::left << std::setw(28) << left << f.help;
+    if (!f.default_text.empty()) os << " (default: " << f.default_text << ")";
+    os << "\n";
+  }
+  os.flush();
+}
+
+ArgParser FlagSet::parse(int argc, const char* const* argv) const {
+  ArgParser args(argc, argv);
+  for (const std::string& key : args.keys()) {
+    if (!known(key)) {
+      std::string msg = "unknown flag --" + key;
+      const std::string near = suggest(key);
+      if (!near.empty()) msg += " (did you mean --" + near + "?)";
+      msg += "; see --help";
+      throw std::invalid_argument(msg);
+    }
+    // Eager validation: a malformed value fails here, naming the flag
+    // (this keeps the trailing-garbage rejection on the schema path too).
+    const auto spec = std::find_if(flags_.begin(), flags_.end(),
+                                   [&](const FlagSpec& f) { return f.name == key; });
+    if (spec->type == FlagType::kUInt) {
+      (void)args.get_u64(key, 0);
+    } else if (spec->type == FlagType::kNumber) {
+      (void)args.get_f64(key, 0.0);
+    }
+  }
+  return args;
 }
 
 }  // namespace mobichk::sim

@@ -1,8 +1,18 @@
-// Minimal command-line argument parsing for the examples and benches.
-// Supports "--key=value", "--key value" and boolean "--flag".
+// Command-line argument parsing for the examples and benches.
+//
+// Two layers:
+//  * ArgParser — the permissive tokenizer: "--key=value", "--key value"
+//    and boolean "--flag", no schema. Numbers are validated strictly
+//    (trailing garbage and negative unsigned values fail loudly, naming
+//    the flag).
+//  * FlagSet — a registered-flag schema on top: every flag declares a
+//    name, type, default and help text; parse() rejects unknown flags
+//    with a did-you-mean suggestion, eagerly validates numeric values,
+//    and print_help() renders the --help page. All binaries with
+//    user-facing flags should build a FlagSet.
 #pragma once
 
-#include <optional>
+#include <iosfwd>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -26,9 +36,60 @@ class ArgParser {
   /// Positional (non --key) arguments, in order.
   const std::vector<std::string>& positional() const noexcept { return positional_; }
 
+  /// Every parsed "--key", in no particular order (schema validation).
+  std::vector<std::string> keys() const;
+
  private:
   std::unordered_map<std::string, std::string> values_;
   std::vector<std::string> positional_;
+};
+
+/// Value shape a registered flag expects (drives eager validation and the
+/// help page's <type> column).
+enum class FlagType : u8 {
+  kString,
+  kUInt,    ///< Non-negative integer.
+  kNumber,  ///< Floating point.
+  kBool,    ///< Presence flag; "--flag" alone means true.
+};
+
+/// One registered flag.
+struct FlagSpec {
+  std::string name;
+  FlagType type = FlagType::kString;
+  std::string default_text;  ///< Rendered in --help ("" = no default shown).
+  std::string help;
+};
+
+/// Registered-flag schema for one command. Every FlagSet knows --help.
+class FlagSet {
+ public:
+  /// `usage` is the --help headline, e.g. "mobichk_cli run [flags]".
+  explicit FlagSet(std::string usage);
+
+  /// Registers a flag; returns *this for chaining. Re-registering a name
+  /// throws std::logic_error (catches copy-paste catalog bugs).
+  FlagSet& add(std::string name, FlagType type, std::string default_text, std::string help);
+
+  bool known(const std::string& name) const noexcept;
+  const std::vector<FlagSpec>& flags() const noexcept { return flags_; }
+
+  /// Closest registered flag within edit distance 2 (or a unique prefix
+  /// match); "" when nothing is close enough.
+  std::string suggest(const std::string& name) const;
+
+  /// Renders the --help page: usage line, then one row per flag.
+  void print_help(std::ostream& os) const;
+
+  /// Tokenizes argv and validates it against the schema: unknown flags
+  /// throw std::invalid_argument ("unknown flag --foo (did you mean
+  /// --food?)"); numeric flags are parsed eagerly so a bad value fails at
+  /// startup naming the flag, not deep inside the run.
+  ArgParser parse(int argc, const char* const* argv) const;
+
+ private:
+  std::string usage_;
+  std::vector<FlagSpec> flags_;
 };
 
 }  // namespace mobichk::sim

@@ -25,6 +25,11 @@ Experiment::Experiment(SimConfig cfg, ExperimentOptions opts)
   sim_ = std::make_unique<des::Simulator>(opts_.queue_kind);
   net_ = std::make_unique<net::Network>(*sim_, cfg_.network, cfg_.seed, hash_sink_.get());
   harness_ = std::make_unique<core::ProtocolHarness>(*net_, hash_sink_.get());
+  if (opts_.observer != nullptr) {
+    sim_->set_probe(opts_.observer->kernel_probe());
+    net_->set_observer(opts_.observer->net_probe(), &opts_.observer->timeline());
+    harness_->set_timeline(&opts_.observer->timeline());
+  }
   core::ProtocolParams params = opts_.params;
   params.uncoordinated_seed = cfg_.seed;
   for (const auto kind : opts_.protocols) {
@@ -46,6 +51,15 @@ Experiment::Experiment(SimConfig cfg, ExperimentOptions opts)
     workload_->set_latency_probes(std::move(probes));
   }
   mobility_ = std::make_unique<MobilityDriver>(*sim_, *net_, cfg_, workload_.get());
+  if (opts_.observer != nullptr) {
+    opts_.observer->set_n_hosts(static_cast<i32>(cfg_.network.n_hosts));
+    std::vector<std::string> names;
+    names.reserve(harness_->protocol_count());
+    for (usize slot = 0; slot < harness_->protocol_count(); ++slot) {
+      names.emplace_back(harness_->protocol(slot).name());
+    }
+    opts_.observer->set_protocol_names(std::move(names));
+  }
 }
 
 void Experiment::run() {
@@ -88,6 +102,13 @@ void Experiment::run() {
     }
     if (opts_.verify_consistency) verify_slot(slot, stats);
     result_.protocols.push_back(std::move(stats));
+  }
+  if (opts_.observer != nullptr) {
+    // Pull-model metrics: cheap to read once, pointless to track live.
+    const obs::KernelProbe* kp = opts_.observer->kernel_probe();
+    kp->compactions->add(sim_->queue_compactions());
+    kp->max_pending->max_of(static_cast<f64>(result_.invariants.max_pending));
+    result_.metrics = opts_.observer->registry().snapshot();
   }
 }
 

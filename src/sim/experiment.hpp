@@ -12,6 +12,7 @@
 #include "des/simulator.hpp"
 #include "des/trace.hpp"
 #include "net/network.hpp"
+#include "obs/observer.hpp"
 #include "sim/config.hpp"
 #include "sim/mobility.hpp"
 #include "sim/workload.hpp"
@@ -34,6 +35,11 @@ struct ExperimentOptions {
 
   des::QueueKind queue_kind = des::QueueKind::kBinaryHeap;
   bool collect_trace_hash = false;    ///< Fold the run's trace into a hash (replay tests).
+
+  /// Non-owning observability hookup (nullptr = off, the default: the
+  /// run is then bit-identical and allocation-free on the hot path).
+  /// Must outlive the Experiment. Not shareable across threads.
+  obs::RunObserver* observer = nullptr;
 };
 
 /// Per-protocol outcome of one run.
@@ -66,6 +72,9 @@ struct RunResult {
   u64 trace_hash = 0;
   des::SimInvariants invariants;  ///< Engine self-check counters for the run.
   bool invariants_ok = true;      ///< Scheduled/executed/cancelled ledger reconciled.
+  /// Metric snapshot (registration order); empty when no observer was
+  /// attached.
+  std::vector<obs::MetricSample> metrics;
 
   const ProtocolRunStats& by_name(const std::string& name) const;
 };

@@ -1,5 +1,6 @@
 #include "sim/json.hpp"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -121,6 +122,17 @@ f64 JsonValue::as_f64() const {
 }
 
 u64 JsonValue::as_u64() const {
+  if (kind != Kind::kNumber) throw std::invalid_argument("JsonValue: not a number");
+  // Exact path: a plain digit token survives even above 2^53 (trace
+  // hashes), where the f64 representation has already lost bits.
+  if (!number_text.empty() &&
+      number_text.find_first_not_of("0123456789") == std::string::npos) {
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(number_text.c_str(), &end, 10);
+    if (errno == 0 && end == number_text.c_str() + number_text.size()) return v;
+    throw std::invalid_argument("JsonValue: integer out of u64 range");
+  }
   const f64 v = as_f64();
   if (v < 0.0 || v != std::floor(v)) {
     throw std::invalid_argument("JsonValue: not a non-negative integer");
@@ -213,7 +225,7 @@ class JsonParser {
         break;
       default: {
         value.kind = JsonValue::Kind::kNumber;
-        value.number = parse_number();
+        value.number = parse_number(value.number_text);
       }
     }
     return value;
@@ -316,7 +328,7 @@ class JsonParser {
     }
   }
 
-  f64 parse_number() {
+  f64 parse_number(std::string& token_out) {
     // Copy the token before strtod: the view need not be NUL-terminated.
     const usize start = pos_;
     while (pos_ < text_.size()) {
@@ -331,6 +343,7 @@ class JsonParser {
     char* end = nullptr;
     const f64 value = std::strtod(token.c_str(), &end);
     if (token.empty() || end != token.c_str() + token.size()) fail("expected a value");
+    token_out = token;
     return value;
   }
 

@@ -62,14 +62,17 @@ class JsonWriter {
   std::vector<Level> stack_;
 };
 
-/// Parsed JSON value. Numbers are kept as f64 (the writer emits them
-/// with 17 significant digits, so u64s up to 2^53 round-trip exactly).
+/// Parsed JSON value. Numbers are kept as f64 plus the raw source token
+/// (number_text): as_u64 re-parses the token when it is a plain integer,
+/// so values above 2^53 — trace hashes — survive a parse round-trip
+/// exactly instead of being squeezed through the double.
 struct JsonValue {
   enum class Kind : u8 { kNull, kBool, kNumber, kString, kArray, kObject };
 
   Kind kind = Kind::kNull;
   bool boolean = false;
   f64 number = 0.0;
+  std::string number_text;  ///< Raw numeric token (kNumber from json_parse only).
   std::string string;
   std::vector<JsonValue> array;
   std::vector<std::pair<std::string, JsonValue>> object;  ///< Insertion order preserved.

@@ -2,10 +2,28 @@
 
 #include <ostream>
 #include <stdexcept>
+#include <utility>
 
 #include "sim/json.hpp"
 
 namespace mobichk::sim {
+
+namespace {
+
+// Shared between the standalone SweepLedger document and the "ledger"
+// object inside a FigureResult document.
+void write_ledger_fields(JsonWriter& w, const SweepLedger& ledger) {
+  w.begin_object();
+  w.field("wall_seconds", ledger.wall_seconds)
+      .field("events_executed", ledger.events_executed)
+      .field("events_per_second", ledger.events_per_second())
+      .field("replications_run", ledger.replications_run)
+      .field("replications_used", ledger.replications_used)
+      .field("replication_cap", ledger.replication_cap);
+  w.end_object();
+}
+
+}  // namespace
 
 void write_json(std::ostream& os, const RunResult& result) {
   JsonWriter w(os);
@@ -65,6 +83,11 @@ void write_json(std::ostream& os, const RunResult& result) {
       .field("cancels_effective", result.invariants.cancels_effective)
       .field("cancels_noop", result.invariants.cancels_noop())
       .field("max_pending", static_cast<u64>(result.invariants.max_pending));
+  if (!result.metrics.empty()) {
+    w.key("metrics").begin_object();
+    for (const obs::MetricSample& m : result.metrics) w.field(m.name, m.value);
+    w.end_object();
+  }
   w.end_object();
   os << '\n';
 }
@@ -103,15 +126,15 @@ void write_json(std::ostream& os, const FigureResult& result) {
   }
   w.end_array();
   w.field("max_relative_spread", result.max_relative_spread());
-  w.key("ledger").begin_object();
-  w.field("wall_seconds", result.ledger.wall_seconds)
-      .field("events_executed", result.ledger.events_executed)
-      .field("events_per_second", result.ledger.events_per_second())
-      .field("replications_run", result.ledger.replications_run)
-      .field("replications_used", result.ledger.replications_used)
-      .field("replication_cap", result.ledger.replication_cap);
+  w.key("ledger");
+  write_ledger_fields(w, result.ledger);
   w.end_object();
-  w.end_object();
+  os << '\n';
+}
+
+void write_json(std::ostream& os, const SweepLedger& ledger) {
+  JsonWriter w(os);
+  write_ledger_fields(w, ledger);
   os << '\n';
 }
 
@@ -221,6 +244,96 @@ ExperimentOptions experiment_options_from_json(const JsonValue& json) {
   }
   if (const JsonValue* v = json.find("collect_trace_hash")) opts.collect_trace_hash = v->as_bool();
   return opts;
+}
+
+RunResult run_result_from_json(const JsonValue& json) {
+  RunResult result;
+  if (const JsonValue* cfg = json.find("config")) {
+    if (const JsonValue* v = cfg->find("n_hosts")) result.cfg.network.n_hosts = static_cast<u32>(v->as_u64());
+    if (const JsonValue* v = cfg->find("n_mss")) result.cfg.network.n_mss = static_cast<u32>(v->as_u64());
+    if (const JsonValue* v = cfg->find("sim_length")) result.cfg.sim_length = v->as_f64();
+    if (const JsonValue* v = cfg->find("seed")) result.cfg.seed = v->as_u64();
+    if (const JsonValue* v = cfg->find("t_switch")) result.cfg.t_switch = v->as_f64();
+    if (const JsonValue* v = cfg->find("p_switch")) result.cfg.p_switch = v->as_f64();
+    if (const JsonValue* v = cfg->find("p_send")) result.cfg.p_send = v->as_f64();
+    if (const JsonValue* v = cfg->find("comm_mean")) result.cfg.comm_mean = v->as_f64();
+    if (const JsonValue* v = cfg->find("heterogeneity")) result.cfg.heterogeneity = v->as_f64();
+    if (const JsonValue* v = cfg->find("mobility_model")) {
+      result.cfg.mobility_model = mobility_model_from_name(v->as_string());
+    }
+  }
+  if (const JsonValue* net = json.find("network")) {
+    if (const JsonValue* v = net->find("app_sent")) result.net.app_sent = v->as_u64();
+    if (const JsonValue* v = net->find("app_delivered")) result.net.app_delivered = v->as_u64();
+    if (const JsonValue* v = net->find("app_received")) result.net.app_received = v->as_u64();
+    if (const JsonValue* v = net->find("handoffs")) result.net.handoffs = v->as_u64();
+    if (const JsonValue* v = net->find("disconnects")) result.net.disconnects = v->as_u64();
+    if (const JsonValue* v = net->find("reconnects")) result.net.reconnects = v->as_u64();
+    if (const JsonValue* v = net->find("control_messages")) result.net.control_messages = v->as_u64();
+    if (const JsonValue* v = net->find("wireless_messages")) result.net.wireless_messages = v->as_u64();
+    if (const JsonValue* v = net->find("wired_hops")) result.net.wired_hops = v->as_u64();
+    if (const JsonValue* v = net->find("chase_forwards")) result.net.chase_forwards = v->as_u64();
+    if (const JsonValue* v = net->find("buffered_deliveries")) result.net.buffered_deliveries = v->as_u64();
+    if (const JsonValue* v = net->find("piggyback_bytes")) result.net.piggyback_bytes = v->as_u64();
+    if (const JsonValue* v = net->find("mean_delivery_latency")) {
+      // The writer serializes only the mean; a one-sample tally re-emits
+      // it exactly (write -> parse -> write is byte-identical).
+      result.net.delivery_latency.add(v->as_f64());
+    }
+  }
+  if (const JsonValue* protocols = json.find("protocols")) {
+    for (const JsonValue& entry : protocols->as_array()) {
+      ProtocolRunStats p;
+      if (const JsonValue* v = entry.find("name")) {
+        p.name = v->as_string();
+        p.kind = core::protocol_kind_from_name(p.name);
+      }
+      if (const JsonValue* v = entry.find("n_tot")) p.n_tot = v->as_u64();
+      if (const JsonValue* v = entry.find("basic")) p.basic = v->as_u64();
+      if (const JsonValue* v = entry.find("forced")) p.forced = v->as_u64();
+      if (const JsonValue* v = entry.find("initial")) p.initial = v->as_u64();
+      p.total = p.basic + p.forced + p.initial;
+      if (const JsonValue* v = entry.find("max_index")) p.max_index = v->as_u64();
+      if (const JsonValue* v = entry.find("piggyback_bytes")) p.piggyback_bytes = v->as_u64();
+      if (const JsonValue* v = entry.find("control_messages")) p.control_messages = v->as_u64();
+      if (const JsonValue* v = entry.find("storage_wireless_bytes")) p.storage_wireless_bytes = v->as_u64();
+      if (const JsonValue* v = entry.find("storage_wired_bytes")) p.storage_wired_bytes = v->as_u64();
+      if (const JsonValue* v = entry.find("storage_transfers")) p.storage_transfers = v->as_u64();
+      if (const JsonValue* v = entry.find("lines_checked")) p.lines_checked = v->as_u64();
+      if (const JsonValue* v = entry.find("orphans_found")) p.orphans_found = v->as_u64();
+      result.protocols.push_back(std::move(p));
+    }
+  }
+  if (const JsonValue* v = json.find("events_executed")) result.events_executed = v->as_u64();
+  if (const JsonValue* v = json.find("workload_ops")) result.workload_ops = v->as_u64();
+  if (const JsonValue* v = json.find("trace_hash")) result.trace_hash = v->as_u64();
+  if (const JsonValue* v = json.find("invariants_ok")) result.invariants_ok = v->as_bool();
+  if (const JsonValue* v = json.find("cancels_effective")) {
+    result.invariants.cancels_effective = v->as_u64();
+    result.invariants.cancels_requested = v->as_u64();
+  }
+  if (const JsonValue* v = json.find("cancels_noop")) {
+    result.invariants.cancels_requested += v->as_u64();
+  }
+  if (const JsonValue* v = json.find("max_pending")) {
+    result.invariants.max_pending = static_cast<usize>(v->as_u64());
+  }
+  if (const JsonValue* metrics = json.find("metrics")) {
+    for (const auto& [name, value] : metrics->object) {
+      result.metrics.push_back(obs::MetricSample{name, value.as_f64()});
+    }
+  }
+  return result;
+}
+
+SweepLedger sweep_ledger_from_json(const JsonValue& json) {
+  SweepLedger ledger;
+  if (const JsonValue* v = json.find("wall_seconds")) ledger.wall_seconds = v->as_f64();
+  if (const JsonValue* v = json.find("events_executed")) ledger.events_executed = v->as_u64();
+  if (const JsonValue* v = json.find("replications_run")) ledger.replications_run = v->as_u64();
+  if (const JsonValue* v = json.find("replications_used")) ledger.replications_used = v->as_u64();
+  if (const JsonValue* v = json.find("replication_cap")) ledger.replication_cap = v->as_u64();
+  return ledger;
 }
 
 }  // namespace mobichk::sim

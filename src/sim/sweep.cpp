@@ -238,7 +238,12 @@ FigureResult run_figure(const FigureSpec& spec, const ExperimentOptions& opts, u
   spec.validate();
   const auto wall_start = std::chrono::steady_clock::now();
 
+  // Sweep-level observability runs on this thread only: a RunObserver is
+  // not shareable across workers, so the per-run observer is detached and
+  // replication/convergence probes are recorded between rounds.
+  obs::RunObserver* observer = opts.observer;
   ExperimentOptions run_opts = opts;
+  run_opts.observer = nullptr;
   run_opts.protocols = spec.protocols;
 
   const usize n_points = spec.t_switch_values.size();
@@ -284,7 +289,19 @@ FigureResult run_figure(const FigureSpec& spec, const ExperimentOptions& opts, u
     out.ledger.replications_run += round.size();
     for (usize j = 0; j < round.size(); ++j) {
       out.ledger.events_executed += round[j].events_executed;
-      points[job_point[j]].runs.push_back(std::move(round[j]));
+      PointState& st = points[job_point[j]];
+      if (observer != nullptr) {
+        observer->sweep_probe()->replications->add();
+        observer->sweep_probe()->replication_wall->add(round[j].wall_seconds);
+        obs::ProbeEvent e;
+        e.kind = obs::ProbeKind::kReplication;
+        e.t = static_cast<f64>(st.runs.size());  // replication index within the point
+        e.actor = static_cast<i32>(job_point[j]);
+        e.a = st.runs.size();
+        e.value = round[j].wall_seconds;
+        observer->timeline().record(e);
+      }
+      st.runs.push_back(std::move(round[j]));
     }
 
     for (usize p = 0; p < n_points; ++p) {
@@ -299,6 +316,24 @@ FigureResult run_figure(const FigureSpec& spec, const ExperimentOptions& opts, u
       }
       st.decision = evaluate_stopping_rule(samples, spec.min_seeds, spec.max_seeds,
                                            spec.target_relative_ci);
+      if (observer != nullptr && !st.runs.empty()) {
+        // Convergence trajectory: the worst relative CI half-width across
+        // protocol cells, given everything this point has run so far.
+        f64 worst = 0.0;
+        for (usize k = 0; k < n_protocols; ++k) {
+          des::Tally tally;
+          for (const f64 v : samples[k]) tally.add(v);
+          worst = std::max(worst, des::relative_half_width(tally, 0.95));
+        }
+        observer->sweep_probe()->last_half_width->set(worst);
+        obs::ProbeEvent e;
+        e.kind = obs::ProbeKind::kConvergence;
+        e.t = static_cast<f64>(st.runs.size());
+        e.actor = static_cast<i32>(p);
+        e.a = st.runs.size();
+        e.value = worst;
+        observer->timeline().record(e);
+      }
       if (st.decision.target_met || st.dispatched >= spec.max_seeds) st.done = true;
     }
   }

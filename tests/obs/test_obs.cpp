@@ -1,0 +1,507 @@
+// Observability layer tests: metric registry semantics, the
+// branch-on-null zero-cost contract (no allocations, bit-identical trace
+// hashes across every queue kind), checkpoint-timeline content against
+// the per-protocol counters, and both exporters — including a golden
+// Chrome-trace file for a tiny deterministic run.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <new>
+#include <sstream>
+#include <string>
+
+#include "des/event.hpp"
+#include "des/rng.hpp"
+#include "mobichk.hpp"
+
+namespace {
+
+std::atomic<unsigned long long> g_allocs{0};
+
+}  // namespace
+
+// Count every heap allocation in the process; the zero-cost tests
+// difference this counter around their measured regions. GCC flags the
+// malloc-backed replacement pair as mismatched; the pairing is intended.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+namespace mobichk {
+namespace {
+
+unsigned long long allocs_now() { return g_allocs.load(std::memory_order_relaxed); }
+
+// ---------------------------------------------------------------------------
+// MetricRegistry semantics
+// ---------------------------------------------------------------------------
+
+TEST(Metrics, CounterGaugeBasics) {
+  obs::MetricRegistry reg;
+  obs::Counter& c = reg.counter("a.count");
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  obs::Gauge& g = reg.gauge("a.gauge");
+  g.set(2.5);
+  g.max_of(1.0);  // smaller: ignored
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.max_of(7.0);
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+}
+
+TEST(Metrics, RegistrationIsIdempotentByName) {
+  obs::MetricRegistry reg;
+  obs::Counter& c1 = reg.counter("x");
+  obs::Counter& c2 = reg.counter("x");
+  EXPECT_EQ(&c1, &c2);
+  EXPECT_EQ(reg.size(), 1u);
+  obs::FixedHistogram& h1 = reg.histogram("h", 0.0, 10.0, 5);
+  obs::FixedHistogram& h2 = reg.histogram("h", 0.0, 10.0, 5);
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(Metrics, KindAndShapeMismatchesThrow) {
+  obs::MetricRegistry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("x", 0.0, 1.0, 2), std::invalid_argument);
+  reg.histogram("h", 0.0, 10.0, 5);
+  EXPECT_THROW(reg.histogram("h", 0.0, 10.0, 6), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("h", 0.0, 20.0, 5), std::invalid_argument);
+}
+
+TEST(Metrics, FindDoesNotRegister) {
+  obs::MetricRegistry reg;
+  EXPECT_EQ(reg.find_counter("nope"), nullptr);
+  reg.counter("c");
+  EXPECT_NE(reg.find_counter("c"), nullptr);
+  EXPECT_EQ(reg.find_gauge("c"), nullptr);  // wrong kind
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(Metrics, HistogramBucketsAndQuantiles) {
+  obs::FixedHistogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(static_cast<f64>(i) + 0.5);
+  h.add(-1.0);  // underflow
+  h.add(99.0);  // overflow
+  EXPECT_EQ(h.count(), 12u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), -1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 99.0);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(3), 3.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(3), 4.0);
+  // Median of a uniform fill sits near the middle of the range.
+  EXPECT_NEAR(h.quantile(0.5), 5.0, 1.0);
+  EXPECT_LE(h.quantile(0.0), h.quantile(1.0));
+}
+
+TEST(Metrics, SnapshotKeepsRegistrationOrderAndExpandsHistograms) {
+  obs::MetricRegistry reg;
+  reg.counter("first").add(3);
+  reg.gauge("second").set(1.5);
+  reg.histogram("third", 0.0, 1.0, 4).add(0.25);
+  const std::vector<obs::MetricSample> snap = reg.snapshot();
+  ASSERT_GE(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "first");
+  EXPECT_DOUBLE_EQ(snap[0].value, 3.0);
+  EXPECT_EQ(snap[1].name, "second");
+  // The histogram flattens into several named scalars.
+  bool saw_count = false, saw_mean = false;
+  for (const obs::MetricSample& s : snap) {
+    if (s.name == "third.count") {
+      saw_count = true;
+      EXPECT_DOUBLE_EQ(s.value, 1.0);
+    }
+    if (s.name == "third.mean") {
+      saw_mean = true;
+      EXPECT_DOUBLE_EQ(s.value, 0.25);
+    }
+  }
+  EXPECT_TRUE(saw_count);
+  EXPECT_TRUE(saw_mean);
+}
+
+TEST(Metrics, ScopedTimerNullIsNoOpAndRealTimerRecords) {
+  obs::ScopedTimer noop(nullptr);
+  EXPECT_DOUBLE_EQ(noop.stop(), 0.0);
+  obs::FixedHistogram h(0.0, 1.0, 10);
+  {
+    obs::ScopedTimer t(&h);
+    const f64 elapsed = t.stop();
+    EXPECT_GE(elapsed, 0.0);
+    t.stop();  // idempotent: second stop records nothing
+  }
+  EXPECT_EQ(h.count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// The zero-cost contract
+// ---------------------------------------------------------------------------
+
+TEST(ObsZeroCost, MetricUpdatesAndReservedTimelineNeverAllocate) {
+  obs::MetricRegistry reg;
+  obs::Counter& c = reg.counter("hot.counter");
+  obs::Gauge& g = reg.gauge("hot.gauge");
+  obs::FixedHistogram& h = reg.histogram("hot.hist", 0.0, 1.0, 64);
+  obs::Timeline timeline(/*reserve_hint=*/2048);
+  obs::ProbeEvent e;
+  e.kind = obs::ProbeKind::kCheckpoint;
+
+  const unsigned long long before = allocs_now();
+  for (int i = 0; i < 100'000; ++i) {
+    c.add();
+    g.max_of(static_cast<f64>(i));
+    h.add(static_cast<f64>(i % 97) / 97.0);
+  }
+  for (int i = 0; i < 2'000; ++i) {
+    e.t = static_cast<f64>(i);
+    timeline.record(e);
+  }
+  EXPECT_EQ(allocs_now() - before, 0u);
+  EXPECT_EQ(c.value(), 100'000u);
+  EXPECT_EQ(timeline.size(), 2'000u);
+}
+
+namespace {
+
+struct ChurnTarget final : des::EventTarget {
+  des::Simulator* sim = nullptr;
+  des::RngStream* rng = nullptr;
+  u64 fired = 0;
+  u64 budget = 0;
+
+  void on_event(const des::EventPayload& p) override {
+    ++fired;
+    if (fired < budget) sim->schedule_after(rng->uniform01(), p);
+  }
+};
+
+/// Self-rescheduling typed churn; returns allocations inside run().
+unsigned long long churn_allocs(des::Simulator& sim, u64 events) {
+  des::RngStream rng(7, "obs-churn");
+  ChurnTarget target;
+  target.sim = &sim;
+  target.rng = &rng;
+  target.budget = events;
+  des::EventPayload tick;
+  tick.target = &target;
+  tick.kind = des::EventKind::kWorkloadOp;
+  for (int i = 0; i < 8; ++i) sim.schedule_after(rng.uniform01(), tick);
+  const unsigned long long before = allocs_now();
+  sim.run();
+  return allocs_now() - before;
+}
+
+}  // namespace
+
+TEST(ObsZeroCost, KernelProbeAddsNoAllocationsToTheHotPath) {
+  // Warm both simulators (queue capacity, slot table), then compare a
+  // probe-attached run against a bare one: the probe may not add a
+  // single allocation.
+  des::Simulator bare(des::QueueKind::kBinaryHeap);
+  churn_allocs(bare, 10'000);
+  const unsigned long long off = churn_allocs(bare, 50'000);
+
+  obs::RunObserver observer;
+  des::Simulator observed(des::QueueKind::kBinaryHeap);
+  observed.set_probe(observer.kernel_probe());
+  churn_allocs(observed, 10'000);
+  const unsigned long long on = churn_allocs(observed, 50'000);
+
+  EXPECT_EQ(off, 0u);
+  EXPECT_EQ(on, 0u);
+  // Each churn pops budget + 7 events (8 seeds, budget-1 reschedules).
+  EXPECT_EQ(observer.registry().find_counter("des.queue.pops")->value(), 60'014u);
+}
+
+TEST(ObsZeroCost, TraceHashIdenticalWithObserverOnEveryQueueKind) {
+  sim::SimConfig cfg;
+  cfg.sim_length = 2'000.0;
+  cfg.seed = 7;
+  for (const des::QueueKind kind : des::kAllQueueKinds) {
+    sim::ExperimentOptions opts;
+    opts.queue_kind = kind;
+    opts.collect_trace_hash = true;
+    const sim::RunResult off = sim::run_experiment(cfg, opts);
+    EXPECT_TRUE(off.metrics.empty());
+
+    obs::RunObserver observer;
+    opts.observer = &observer;
+    const sim::RunResult on = sim::run_experiment(cfg, opts);
+    EXPECT_EQ(on.trace_hash, off.trace_hash) << des::queue_kind_name(kind);
+    EXPECT_EQ(on.events_executed, off.events_executed) << des::queue_kind_name(kind);
+    EXPECT_FALSE(on.metrics.empty());
+    EXPECT_GT(observer.timeline().size(), 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Probe/timeline content against the run's own statistics
+// ---------------------------------------------------------------------------
+
+class ObservedRun : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    cfg_ = new sim::SimConfig();
+    cfg_->sim_length = 5'000.0;
+    cfg_->seed = 11;
+    observer_ = new obs::RunObserver();
+    sim::ExperimentOptions opts;
+    opts.observer = observer_;
+    result_ = new sim::RunResult(sim::run_experiment(*cfg_, opts));
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    delete observer_;
+    delete cfg_;
+    result_ = nullptr;
+    observer_ = nullptr;
+    cfg_ = nullptr;
+  }
+
+  static sim::SimConfig* cfg_;
+  static obs::RunObserver* observer_;
+  static sim::RunResult* result_;
+};
+
+sim::SimConfig* ObservedRun::cfg_ = nullptr;
+obs::RunObserver* ObservedRun::observer_ = nullptr;
+sim::RunResult* ObservedRun::result_ = nullptr;
+
+TEST_F(ObservedRun, KernelCountersReconcileWithTheRun) {
+  const obs::MetricRegistry& reg = observer_->registry();
+  EXPECT_EQ(reg.find_counter("des.queue.pops")->value(), result_->events_executed);
+  EXPECT_EQ(reg.find_counter("des.queue.pushes")->value(), result_->invariants.scheduled);
+  EXPECT_EQ(reg.find_counter("des.queue.cancels")->value(),
+            result_->invariants.cancels_effective);
+  EXPECT_DOUBLE_EQ(reg.find_gauge("des.queue.max_pending")->value(),
+                   static_cast<f64>(result_->invariants.max_pending));
+  // Per-kind dispatch counters partition the pop count.
+  u64 dispatched = 0;
+  for (const auto& entry : reg.entries()) {
+    if (entry.name.rfind("des.dispatch.", 0) == 0 && entry.counter != nullptr) {
+      dispatched += entry.counter->value();
+    }
+  }
+  EXPECT_EQ(dispatched, result_->events_executed);
+}
+
+TEST_F(ObservedRun, NetCountersReconcileWithNetworkStats) {
+  const obs::MetricRegistry& reg = observer_->registry();
+  EXPECT_EQ(reg.find_counter("net.mobility.handoffs")->value(), result_->net.handoffs);
+  EXPECT_EQ(reg.find_counter("net.mobility.disconnects")->value(), result_->net.disconnects);
+  EXPECT_EQ(reg.find_counter("net.mobility.reconnects")->value(), result_->net.reconnects);
+  EXPECT_EQ(reg.find_counter("net.leg.uplink")->value(), result_->net.app_sent);
+  EXPECT_EQ(reg.find_counter("net.bytes.piggyback")->value(), result_->net.piggyback_bytes);
+  const obs::FixedHistogram* lat = reg.find_histogram("net.delivery_latency_tu");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count(), result_->net.app_delivered);
+  EXPECT_NEAR(lat->mean(), result_->net.delivery_latency.mean(), 1e-9);
+}
+
+TEST_F(ObservedRun, CheckpointTimelineMatchesProtocolCounts) {
+  // Count timeline checkpoints per (slot, kind) and compare with the
+  // authoritative per-protocol statistics.
+  const usize slots = result_->protocols.size();
+  std::vector<u64> basic(slots, 0), forced(slots, 0), initial(slots, 0);
+  for (const obs::ProbeEvent& e : observer_->timeline().events()) {
+    if (e.kind != obs::ProbeKind::kCheckpoint) continue;
+    ASSERT_GE(e.track, 0);
+    ASSERT_LT(static_cast<usize>(e.track), slots);
+    ASSERT_GE(e.actor, 0);
+    ASSERT_LT(e.actor, static_cast<i32>(cfg_->network.n_hosts));
+    switch (e.ckpt_kind) {
+      case obs::CkptKind::kBasic: ++basic[static_cast<usize>(e.track)]; break;
+      case obs::CkptKind::kForced: ++forced[static_cast<usize>(e.track)]; break;
+      case obs::CkptKind::kInitial: ++initial[static_cast<usize>(e.track)]; break;
+    }
+  }
+  for (usize s = 0; s < slots; ++s) {
+    EXPECT_EQ(basic[s], result_->protocols[s].basic) << result_->protocols[s].name;
+    EXPECT_EQ(forced[s], result_->protocols[s].forced) << result_->protocols[s].name;
+    EXPECT_EQ(initial[s], result_->protocols[s].initial) << result_->protocols[s].name;
+  }
+}
+
+TEST_F(ObservedRun, ForcedCheckpointsCarryTheTriggeringRule) {
+  // Slot order is TP, BCS, QBC (the default protocol set).
+  ASSERT_EQ(result_->protocols[0].name, "TP");
+  ASSERT_EQ(result_->protocols[1].name, "BCS");
+  u64 tp_forced = 0, bcs_forced = 0;
+  for (const obs::ProbeEvent& e : observer_->timeline().events()) {
+    if (e.kind != obs::ProbeKind::kCheckpoint || e.ckpt_kind != obs::CkptKind::kForced) continue;
+    if (e.track == 0) {
+      ++tp_forced;
+      EXPECT_EQ(e.rule, obs::ForcedRule::kReceiveAfterSend);
+    } else if (e.track == 1) {
+      ++bcs_forced;
+      EXPECT_EQ(e.rule, obs::ForcedRule::kSnGreater);
+    }
+    EXPECT_GT(e.t, 0.0);  // forced checkpoints are triggered by traffic
+  }
+  EXPECT_EQ(tp_forced, result_->protocols[0].forced);
+  EXPECT_EQ(bcs_forced, result_->protocols[1].forced);
+  EXPECT_GT(tp_forced, 0u);
+  EXPECT_GT(bcs_forced, 0u);
+  EXPECT_STREQ(obs::forced_rule_name(obs::ForcedRule::kSnGreater), "m.sn > sn_i");
+  EXPECT_STREQ(obs::forced_rule_name(obs::ForcedRule::kReceiveAfterSend),
+               "first receive after send");
+}
+
+TEST_F(ObservedRun, HandoffTimelineMatchesNetworkStats) {
+  u64 handoffs = 0, disconnects = 0, reconnects = 0;
+  for (const obs::ProbeEvent& e : observer_->timeline().events()) {
+    if (e.kind == obs::ProbeKind::kHandoff) {
+      ++handoffs;
+      EXPECT_GE(e.track, 0);  // destination MSS
+      EXPECT_LT(e.track, static_cast<i32>(cfg_->network.n_mss));
+    }
+    if (e.kind == obs::ProbeKind::kDisconnect) ++disconnects;
+    if (e.kind == obs::ProbeKind::kReconnect) ++reconnects;
+  }
+  EXPECT_EQ(handoffs, result_->net.handoffs);
+  EXPECT_EQ(disconnects, result_->net.disconnects);
+  EXPECT_EQ(reconnects, result_->net.reconnects);
+}
+
+TEST_F(ObservedRun, RunResultMetricsAreTheRegistrySnapshot) {
+  const std::vector<obs::MetricSample> snap = observer_->registry().snapshot();
+  ASSERT_EQ(result_->metrics.size(), snap.size());
+  for (usize i = 0; i < snap.size(); ++i) {
+    EXPECT_EQ(result_->metrics[i].name, snap[i].name);
+    EXPECT_DOUBLE_EQ(result_->metrics[i].value, snap[i].value);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------------
+
+TEST_F(ObservedRun, JsonlExportParsesLineByLine) {
+  std::ostringstream os;
+  obs::write_metrics_jsonl(os, *observer_);
+  std::istringstream lines(os.str());
+  std::string line;
+  usize events = 0, metrics = 0;
+  bool saw_metric = false, saw_rule = false;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    const sim::JsonValue doc = sim::json_parse(line);
+    const std::string& type = doc.at("type").as_string();
+    if (type == "event") {
+      EXPECT_FALSE(saw_metric) << "event line after the metric block";
+      ++events;
+      if (doc.at("kind").as_string() == "checkpoint" &&
+          doc.at("ckpt").as_string() == "forced" && doc.at("protocol").as_string() == "BCS") {
+        EXPECT_EQ(doc.at("rule").as_string(), "m.sn > sn_i");
+        saw_rule = true;
+      }
+    } else {
+      ASSERT_EQ(type, "metric");
+      saw_metric = true;
+      ++metrics;
+      EXPECT_FALSE(doc.at("name").as_string().empty());
+    }
+  }
+  EXPECT_EQ(events, observer_->timeline().size());
+  EXPECT_EQ(metrics, observer_->registry().snapshot().size());
+  EXPECT_TRUE(saw_rule);
+}
+
+TEST_F(ObservedRun, ChromeTraceIsValidJsonWithPerHostCheckpointInstants) {
+  std::ostringstream os;
+  obs::write_chrome_trace(os, *observer_);
+  const sim::JsonValue doc = sim::json_parse(os.str());
+  EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ms");
+  const auto& events = doc.at("traceEvents").as_array();
+  ASSERT_FALSE(events.empty());
+
+  usize metadata = 0, forced = 0, basic = 0;
+  for (const sim::JsonValue& e : events) {
+    const std::string& ph = e.at("ph").as_string();
+    if (ph == "M") {
+      ++metadata;
+      continue;
+    }
+    ASSERT_EQ(ph, "i");
+    EXPECT_EQ(e.at("s").as_string(), "t");
+    const std::string& name = e.at("name").as_string();
+    if (name == "forced checkpoint") {
+      ++forced;
+      // pid = slot + 1, tid = host; args carry sn and the rule.
+      EXPECT_GE(e.at("pid").as_u64(), 1u);
+      EXPECT_LT(e.at("tid").as_u64(), u64{cfg_->network.n_hosts});
+      EXPECT_NE(e.at("args").at("rule").as_string(), "none");
+      (void)e.at("args").at("sn").as_u64();
+    } else if (name == "basic checkpoint") {
+      ++basic;
+      EXPECT_EQ(e.at("args").at("rule").as_string(), "none");
+    }
+  }
+  // process/thread metadata: pid 0 (network) + one per protocol, each
+  // with one thread row per host.
+  const usize expected_meta =
+      (1 + result_->protocols.size()) * (1 + cfg_->network.n_hosts);
+  EXPECT_EQ(metadata, expected_meta);
+  EXPECT_GT(forced, 0u);
+  EXPECT_GT(basic, 0u);
+  // The trailing metrics block mirrors the registry.
+  EXPECT_EQ(doc.at("metrics").object.size(), observer_->registry().snapshot().size());
+}
+
+#ifndef MOBICHK_TEST_DATA_DIR
+#error "MOBICHK_TEST_DATA_DIR must point at tests/obs"
+#endif
+
+TEST(ObsGolden, ChromeTraceOfTinyRunMatchesCommittedFile) {
+  // A deliberately tiny deterministic run: any change to the exporter
+  // format, the probe wiring or the simulation itself moves this golden.
+  sim::SimConfig cfg;
+  cfg.network.n_hosts = 4;
+  cfg.network.n_mss = 2;
+  cfg.sim_length = 300.0;
+  cfg.t_switch = 50.0;
+  cfg.p_switch = 0.8;
+  cfg.seed = 3;
+  obs::RunObserver observer;
+  sim::ExperimentOptions opts;
+  opts.observer = &observer;
+  (void)sim::run_experiment(cfg, opts);
+  std::ostringstream got;
+  obs::write_chrome_trace(got, observer);
+
+  const std::string path = std::string(MOBICHK_TEST_DATA_DIR) + "/golden_chrome_trace.json";
+  std::ifstream file(path);
+  if (!file) {
+    std::ofstream regen(path);
+    regen << got.str();
+    FAIL() << "golden file was missing; regenerated " << path << " — inspect and commit it";
+  }
+  std::ostringstream want;
+  want << file.rdbuf();
+  EXPECT_EQ(got.str(), want.str())
+      << "chrome-trace output changed; delete " << path << " and re-run to regenerate";
+}
+
+}  // namespace
+}  // namespace mobichk

@@ -282,6 +282,108 @@ TEST(JsonRoundTrip, ExperimentOptionsAllFields) {
   EXPECT_EQ(back.collect_trace_hash, opts.collect_trace_hash);
 }
 
+TEST(JsonParse, ExactU64AboveDoublePrecision) {
+  // Trace hashes are full-width u64s; 0xd165928ffbf08bb4 > 2^53, so a
+  // parse that squeezes numbers through a double corrupts the low bits.
+  const u64 hash = 0xd165928ffbf08bb4ull;
+  std::ostringstream os;
+  JsonWriter w(os, /*pretty=*/false);
+  w.begin_object().field("trace_hash", hash).end_object();
+  const JsonValue doc = json_parse(os.str());
+  EXPECT_EQ(doc.at("trace_hash").as_u64(), hash);
+  EXPECT_EQ(json_parse("18446744073709551615").as_u64(), ~u64{0});  // u64 max
+  EXPECT_THROW(json_parse("18446744073709551616").as_u64(), std::invalid_argument);
+  // Scientific / fractional integers still work through the f64 path.
+  EXPECT_EQ(json_parse("1e3").as_u64(), 1000u);
+}
+
+TEST(JsonRoundTrip, RunResultThroughParserIsByteIdentical) {
+  SimConfig cfg;
+  cfg.sim_length = 2'000.0;
+  cfg.seed = 13;
+  ExperimentOptions opts;
+  opts.collect_trace_hash = true;
+  obs::RunObserver observer;
+  opts.observer = &observer;
+  const RunResult r = run_experiment(cfg, opts);
+  ASSERT_FALSE(r.metrics.empty());
+
+  std::ostringstream first;
+  write_json(first, r);
+  const RunResult back = run_result_from_json(json_parse(first.str()));
+  std::ostringstream second;
+  write_json(second, back);
+  EXPECT_EQ(first.str(), second.str());
+
+  // Spot-check the recovered struct, not just the re-serialization.
+  EXPECT_EQ(back.trace_hash, r.trace_hash);
+  EXPECT_EQ(back.events_executed, r.events_executed);
+  EXPECT_EQ(back.cfg.seed, r.cfg.seed);
+  EXPECT_EQ(back.net.handoffs, r.net.handoffs);
+  ASSERT_EQ(back.protocols.size(), r.protocols.size());
+  EXPECT_EQ(back.protocols[0].name, r.protocols[0].name);
+  EXPECT_EQ(back.protocols[0].kind, r.protocols[0].kind);
+  EXPECT_EQ(back.protocols[0].n_tot, r.protocols[0].n_tot);
+  EXPECT_EQ(back.invariants.cancels_effective, r.invariants.cancels_effective);
+  EXPECT_EQ(back.invariants.cancels_noop(), r.invariants.cancels_noop());
+  ASSERT_EQ(back.metrics.size(), r.metrics.size());
+  EXPECT_EQ(back.metrics[0].name, r.metrics[0].name);
+  EXPECT_DOUBLE_EQ(back.metrics[0].value, r.metrics[0].value);
+}
+
+TEST(JsonRoundTrip, RunResultWithoutObserverHasNoMetricsSection) {
+  SimConfig cfg;
+  cfg.sim_length = 1'000.0;
+  const RunResult r = run_experiment(cfg);
+  std::ostringstream os;
+  write_json(os, r);
+  EXPECT_EQ(os.str().find("\"metrics\""), std::string::npos);
+  const RunResult back = run_result_from_json(json_parse(os.str()));
+  EXPECT_TRUE(back.metrics.empty());
+  std::ostringstream again;
+  write_json(again, back);
+  EXPECT_EQ(os.str(), again.str());
+}
+
+TEST(JsonRoundTrip, SweepLedgerAllFields) {
+  SweepLedger ledger;
+  ledger.wall_seconds = 1.5;
+  ledger.events_executed = 123'456;
+  ledger.replications_run = 42;
+  ledger.replications_used = 40;
+  ledger.replication_cap = 112;
+
+  std::ostringstream os;
+  write_json(os, ledger);
+  const SweepLedger back = sweep_ledger_from_json(json_parse(os.str()));
+  EXPECT_DOUBLE_EQ(back.wall_seconds, ledger.wall_seconds);
+  EXPECT_EQ(back.events_executed, ledger.events_executed);
+  EXPECT_EQ(back.replications_run, ledger.replications_run);
+  EXPECT_EQ(back.replications_used, ledger.replications_used);
+  EXPECT_EQ(back.replication_cap, ledger.replication_cap);
+  EXPECT_DOUBLE_EQ(back.events_per_second(), ledger.events_per_second());
+  std::ostringstream again;
+  write_json(again, back);
+  EXPECT_EQ(os.str(), again.str());
+}
+
+TEST(JsonRoundTrip, SweepLedgerFromFigureResultDocument) {
+  FigureSpec spec;
+  spec.title = "ledger-rt";
+  spec.base.sim_length = 2'000.0;
+  spec.t_switch_values = {500.0};
+  spec.min_seeds = 2;
+  spec.max_seeds = 2;
+  const FigureResult result = run_figure(spec);
+  std::ostringstream os;
+  write_json(os, result);
+  const SweepLedger back = sweep_ledger_from_json(json_parse(os.str()).at("ledger"));
+  EXPECT_EQ(back.replications_run, result.ledger.replications_run);
+  EXPECT_EQ(back.replications_used, result.ledger.replications_used);
+  EXPECT_EQ(back.replication_cap, result.ledger.replication_cap);
+  EXPECT_EQ(back.events_executed, result.ledger.events_executed);
+}
+
 TEST(JsonRoundTrip, RejectsUnknownEnumNames) {
   EXPECT_THROW(figure_spec_from_json(json_parse(R"({"base": {"mobility_model": "warp"}})")),
                std::invalid_argument);

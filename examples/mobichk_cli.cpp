@@ -6,6 +6,12 @@
 //   mobichk_cli figure  [flags]   a T_switch sweep (any figure's config)
 //   mobichk_cli recover [flags]   failure injection + recovery-time report
 //   mobichk_cli trace   [flags]   dump the run's event trace (--out file)
+//   mobichk_cli explain [flags]   re-run observed and explain causality:
+//                                 --ckpt <proto>:<host>:<idx> prints the
+//                                 send/forced-checkpoint chain behind a
+//                                 checkpoint, --msg <id> a message's story,
+//                                 --dot <path|-> the checkpoint-interval
+//                                 graph with the recovery line highlighted
 //   mobichk_cli audit   [flags]   differential determinism audit: the same
 //                                 config under every event-queue kind must
 //                                 give identical trace hashes and N_tot
@@ -104,6 +110,17 @@ sim::FlagSet make_flags(const std::string& cmd) {
     fs.add("out", sim::FlagType::kString, "", "write the full trace to <path>");
     return fs;
   }
+  if (cmd == "explain") {
+    sim::FlagSet fs("mobichk_cli explain [flags]");
+    add_config_flags(fs);
+    fs.add("ckpt", sim::FlagType::kString, "",
+           "checkpoint to explain, as <proto>:<host>:<ordinal> (e.g. BCS:0:3)")
+        .add("msg", sim::FlagType::kUInt, "0", "message id whose causal story to print")
+        .add("depth", sim::FlagType::kUInt, "16", "maximum causal-chain links to follow")
+        .add("dot", sim::FlagType::kString, "",
+             "write the checkpoint-interval graph as Graphviz DOT to <path> (- = stdout)");
+    return fs;
+  }
   // audit
   sim::FlagSet fs("mobichk_cli audit [flags]");
   add_config_flags(fs);
@@ -163,8 +180,10 @@ int cmd_run(const sim::ArgParser& args) {
   obs::RunObserver observer;
   if (!metrics_path.empty() || !trace_path.empty()) opts.observer = &observer;
   const sim::RunResult r = sim::run_experiment(config_from(args), opts);
-  if (!metrics_path.empty() && !obs::write_metrics_jsonl(metrics_path, observer)) return 1;
-  if (!trace_path.empty() && !obs::write_chrome_trace(trace_path, observer)) return 1;
+  // The exporters throw (naming path + errno) on any open/write failure;
+  // main()'s catch turns that into an error message and exit 1.
+  if (!metrics_path.empty()) obs::write_metrics_jsonl(metrics_path, observer);
+  if (!trace_path.empty()) obs::write_chrome_trace(trace_path, observer);
   if (args.get_flag("json")) {
     sim::write_json(std::cout, r);
     return 0;
@@ -229,6 +248,91 @@ int cmd_recover(const sim::ArgParser& args) {
   return 0;
 }
 
+int cmd_explain(const sim::ArgParser& args) {
+  const std::string ckpt_spec = args.get_string("ckpt", "");
+  const u64 msg_id = args.get_u64("msg", 0);
+  const std::string dot_path = args.get_string("dot", "");
+  if (ckpt_spec.empty() && msg_id == 0 && dot_path.empty()) {
+    std::fprintf(stderr, "explain: nothing to explain — pass --ckpt, --msg, and/or --dot\n");
+    return 2;
+  }
+  sim::ExperimentOptions opts;
+  opts.protocols = protocols_from(args);
+  obs::RunObserver observer;
+  opts.observer = &observer;
+  sim::Experiment exp(config_from(args), opts);
+  exp.run();
+  const std::vector<std::string>& names = observer.protocol_names();
+
+  if (msg_id != 0) {
+    sim::print_message_story(std::cout, observer.timeline(), names, msg_id);
+  }
+  bool have_target = false;
+  sim::CkptTarget target;
+  if (!ckpt_spec.empty()) {
+    target = sim::parse_ckpt_target(ckpt_spec, names);
+    have_target = true;
+    sim::print_checkpoint_chain(std::cout, observer.timeline(), names,
+                                static_cast<i32>(target.slot), static_cast<i32>(target.host),
+                                target.ordinal, args.get_u64("depth", 16));
+  }
+  if (!dot_path.empty()) {
+    const usize slot = have_target ? target.slot : 0;
+    const core::CheckpointLog& log = exp.log(slot);
+    const std::vector<u64> current = exp.harness().current_positions();
+    const core::ProtocolKind kind = exp.kind(slot);
+    core::GlobalCheckpoint line;
+    bool have_line = false;
+    std::string line_desc;
+    if (kind == core::ProtocolKind::kTp) {
+      // Anchor: the named checkpoint, else the newest checkpoint of the run.
+      const core::CheckpointRecord* anchor = nullptr;
+      if (have_target) {
+        anchor = log.by_ordinal(target.host, target.ordinal);
+      } else {
+        for (net::HostId h = 0; h < log.n_hosts(); ++h) {
+          const auto& records = log.of(h);
+          if (!records.empty() && (anchor == nullptr || records.back().time > anchor->time)) {
+            anchor = &records.back();
+          }
+        }
+      }
+      if (anchor != nullptr) {
+        line = core::tp_recovery_line(log, *anchor, current);
+        have_line = true;
+        line_desc = "TP line anchored at C" + std::to_string(anchor->host) + "," +
+                    std::to_string(anchor->ordinal);
+      }
+    } else if (kind != core::ProtocolKind::kBasicOnly &&
+               kind != core::ProtocolKind::kUncoordinated) {
+      u64 index = log.max_sn();
+      if (have_target) {
+        const core::CheckpointRecord* rec = log.by_ordinal(target.host, target.ordinal);
+        if (rec != nullptr) index = rec->sn;
+      }
+      line = core::index_recovery_line(log, index, core::recovery_rule_for(kind), current);
+      have_line = true;
+      line_desc = "recovery line M=" + std::to_string(index);
+    }
+    std::string title = names.at(slot) + " checkpoint-interval graph";
+    if (have_line) title += " — " + line_desc;
+    if (dot_path == "-") {
+      sim::write_interval_dot(std::cout, log, exp.harness().message_log(),
+                              have_line ? &line : nullptr, title);
+    } else {
+      std::ofstream os(dot_path);
+      if (!os.is_open()) {
+        std::fprintf(stderr, "explain: cannot open %s for writing\n", dot_path.c_str());
+        return 1;
+      }
+      sim::write_interval_dot(os, log, exp.harness().message_log(), have_line ? &line : nullptr,
+                              title);
+      std::printf("wrote %s\n", dot_path.c_str());
+    }
+  }
+  return 0;
+}
+
 int cmd_trace(const sim::ArgParser& args) {
   sim::SimConfig cfg = config_from(args);
   // Collect the full trace with a vector sink wired through the stack.
@@ -274,14 +378,15 @@ int cmd_trace(const sim::ArgParser& args) {
 
 int main(int argc, char** argv) {
   static const char* kUsage =
-      "usage: mobichk_cli <run|figure|recover|trace|audit> [--flags]\n"
+      "usage: mobichk_cli <run|figure|recover|trace|explain|audit> [--flags]\n"
       "       mobichk_cli <command> --help    for the command's flag list\n";
   if (argc < 2 || std::strcmp(argv[1], "--help") == 0) {
     std::fputs(kUsage, argc < 2 ? stderr : stdout);
     return argc < 2 ? 2 : 0;
   }
   const std::string cmd = argv[1];
-  if (cmd != "run" && cmd != "figure" && cmd != "recover" && cmd != "trace" && cmd != "audit") {
+  if (cmd != "run" && cmd != "figure" && cmd != "recover" && cmd != "trace" && cmd != "explain" &&
+      cmd != "audit") {
     std::fprintf(stderr, "unknown command: %s\n%s", cmd.c_str(), kUsage);
     return 2;
   }
@@ -296,6 +401,7 @@ int main(int argc, char** argv) {
     if (cmd == "figure") return cmd_figure(args);
     if (cmd == "recover") return cmd_recover(args);
     if (cmd == "trace") return cmd_trace(args);
+    if (cmd == "explain") return cmd_explain(args);
     return cmd_audit(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

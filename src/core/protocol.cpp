@@ -20,8 +20,9 @@ void CheckpointProtocol::handle_reconnect(const net::MobileHost&, net::MssId) {}
 
 const CheckpointRecord& CheckpointProtocol::take_checkpoint(const net::MobileHost& host,
                                                             CheckpointKind kind, u64 sn,
-                                                            obs::ForcedRule rule) {
-  return take_checkpoint(host, kind, sn, {}, {}, false, rule);
+                                                            obs::ForcedRule rule,
+                                                            net::MsgId trigger_msg) {
+  return take_checkpoint(host, kind, sn, {}, {}, false, rule, trigger_msg);
 }
 
 const CheckpointRecord& CheckpointProtocol::take_checkpoint(const net::MobileHost& host,
@@ -29,7 +30,8 @@ const CheckpointRecord& CheckpointProtocol::take_checkpoint(const net::MobileHos
                                                             std::vector<u32> dep_ckpt,
                                                             std::vector<u32> dep_loc,
                                                             bool replaced,
-                                                            obs::ForcedRule rule) {
+                                                            obs::ForcedRule rule,
+                                                            net::MsgId trigger_msg) {
   CheckpointRecord rec;
   rec.host = host.id();
   rec.sn = sn;
@@ -59,6 +61,7 @@ const CheckpointRecord& CheckpointProtocol::take_checkpoint(const net::MobileHos
     e.actor = static_cast<i32>(host.id());
     e.track = ctx_.slot;
     e.a = sn;
+    e.b = trigger_msg;
     ctx_.timeline->record(e);
   }
   return stored;

@@ -9,12 +9,12 @@ net::Piggyback BcsProtocol::make_piggyback(const net::MobileHost& host) {
   return pb;
 }
 
-void BcsProtocol::handle_receive(const net::MobileHost& host, const net::AppMessage&,
+void BcsProtocol::handle_receive(const net::MobileHost& host, const net::AppMessage& msg,
                                  const net::Piggyback& pb) {
   u64& sn = sn_.at(host.id());
   if (pb.sn > sn) {
     sn = pb.sn;
-    take_checkpoint(host, CheckpointKind::kForced, sn, obs::ForcedRule::kSnGreater);
+    take_checkpoint(host, CheckpointKind::kForced, sn, obs::ForcedRule::kSnGreater, msg.id);
   }
 }
 

@@ -53,17 +53,26 @@ void CoordinatedProtocol::marker_arrive(net::HostId host_id, u64 round) {
     if (round > round_.at(host_id)) {
       round_.at(host_id) = round;
       ctx_.log->promote_sn(host_id, round);
+      if (ctx_.timeline != nullptr) {
+        obs::ProbeEvent e;
+        e.t = ctx_.sim->now();
+        e.kind = obs::ProbeKind::kSnPromote;
+        e.actor = static_cast<i32>(host_id);
+        e.track = ctx_.slot;
+        e.a = round;
+        ctx_.timeline->record(e);
+      }
     }
     return;
   }
   join_round(host, round);
 }
 
-void CoordinatedProtocol::join_round(const net::MobileHost& host, u64 round) {
+void CoordinatedProtocol::join_round(const net::MobileHost& host, u64 round, net::MsgId trigger) {
   u64& r = round_.at(host.id());
   if (round <= r) return;
   r = round;
-  take_checkpoint(host, CheckpointKind::kForced, r, obs::ForcedRule::kMarker);
+  take_checkpoint(host, CheckpointKind::kForced, r, obs::ForcedRule::kMarker, trigger);
 }
 
 net::Piggyback CoordinatedProtocol::make_piggyback(const net::MobileHost& host) {
@@ -73,12 +82,12 @@ net::Piggyback CoordinatedProtocol::make_piggyback(const net::MobileHost& host) 
   return pb;
 }
 
-void CoordinatedProtocol::handle_receive(const net::MobileHost& host, const net::AppMessage&,
+void CoordinatedProtocol::handle_receive(const net::MobileHost& host, const net::AppMessage& msg,
                                          const net::Piggyback& pb) {
   // Round numbers on application messages keep rounds consistent without
   // FIFO channels: checkpoint before processing a message from a newer
   // round.
-  join_round(host, pb.sn);
+  join_round(host, pb.sn, msg.id);
 }
 
 void CoordinatedProtocol::handle_cell_switch(const net::MobileHost& host, net::MssId, net::MssId) {

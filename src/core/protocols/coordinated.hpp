@@ -61,7 +61,7 @@ class CoordinatedProtocol final : public CheckpointProtocol, public des::EventTa
 
   void initiate_round();
   void marker_arrive(net::HostId host_id, u64 round);
-  void join_round(const net::MobileHost& host, u64 round);
+  void join_round(const net::MobileHost& host, u64 round, net::MsgId trigger = 0);
 
   f64 interval_;
   f64 marker_latency_;

@@ -9,13 +9,13 @@ net::Piggyback LazyBcsProtocol::make_piggyback(const net::MobileHost& host) {
   return pb;
 }
 
-void LazyBcsProtocol::handle_receive(const net::MobileHost& host, const net::AppMessage&,
+void LazyBcsProtocol::handle_receive(const net::MobileHost& host, const net::AppMessage& msg,
                                      const net::Piggyback& pb) {
   HostState& hs = per_host_.at(host.id());
   if (pb.sn > hs.sn) {
     hs.sn = pb.sn;
     hs.basics_since_increment = 0;  // a fresh index level just started here
-    take_checkpoint(host, CheckpointKind::kForced, hs.sn, obs::ForcedRule::kSnGreater);
+    take_checkpoint(host, CheckpointKind::kForced, hs.sn, obs::ForcedRule::kSnGreater, msg.id);
   }
 }
 

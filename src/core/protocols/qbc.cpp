@@ -11,13 +11,13 @@ net::Piggyback QbcProtocol::make_piggyback(const net::MobileHost& host) {
   return pb;
 }
 
-void QbcProtocol::handle_receive(const net::MobileHost& host, const net::AppMessage&,
+void QbcProtocol::handle_receive(const net::MobileHost& host, const net::AppMessage& msg,
                                  const net::Piggyback& pb) {
   HostState& hs = per_host_.at(host.id());
   hs.rn = std::max<i64>(static_cast<i64>(pb.sn), hs.rn);
   if (pb.sn > hs.sn) {
     hs.sn = pb.sn;
-    take_checkpoint(host, CheckpointKind::kForced, hs.sn, obs::ForcedRule::kSnGreater);
+    take_checkpoint(host, CheckpointKind::kForced, hs.sn, obs::ForcedRule::kSnGreater, msg.id);
   }
 }
 

@@ -18,7 +18,7 @@ void TpProtocol::host_init(const net::MobileHost& host) {
   checkpoint(host, CheckpointKind::kInitial);
 }
 
-void TpProtocol::checkpoint(const net::MobileHost& host, CheckpointKind kind) {
+void TpProtocol::checkpoint(const net::MobileHost& host, CheckpointKind kind, net::MsgId trigger) {
   HostState& hs = per_host_.at(host.id());
   std::vector<u32> dep = hs.ckpt_req;
   dep[host.id()] = static_cast<u32>(hs.ckpt_count);  // anchor ordinal
@@ -26,7 +26,8 @@ void TpProtocol::checkpoint(const net::MobileHost& host, CheckpointKind kind) {
   const obs::ForcedRule rule = kind == CheckpointKind::kForced
                                    ? obs::ForcedRule::kReceiveAfterSend
                                    : obs::ForcedRule::kNone;
-  take_checkpoint(host, kind, hs.ckpt_count, std::move(dep), hs.loc, /*replaced=*/false, rule);
+  take_checkpoint(host, kind, hs.ckpt_count, std::move(dep), hs.loc, /*replaced=*/false, rule,
+                  trigger);
   ++hs.ckpt_count;
   // A fresh interval has no sends yet; phase returns to RECV (Russell's
   // discipline: forced checkpoints are needed only for receives that
@@ -47,11 +48,11 @@ net::Piggyback TpProtocol::make_piggyback(const net::MobileHost& host) {
   return pb;
 }
 
-void TpProtocol::handle_receive(const net::MobileHost& host, const net::AppMessage&,
+void TpProtocol::handle_receive(const net::MobileHost& host, const net::AppMessage& msg,
                                 const net::Piggyback& pb) {
   HostState& hs = per_host_.at(host.id());
   if (hs.phase_send) {
-    checkpoint(host, CheckpointKind::kForced);
+    checkpoint(host, CheckpointKind::kForced, msg.id);
   }
   // Merge transitive dependencies after checkpointing, so the forced
   // checkpoint excludes this message.

@@ -54,7 +54,7 @@ class TpProtocol final : public CheckpointProtocol {
   };
 
   void basic_checkpoint(const net::MobileHost& host);
-  void checkpoint(const net::MobileHost& host, CheckpointKind kind);
+  void checkpoint(const net::MobileHost& host, CheckpointKind kind, net::MsgId trigger = 0);
 
   std::vector<HostState> per_host_;
 };

@@ -14,6 +14,8 @@
 //   core::rollback_to_consistent, gc        recovery lines + garbage collection
 //   obs::MetricRegistry, RunObserver        counters/gauges/histograms + the
 //   obs::write_metrics_jsonl/chrome_trace   checkpoint timeline exporters
+//   obs::RecoveryLineTracker, CausalMonitor online recovery-line tracking
+//   sim::print_checkpoint_chain, --dot      run explainer (causal chains)
 //   sim::SimConfig, Experiment, RunResult   one end-to-end run
 //   sim::FigureSpec, run_figure             adaptive-precision sweeps
 //   sim::audit_determinism                  cross-queue determinism audit
@@ -29,6 +31,7 @@
 #include "des/simulator.hpp"
 #include "des/trace_io.hpp"
 #include "net/network.hpp"
+#include "obs/causal.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/observer.hpp"
@@ -37,6 +40,7 @@
 #include "sim/cli.hpp"
 #include "sim/config.hpp"
 #include "sim/experiment.hpp"
+#include "sim/explain.hpp"
 #include "sim/mobility.hpp"
 #include "sim/report.hpp"
 #include "sim/sweep.hpp"

@@ -16,4 +16,8 @@ using MssId = u32;
 /// Sentinel: "not attached to any MSS".
 inline constexpr MssId kNoMss = std::numeric_limits<MssId>::max();
 
+/// Identifies an application message; dense, 1-based (0 = "no message",
+/// used by the observability layer for "not triggered by a message").
+using MsgId = u64;
+
 }  // namespace mobichk::net

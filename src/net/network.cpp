@@ -163,6 +163,7 @@ void Network::send_app_message(HostId src, HostId dst, u32 payload_bytes) {
   // excludes the send. The send event then takes the next position.
   handler_->on_send(s, msg);
   msg.send_pos = s.advance_pos();
+  observe_message(obs::ProbeKind::kSend, msg, src, dst);
 
   trace(des::TraceKind::kSend, src, msg.id, dst);
   ++stats_.app_sent;
@@ -254,6 +255,9 @@ bool Network::consume_one(HostId host_id) {
   // message being processed (no orphan by construction).
   handler_->on_receive(h, msg);
   h.advance_pos();
+  // After on_receive: any forced-checkpoint probe event precedes the
+  // deliver event, so online trackers see the cut the protocol built.
+  observe_message(obs::ProbeKind::kDeliver, msg, host_id, msg.src);
   trace(des::TraceKind::kReceive, host_id, msg.id, msg.src);
   ++stats_.app_received;
   return true;

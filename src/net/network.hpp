@@ -189,6 +189,21 @@ class Network final : public des::EventTarget {
   void deliver_to_host(MssId from_mss, AppMessage msg, bool is_duplicate);
   void trace(des::TraceKind kind, u32 actor, u64 a = 0, u64 b = 0);
 
+  /// Records a message-flow marker (kSend/kDeliver) on the timeline.
+  /// `actor` is the host where the event happens, `peer` the other end;
+  /// the piggybacked sn is the wire value (slot 0's protocol).
+  void observe_message(obs::ProbeKind kind, const AppMessage& msg, HostId actor, HostId peer) {
+    if (timeline_ == nullptr) return;
+    obs::ProbeEvent e;
+    e.t = sim_.now();
+    e.kind = kind;
+    e.actor = static_cast<i32>(actor);
+    e.track = static_cast<i32>(peer);
+    e.a = msg.id;
+    e.b = msg.pb.has_sn ? msg.pb.sn : 0;
+    timeline_->record(e);
+  }
+
   /// Records a mobility marker on the timeline (handoff / (dis)connect).
   void observe_mobility(obs::ProbeKind kind, HostId host, i32 track) {
     if (timeline_ == nullptr) return;

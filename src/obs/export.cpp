@@ -1,11 +1,15 @@
 #include "obs/export.hpp"
 
+#include <cerrno>
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
-#include <iostream>
 #include <ostream>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
 
 namespace mobichk::obs {
 namespace {
@@ -89,6 +93,7 @@ void write_metrics_jsonl(std::ostream& os, const RunObserver& run) {
       os << ",\"rule\":";
       emit_string(os, forced_rule_name(e.rule));
       os << ",\"replaced\":" << (e.replaced ? "true" : "false") << ",\"sn\":" << e.a;
+      if (e.b != 0) os << ",\"msg\":" << e.b;
     } else if (e.kind == ProbeKind::kHandoff) {
       os << ",\"host\":" << e.actor << ",\"mss\":" << e.track;
     } else if (e.kind == ProbeKind::kDisconnect || e.kind == ProbeKind::kReconnect) {
@@ -99,6 +104,16 @@ void write_metrics_jsonl(std::ostream& os, const RunObserver& run) {
     } else if (e.kind == ProbeKind::kConvergence) {
       os << ",\"point\":" << e.actor << ",\"replications\":" << e.a << ",\"half_width\":";
       emit_number(os, e.value);
+    } else if (e.kind == ProbeKind::kSend) {
+      os << ",\"src\":" << e.actor << ",\"dst\":" << e.track << ",\"msg\":" << e.a
+         << ",\"sn\":" << e.b;
+    } else if (e.kind == ProbeKind::kDeliver) {
+      os << ",\"host\":" << e.actor << ",\"src\":" << e.track << ",\"msg\":" << e.a
+         << ",\"sn\":" << e.b;
+    } else if (e.kind == ProbeKind::kSnPromote) {
+      os << ",\"host\":" << e.actor << ",\"slot\":" << e.track << ",\"protocol\":";
+      emit_string(os, protocol_label(run, e.track));
+      os << ",\"sn\":" << e.a;
     }
     os << "}\n";
   }
@@ -132,24 +147,116 @@ void write_chrome_trace(std::ostream& os, const RunObserver& run) {
     }
   }
 
+  // Flow-event prescan: a send emits a flow-start ("s") only for arrows
+  // that will terminate ("f") later in the file — the delivery arrow when
+  // the message is consumed, and one forced-checkpoint arrow per protocol
+  // slot whose forced checkpoint names this message as its trigger.
+  // Flow ids partition a message id into kFlowStride lanes: lane 0 is the
+  // send->deliver arrow, lane 1+slot the send->forced-checkpoint arrow.
+  std::unordered_set<u64> delivered;
+  std::unordered_map<u64, u64> forced_slots;  // msg id -> slot bitmask
+  for (const ProbeEvent& e : run.timeline().events()) {
+    if (e.kind == ProbeKind::kDeliver) {
+      delivered.insert(e.a);
+    } else if (e.kind == ProbeKind::kCheckpoint && e.ckpt_kind == CkptKind::kForced &&
+               e.b != 0 && e.track >= 0 && e.track < 62) {
+      forced_slots[e.b] |= u64{1} << e.track;
+    }
+  }
+  constexpr u64 kFlowStride = 64;
+  constexpr f64 kSliceDurUs = 100.0;  // 0.1 tu: wide enough to click on
+  std::unordered_set<u64> flow_open;    // flow ids whose "s" was emitted
+  std::unordered_set<u64> flow_closed;  // flow ids whose "f" was emitted
+
+  const auto begin_event = [&os, &first] {
+    if (!first) os << ",\n";
+    first = false;
+    os << "  ";
+  };
+  // A flow start/finish binds to the slice with the same pid/tid/ts.
+  const auto emit_flow = [&](char ph, const char* cat, u64 id, f64 t, i32 pid, i32 tid) {
+    begin_event();
+    os << "{\"ph\":\"" << ph << "\",\"cat\":\"" << cat << "\",\"name\":\"" << cat
+       << " flow\",\"id\":" << id << ",\"ts\":";
+    emit_ts(os, t);
+    os << ",\"pid\":" << pid << ",\"tid\":" << tid;
+    if (ph == 'f') os << ",\"bp\":\"e\"";
+    os << "}";
+  };
+
   for (const ProbeEvent& e : run.timeline().events()) {
     if (e.kind == ProbeKind::kReplication || e.kind == ProbeKind::kConvergence) {
       continue;  // sweep-level entries have no place on a per-run trace
     }
-    if (!first) os << ",\n";
-    first = false;
     if (e.kind == ProbeKind::kCheckpoint) {
-      os << "  {\"name\":";
+      const bool has_flow = e.ckpt_kind == CkptKind::kForced && e.b != 0;
+      begin_event();
+      os << "{\"name\":";
       emit_string(os, ckpt_event_name(e));
-      os << ",\"ph\":\"i\",\"s\":\"t\",\"ts\":";
+      // Forced checkpoints with a triggering message become slices so a
+      // flow arrow can land on them; the rest stay instants.
+      if (has_flow) {
+        os << ",\"ph\":\"X\",\"dur\":";
+        emit_number(os, kSliceDurUs);
+      } else {
+        os << ",\"ph\":\"i\",\"s\":\"t\"";
+      }
+      os << ",\"ts\":";
       emit_ts(os, e.t);
       os << ",\"pid\":" << (e.track + 1) << ",\"tid\":" << e.actor << ",\"args\":{\"sn\":" << e.a
          << ",\"rule\":";
       emit_string(os, forced_rule_name(e.rule));
       if (e.replaced) os << ",\"replaced\":true";
+      if (e.b != 0) os << ",\"msg\":" << e.b;
       os << "}}";
+      if (has_flow && e.track >= 0 && e.track < 62) {
+        const u64 flow_id = e.b * kFlowStride + 1 + static_cast<u64>(e.track);
+        if (flow_open.count(flow_id) != 0 && flow_closed.insert(flow_id).second) {
+          emit_flow('f', "force", flow_id, e.t, e.track + 1, e.actor);
+        }
+      }
+    } else if (e.kind == ProbeKind::kSend) {
+      begin_event();
+      os << "{\"name\":\"send #" << e.a << "\",\"ph\":\"X\",\"dur\":";
+      emit_number(os, kSliceDurUs);
+      os << ",\"ts\":";
+      emit_ts(os, e.t);
+      os << ",\"pid\":0,\"tid\":" << e.actor << ",\"args\":{\"msg\":" << e.a
+         << ",\"dst\":" << e.track << ",\"sn\":" << e.b << "}}";
+      if (delivered.count(e.a) != 0) {
+        flow_open.insert(e.a * kFlowStride);
+        emit_flow('s', "msg", e.a * kFlowStride, e.t, 0, e.actor);
+      }
+      const auto fs = forced_slots.find(e.a);
+      if (fs != forced_slots.end()) {
+        for (u64 slot = 0; slot < 62; ++slot) {
+          if ((fs->second >> slot) & 1) {
+            flow_open.insert(e.a * kFlowStride + 1 + slot);
+            emit_flow('s', "force", e.a * kFlowStride + 1 + slot, e.t, 0, e.actor);
+          }
+        }
+      }
+    } else if (e.kind == ProbeKind::kDeliver) {
+      begin_event();
+      os << "{\"name\":\"deliver #" << e.a << "\",\"ph\":\"X\",\"dur\":";
+      emit_number(os, kSliceDurUs);
+      os << ",\"ts\":";
+      emit_ts(os, e.t);
+      os << ",\"pid\":0,\"tid\":" << e.actor << ",\"args\":{\"msg\":" << e.a
+         << ",\"src\":" << e.track << ",\"sn\":" << e.b << "}}";
+      const u64 flow_id = e.a * kFlowStride;
+      if (flow_open.count(flow_id) != 0 && flow_closed.insert(flow_id).second) {
+        emit_flow('f', "msg", flow_id, e.t, 0, e.actor);
+      }
+    } else if (e.kind == ProbeKind::kSnPromote) {
+      begin_event();
+      os << "{\"name\":\"sn promote\",\"ph\":\"i\",\"s\":\"t\",\"ts\":";
+      emit_ts(os, e.t);
+      os << ",\"pid\":" << (e.track + 1) << ",\"tid\":" << e.actor << ",\"args\":{\"sn\":" << e.a
+         << "}}";
     } else {
-      os << "  {\"name\":";
+      begin_event();
+      os << "{\"name\":";
       emit_string(os, probe_kind_name(e.kind));
       os << ",\"ph\":\"i\",\"s\":\"t\",\"ts\":";
       emit_ts(os, e.t);
@@ -176,25 +283,32 @@ void write_chrome_trace(std::ostream& os, const RunObserver& run) {
 
 namespace {
 
-bool write_file(const std::string& path, const RunObserver& run,
+void write_file(const std::string& path, const RunObserver& run,
                 void (*writer)(std::ostream&, const RunObserver&)) {
+  errno = 0;
   std::ofstream os(path);
-  if (!os) {
-    std::cerr << "obs: cannot open " << path << " for writing\n";
-    return false;
+  if (!os.is_open()) {
+    const int err = errno;
+    throw std::runtime_error("obs: cannot open " + path + " for writing: " +
+                             (err != 0 ? std::strerror(err) : "unknown error"));
   }
   writer(os, run);
-  return static_cast<bool>(os);
+  os.flush();
+  if (os.fail()) {
+    const int err = errno;
+    throw std::runtime_error("obs: write to " + path + " failed: " +
+                             (err != 0 ? std::strerror(err) : "unknown error"));
+  }
 }
 
 }  // namespace
 
-bool write_metrics_jsonl(const std::string& path, const RunObserver& run) {
-  return write_file(path, run, &write_metrics_jsonl);
+void write_metrics_jsonl(const std::string& path, const RunObserver& run) {
+  write_file(path, run, &write_metrics_jsonl);
 }
 
-bool write_chrome_trace(const std::string& path, const RunObserver& run) {
-  return write_file(path, run, &write_chrome_trace);
+void write_chrome_trace(const std::string& path, const RunObserver& run) {
+  write_file(path, run, &write_chrome_trace);
 }
 
 }  // namespace mobichk::obs

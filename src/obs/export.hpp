@@ -3,8 +3,10 @@
 //    timeline entry (time-ordered), then one "metric" line per registry
 //    sample. Greppable, streamable, trivially diffable.
 //  * write_chrome_trace — Chrome trace-event JSON (the chrome://tracing /
-//    Perfetto "JSON Object Format"): per-host tracks, checkpoint instant
-//    events with the triggering rule, mobility markers.
+//    Perfetto "JSON Object Format"): per-host tracks, checkpoint events
+//    with the triggering rule, mobility markers, send/deliver slices and
+//    flow arrows ("s"/"f") linking each send to its delivery and to any
+//    forced checkpoint it triggered.
 //
 // The obs layer sits below sim/, so these implement their own minimal
 // JSON emission (escaping + shortest-round-trip doubles) rather than
@@ -21,9 +23,11 @@ namespace mobichk::obs {
 void write_metrics_jsonl(std::ostream& os, const RunObserver& run);
 void write_chrome_trace(std::ostream& os, const RunObserver& run);
 
-/// Convenience wrappers: write to `path`, returning false (with a
-/// message on stderr) when the file cannot be opened.
-bool write_metrics_jsonl(const std::string& path, const RunObserver& run);
-bool write_chrome_trace(const std::string& path, const RunObserver& run);
+/// Convenience wrappers: write to `path`. Throw std::runtime_error
+/// naming the path and the errno text when the file cannot be opened or
+/// the stream fails after writing — an export must never silently
+/// truncate and report success.
+void write_metrics_jsonl(const std::string& path, const RunObserver& run);
+void write_chrome_trace(const std::string& path, const RunObserver& run);
 
 }  // namespace mobichk::obs

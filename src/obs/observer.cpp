@@ -1,11 +1,28 @@
 #include "obs/observer.hpp"
 
+#include <stdexcept>
+
 namespace mobichk::obs {
 
 RunObserver::RunObserver() {
   kernel_.resolve(registry_);
   net_.resolve(registry_);
   sweep_.resolve(registry_);
+  timeline_.set_dropped_counter(&registry_.counter("obs.timeline.dropped_events"));
+}
+
+CausalMonitor& RunObserver::enable_causal(const std::vector<TrackerMode>& modes) {
+  if (n_hosts_ <= 0) {
+    throw std::logic_error("RunObserver::enable_causal: set_n_hosts first");
+  }
+  monitor_ = std::make_unique<CausalMonitor>(static_cast<u32>(n_hosts_), modes, protocol_names_,
+                                             registry_);
+  timeline_.set_listener(monitor_.get());
+  return *monitor_;
+}
+
+void RunObserver::finalize_causal() {
+  if (monitor_ != nullptr) monitor_->finalize();
 }
 
 }  // namespace mobichk::obs

@@ -4,11 +4,17 @@
 // the Experiment wires non-owning probe pointers into the simulator, the
 // network and the protocol harness. When no RunObserver is attached every
 // probe pointer is null and the run is bit-identical to an unobserved one.
+//
+// Optionally (enable_causal) owns a CausalMonitor: per-protocol online
+// recovery-line trackers fed as the Timeline's listener, so they see every
+// probe event even when the stored timeline is capped.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/causal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/probes.hpp"
 #include "obs/timeline.hpp"
@@ -39,12 +45,32 @@ class RunObserver {
   void set_n_hosts(i32 n) noexcept { n_hosts_ = n; }
   i32 n_hosts() const noexcept { return n_hosts_; }
 
+  /// Caps the stored timeline at `cap` events (0 = unbounded). Excess
+  /// events increment the `obs.timeline.dropped_events` counter instead
+  /// of growing the vector; the causal monitor still sees every event.
+  void set_timeline_capacity(usize cap) noexcept { timeline_.set_capacity(cap); }
+
+  /// Creates the per-slot recovery-line trackers (one per entry of
+  /// `modes`, kNone = none for that slot) and installs the monitor as the
+  /// timeline listener. Requires set_n_hosts/set_protocol_names first;
+  /// replaces a previous monitor. Returns the monitor for queries.
+  CausalMonitor& enable_causal(const std::vector<TrackerMode>& modes);
+
+  /// The causal monitor, or nullptr when enable_causal was never called.
+  CausalMonitor* causal() noexcept { return monitor_.get(); }
+  const CausalMonitor* causal() const noexcept { return monitor_.get(); }
+
+  /// Finalizes every tracker (Z-cycle pass, final gauges). Safe to call
+  /// without a monitor; idempotent.
+  void finalize_causal();
+
  private:
   MetricRegistry registry_;
   Timeline timeline_;
   KernelProbe kernel_;
   NetProbe net_;
   SweepProbe sweep_;
+  std::unique_ptr<CausalMonitor> monitor_;
   std::vector<std::string> protocol_names_;
   i32 n_hosts_ = 0;
 };

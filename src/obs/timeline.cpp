@@ -20,6 +20,9 @@ const char* probe_kind_name(ProbeKind kind) noexcept {
     case ProbeKind::kReconnect: return "reconnect";
     case ProbeKind::kReplication: return "replication";
     case ProbeKind::kConvergence: return "convergence";
+    case ProbeKind::kSend: return "send";
+    case ProbeKind::kDeliver: return "deliver";
+    case ProbeKind::kSnPromote: return "sn_promote";
   }
   return "unknown";
 }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "des/types.hpp"
+#include "obs/metrics.hpp"
 
 namespace mobichk::obs {
 
@@ -20,6 +21,9 @@ enum class ProbeKind : u8 {
   kReconnect = 3,    ///< host reconnected after a disconnection
   kReplication = 4,  ///< sweep engine finished one replication
   kConvergence = 5,  ///< sweep engine evaluated the CI stopping rule
+  kSend = 6,         ///< application message left its source host
+  kDeliver = 7,      ///< application message was consumed at its destination
+  kSnPromote = 8,    ///< a checkpoint was relabelled with a larger index (COORD)
 };
 
 /// Mirror of core::CheckpointKind — kept value-identical so recording is
@@ -50,10 +54,20 @@ struct ProbeEvent {
   CkptKind ckpt_kind = CkptKind::kInitial;  ///< kCheckpoint only
   ForcedRule rule = ForcedRule::kNone;      ///< kCheckpoint only
   bool replaced = false;  ///< QBC equivalence rule reused an existing checkpoint
-  i32 actor = -1;         ///< host id (kCheckpoint/mobility), point index (sweep)
-  i32 track = -1;         ///< protocol slot (kCheckpoint), MSS id (kHandoff), -1 otherwise
-  u64 a = 0;              ///< checkpoint sn / replications used
+  i32 actor = -1;         ///< host id (kCheckpoint/mobility/kSend src/kDeliver dst), point index (sweep)
+  i32 track = -1;         ///< protocol slot (kCheckpoint/kSnPromote), MSS id (kHandoff), peer host (kSend/kDeliver)
+  u64 a = 0;              ///< checkpoint/promoted sn; message id (kSend/kDeliver); replications used
+  u64 b = 0;              ///< triggering message id (kCheckpoint); wire piggyback sn (kSend/kDeliver)
   f64 value = 0.0;        ///< wall seconds (kReplication), CI half-width (kConvergence)
+};
+
+/// Streaming consumer of probe events. A listener sees *every* event at
+/// record time, before (and regardless of) the capacity cap, so online
+/// analyses stay exact even when the stored timeline is bounded.
+class ProbeEventListener {
+ public:
+  virtual ~ProbeEventListener() = default;
+  virtual void on_probe_event(const ProbeEvent& e) = 0;
 };
 
 /// Append-only recorder. Reserves up front so steady-state recording does
@@ -63,13 +77,38 @@ class Timeline {
  public:
   explicit Timeline(usize reserve_hint = 4096) { events_.reserve(reserve_hint); }
 
-  void record(const ProbeEvent& e) { events_.push_back(e); }
+  void record(const ProbeEvent& e) {
+    if (listener_ != nullptr) listener_->on_probe_event(e);
+    if (capacity_ != 0 && events_.size() >= capacity_) {
+      ++dropped_;
+      if (dropped_counter_ != nullptr) dropped_counter_->add();
+      return;
+    }
+    events_.push_back(e);
+  }
   const std::vector<ProbeEvent>& events() const noexcept { return events_; }
   usize size() const noexcept { return events_.size(); }
   void clear() noexcept { events_.clear(); }
 
+  /// Caps the number of *stored* events (0 = unbounded, the default);
+  /// excess events are counted, not stored, so week-long observed sweeps
+  /// cannot exhaust memory silently. Listeners still see every event.
+  void set_capacity(usize cap) noexcept { capacity_ = cap; }
+  usize capacity() const noexcept { return capacity_; }
+  /// Events discarded by the capacity cap so far.
+  u64 dropped() const noexcept { return dropped_; }
+  /// Mirrors the dropped count into a registry counter (may be nullptr).
+  void set_dropped_counter(Counter* counter) noexcept { dropped_counter_ = counter; }
+
+  /// Streams every recorded event into `listener` (nullptr = off).
+  void set_listener(ProbeEventListener* listener) noexcept { listener_ = listener; }
+
  private:
   std::vector<ProbeEvent> events_;
+  ProbeEventListener* listener_ = nullptr;
+  Counter* dropped_counter_ = nullptr;
+  usize capacity_ = 0;
+  u64 dropped_ = 0;
 };
 
 }  // namespace mobichk::obs

@@ -8,6 +8,22 @@
 
 namespace mobichk::sim {
 
+namespace {
+
+/// The online recovery-line semantics each protocol class admits.
+obs::TrackerMode tracker_mode_for(core::ProtocolKind kind) {
+  switch (kind) {
+    case core::ProtocolKind::kTp: return obs::TrackerMode::kTpDependency;
+    case core::ProtocolKind::kBcs:
+    case core::ProtocolKind::kLazyBcs:
+    case core::ProtocolKind::kCoordinated: return obs::TrackerMode::kIndexFirstAtLeast;
+    case core::ProtocolKind::kQbc: return obs::TrackerMode::kIndexLastEqual;
+    default: return obs::TrackerMode::kNone;
+  }
+}
+
+}  // namespace
+
 const ProtocolRunStats& RunResult::by_name(const std::string& name) const {
   for (const auto& p : protocols) {
     if (p.name == name) return p;
@@ -59,6 +75,10 @@ Experiment::Experiment(SimConfig cfg, ExperimentOptions opts)
       names.emplace_back(harness_->protocol(slot).name());
     }
     opts_.observer->set_protocol_names(std::move(names));
+    std::vector<obs::TrackerMode> modes;
+    modes.reserve(opts_.protocols.size());
+    for (const auto kind : opts_.protocols) modes.push_back(tracker_mode_for(kind));
+    opts_.observer->enable_causal(modes);
   }
 }
 
@@ -108,6 +128,9 @@ void Experiment::run() {
     const obs::KernelProbe* kp = opts_.observer->kernel_probe();
     kp->compactions->add(sim_->queue_compactions());
     kp->max_pending->max_of(static_cast<f64>(result_.invariants.max_pending));
+    // Close the online recovery-line analysis (Z-cycle pass, final
+    // gauges) before the snapshot so rl.* metrics are complete.
+    opts_.observer->finalize_causal();
     result_.metrics = opts_.observer->registry().snapshot();
   }
 }

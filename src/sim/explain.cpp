@@ -1,0 +1,206 @@
+#include "sim/explain.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+
+#include "core/zgraph.hpp"
+#include "obs/causal.hpp"
+
+namespace mobichk::sim {
+namespace {
+
+bool iequals(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (usize i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+u64 parse_u64(const std::string& s, const char* what) {
+  if (s.empty() || !std::all_of(s.begin(), s.end(), [](char c) {
+        return std::isdigit(static_cast<unsigned char>(c));
+      })) {
+    throw std::invalid_argument(std::string("explain: ") + what + " must be a number, got '" +
+                                s + "'");
+  }
+  return std::stoull(s);
+}
+
+std::string slot_label(const std::vector<std::string>& names, i32 slot) {
+  if (slot >= 0 && static_cast<usize>(slot) < names.size()) return names[static_cast<usize>(slot)];
+  return "slot " + std::to_string(slot);
+}
+
+const char* kind_label(obs::CkptKind kind) {
+  switch (kind) {
+    case obs::CkptKind::kInitial: return "initial";
+    case obs::CkptKind::kBasic: return "basic";
+    case obs::CkptKind::kForced: return "forced";
+  }
+  return "?";
+}
+
+}  // namespace
+
+CkptTarget parse_ckpt_target(const std::string& spec,
+                             const std::vector<std::string>& protocol_names) {
+  const usize c1 = spec.find(':');
+  const usize c2 = c1 == std::string::npos ? std::string::npos : spec.find(':', c1 + 1);
+  if (c1 == std::string::npos || c2 == std::string::npos) {
+    throw std::invalid_argument("explain: --ckpt expects <proto>:<host>:<ordinal>, got '" + spec +
+                                "'");
+  }
+  const std::string proto = spec.substr(0, c1);
+  CkptTarget target;
+  bool found = false;
+  for (usize slot = 0; slot < protocol_names.size(); ++slot) {
+    if (iequals(proto, protocol_names[slot])) {
+      target.slot = slot;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    std::string known;
+    for (const auto& n : protocol_names) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    throw std::invalid_argument("explain: unknown protocol '" + proto + "' (run has: " + known +
+                                ")");
+  }
+  target.host = static_cast<u32>(parse_u64(spec.substr(c1 + 1, c2 - c1 - 1), "host"));
+  target.ordinal = parse_u64(spec.substr(c2 + 1), "ordinal");
+  return target;
+}
+
+void print_checkpoint_chain(std::ostream& os, const obs::Timeline& timeline,
+                            const std::vector<std::string>& protocol_names, i32 slot, i32 host,
+                            u64 ordinal, usize max_depth) {
+  const auto chain = obs::explain_checkpoint_chain(timeline, slot, host, ordinal, max_depth);
+  os << "causal chain for " << slot_label(protocol_names, slot) << " checkpoint host " << host
+     << " #" << ordinal << ":\n";
+  if (chain.empty()) {
+    os << "  (not on the timeline: host/ordinal out of range, or the run was not observed)\n";
+    return;
+  }
+  for (usize i = 0; i < chain.size(); ++i) {
+    const obs::ChainStep& s = chain[i];
+    os << "  [" << i << "] t=" << s.t << "  host " << s.host << " ckpt #" << s.ordinal
+       << " sn=" << s.sn << " " << kind_label(s.ckpt_kind);
+    if (s.ckpt_kind == obs::CkptKind::kForced) os << " (" << obs::forced_rule_name(s.rule) << ")";
+    if (s.replaced) os << " [equivalence reuse]";
+    if (s.trigger_msg != 0) {
+      os << "\n        <- triggered by msg " << s.trigger_msg;
+      if (s.msg_found) {
+        os << " from host " << s.msg_src << " (sent t=" << s.msg_sent_t << ", wire sn="
+           << s.msg_wire_sn << ")";
+      } else {
+        os << " (send event not on the timeline)";
+      }
+    }
+    os << "\n";
+  }
+  const obs::ChainStep& last = chain.back();
+  if (last.trigger_msg == 0) {
+    os << "  chain ends: " << kind_label(last.ckpt_kind)
+       << " checkpoint with no triggering message\n";
+  } else if (!last.msg_found) {
+    os << "  chain ends: triggering send not recorded\n";
+  } else {
+    os << "  chain truncated at depth " << max_depth << "\n";
+  }
+}
+
+void print_message_story(std::ostream& os, const obs::Timeline& timeline,
+                         const std::vector<std::string>& protocol_names, u64 msg_id) {
+  os << "message " << msg_id << ":\n";
+  bool any = false;
+  for (const obs::ProbeEvent& e : timeline.events()) {
+    if (e.kind == obs::ProbeKind::kSend && e.a == msg_id) {
+      any = true;
+      os << "  t=" << e.t << "  sent by host " << e.actor << " -> host " << e.track
+         << " (wire sn=" << e.b << ")\n";
+    } else if (e.kind == obs::ProbeKind::kCheckpoint && e.b == msg_id) {
+      any = true;
+      os << "  t=" << e.t << "  forced checkpoint in " << slot_label(protocol_names, e.track)
+         << " at host " << e.actor << " (sn=" << e.a << ", "
+         << obs::forced_rule_name(e.rule) << ")\n";
+    } else if (e.kind == obs::ProbeKind::kDeliver && e.a == msg_id) {
+      any = true;
+      os << "  t=" << e.t << "  delivered at host " << e.actor << "\n";
+    }
+  }
+  if (!any) os << "  (no events on the timeline for this id)\n";
+}
+
+void write_interval_dot(std::ostream& os, const core::CheckpointLog& log,
+                        const core::MessageLog& messages, const core::GlobalCheckpoint* line,
+                        const std::string& title) {
+  const core::IntervalGraph graph(log, messages);
+  os << "digraph intervals {\n"
+     << "  rankdir=LR;\n"
+     << "  node [shape=box, fontsize=10];\n"
+     << "  label=\"";
+  for (const char c : title) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << "\";\n";
+
+  for (u32 h = 0; h < log.n_hosts(); ++h) {
+    const bool line_virtual =
+        line != nullptr && h < line->members.size() && line->members[h] == nullptr;
+    os << "  subgraph cluster_h" << h << " {\n"
+       << "    label=\"host " << h << "\";\n";
+    const auto& records = log.of(h);
+    for (const core::CheckpointRecord& rec : records) {
+      const bool on_line = line != nullptr && h < line->members.size() &&
+                           line->members[h] != nullptr && line->members[h]->ordinal == rec.ordinal;
+      os << "    h" << h << "_c" << rec.ordinal << " [label=\"C" << h << "," << rec.ordinal
+         << "\\nsn=" << rec.sn << "\\n" << checkpoint_kind_name(rec.kind) << "\"";
+      if (on_line) {
+        os << ", style=filled, fillcolor=palegreen";
+      } else if (rec.kind == core::CheckpointKind::kForced) {
+        os << ", style=filled, fillcolor=lightyellow";
+      }
+      os << "];\n";
+    }
+    if (line_virtual) {
+      os << "    h" << h << "_cur [label=\"current\\nstate\", style=\"dashed,filled\","
+         << " fillcolor=palegreen];\n";
+    }
+    for (usize i = 0; i + 1 < records.size(); ++i) {
+      os << "    h" << h << "_c" << i << " -> h" << h << "_c" << (i + 1) << " [style=dotted];\n";
+    }
+    if (line_virtual && !records.empty()) {
+      os << "    h" << h << "_c" << (records.size() - 1) << " -> h" << h
+         << "_cur [style=dotted];\n";
+    }
+    os << "  }\n";
+  }
+
+  // Message edges between intervals, aggregated with a multiplicity label.
+  std::map<std::tuple<u32, u64, u32, u64>, u64> edges;
+  for (const auto& d : messages.deliveries()) {
+    const u64 si = graph.interval_of(d.src, d.send_pos);
+    const u64 di = graph.interval_of(d.dst, d.recv_pos);
+    ++edges[{d.src, si, d.dst, di}];
+  }
+  for (const auto& [key, n] : edges) {
+    const auto& [src, si, dst, di] = key;
+    os << "  h" << src << "_c" << si << " -> h" << dst << "_c" << di;
+    if (n > 1) os << " [label=\"" << n << " msgs\"]";
+    os << ";\n";
+  }
+  os << "}\n";
+}
+
+}  // namespace mobichk::sim

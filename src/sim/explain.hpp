@@ -1,0 +1,58 @@
+// Run explainer: turns a recorded probe timeline and the post-run logs
+// into human-readable causal stories and Graphviz exports.
+//
+//  * parse_ckpt_target      — "<proto>:<host>:<ordinal>" CLI specs.
+//  * print_checkpoint_chain — the send/forced-checkpoint chain behind one
+//    checkpoint (obs::explain_checkpoint_chain, rendered as text).
+//  * print_message_story    — everything one message did: send, forced
+//    checkpoints it triggered (per protocol slot), delivery.
+//  * write_interval_dot     — the checkpoint-interval graph as DOT, one
+//    cluster per host, message edges aggregated, with an optional
+//    recovery line highlighted.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint_log.hpp"
+#include "core/message_log.hpp"
+#include "core/recovery.hpp"
+#include "obs/timeline.hpp"
+
+namespace mobichk::sim {
+
+/// A checkpoint named on the command line.
+struct CkptTarget {
+  usize slot = 0;     ///< Protocol slot resolved from the name.
+  u32 host = 0;
+  u64 ordinal = 0;    ///< Per-host checkpoint ordinal (0 = initial).
+};
+
+/// Parses "<proto>:<host>:<ordinal>" (protocol name matched
+/// case-insensitively against `protocol_names`). Throws
+/// std::invalid_argument with a helpful message on any mismatch.
+CkptTarget parse_ckpt_target(const std::string& spec,
+                             const std::vector<std::string>& protocol_names);
+
+/// Prints the causal chain that produced checkpoint `ordinal` of `host`
+/// in protocol slot `slot`, one line per link (newest first).
+void print_checkpoint_chain(std::ostream& os, const obs::Timeline& timeline,
+                            const std::vector<std::string>& protocol_names, i32 slot, i32 host,
+                            u64 ordinal, usize max_depth = 16);
+
+/// Prints every timeline event involving message `msg_id`: the send, any
+/// forced checkpoint naming it as trigger, and its delivery.
+void print_message_story(std::ostream& os, const obs::Timeline& timeline,
+                         const std::vector<std::string>& protocol_names, u64 msg_id);
+
+/// Writes the checkpoint-interval graph of one protocol's finished run
+/// as Graphviz DOT: a cluster per host, checkpoint nodes in ordinal
+/// order, dotted intra-host edges, aggregated message edges between
+/// intervals. When `line` is non-null its members are highlighted
+/// (virtual members appear as dashed "current state" nodes).
+void write_interval_dot(std::ostream& os, const core::CheckpointLog& log,
+                        const core::MessageLog& messages, const core::GlobalCheckpoint* line,
+                        const std::string& title);
+
+}  // namespace mobichk::sim

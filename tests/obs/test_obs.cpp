@@ -9,8 +9,10 @@
 #include <cstdlib>
 #include <fstream>
 #include <new>
+#include <set>
 #include <sstream>
 #include <string>
+#include <utility>
 
 #include "des/event.hpp"
 #include "des/rng.hpp"
@@ -180,6 +182,38 @@ TEST(ObsZeroCost, MetricUpdatesAndReservedTimelineNeverAllocate) {
   EXPECT_EQ(allocs_now() - before, 0u);
   EXPECT_EQ(c.value(), 100'000u);
   EXPECT_EQ(timeline.size(), 2'000u);
+}
+
+namespace {
+
+struct CountingListener final : obs::ProbeEventListener {
+  u64 seen = 0;
+  void on_probe_event(const obs::ProbeEvent&) override { ++seen; }
+};
+
+}  // namespace
+
+TEST(Timeline, CapacityCapCountsDropsButListenerSeesEveryEvent) {
+  obs::MetricRegistry reg;
+  obs::Counter& dropped = reg.counter("obs.timeline.dropped_events");
+  CountingListener listener;
+  obs::Timeline timeline(/*reserve_hint=*/8);
+  timeline.set_capacity(8);
+  timeline.set_dropped_counter(&dropped);
+  timeline.set_listener(&listener);
+
+  obs::ProbeEvent e;
+  e.kind = obs::ProbeKind::kCheckpoint;
+  for (int i = 0; i < 20; ++i) {
+    e.t = static_cast<f64>(i);
+    timeline.record(e);
+  }
+  // The stored window is capped, the overflow is counted, and the
+  // online listener still observed every event.
+  EXPECT_EQ(timeline.size(), 8u);
+  EXPECT_EQ(timeline.dropped(), 12u);
+  EXPECT_EQ(dropped.value(), 12u);
+  EXPECT_EQ(listener.seen, 20u);
 }
 
 namespace {
@@ -428,7 +462,7 @@ TEST_F(ObservedRun, JsonlExportParsesLineByLine) {
   EXPECT_TRUE(saw_rule);
 }
 
-TEST_F(ObservedRun, ChromeTraceIsValidJsonWithPerHostCheckpointInstants) {
+TEST_F(ObservedRun, ChromeTraceIsValidJsonWithCheckpointsAndFlowArrows) {
   std::ostringstream os;
   obs::write_chrome_trace(os, *observer_);
   const sim::JsonValue doc = sim::json_parse(os.str());
@@ -436,19 +470,58 @@ TEST_F(ObservedRun, ChromeTraceIsValidJsonWithPerHostCheckpointInstants) {
   const auto& events = doc.at("traceEvents").as_array();
   ASSERT_FALSE(events.empty());
 
-  usize metadata = 0, forced = 0, basic = 0;
+  usize metadata = 0, forced = 0, basic = 0, sends = 0, delivers = 0;
+  usize flow_starts = 0, flow_finishes = 0;
+  std::set<std::pair<std::string, u64>> open_flows;
   for (const sim::JsonValue& e : events) {
     const std::string& ph = e.at("ph").as_string();
     if (ph == "M") {
       ++metadata;
       continue;
     }
+    if (ph == "s" || ph == "f") {
+      // Flow arrows: identified by (cat, id); every finish must follow
+      // its start in file order, and each flow terminates exactly once.
+      const std::string& cat = e.at("cat").as_string();
+      EXPECT_TRUE(cat == "msg" || cat == "force") << cat;
+      const u64 id = e.at("id").as_u64();
+      if (ph == "s") {
+        ++flow_starts;
+        open_flows.emplace(cat, id);
+      } else {
+        ++flow_finishes;
+        EXPECT_EQ(e.at("bp").as_string(), "e");
+        EXPECT_EQ(open_flows.erase({cat, id}), 1u) << cat << ":" << id;
+      }
+      continue;
+    }
+    const std::string& name = e.at("name").as_string();
+    if (ph == "X") {
+      // Slices: sends, deliveries, and forced checkpoints with a trigger.
+      (void)e.at("dur").as_u64();
+      if (name.rfind("send #", 0) == 0) {
+        ++sends;
+        EXPECT_EQ(e.at("pid").as_u64(), 0u);
+        (void)e.at("args").at("msg").as_u64();
+        (void)e.at("args").at("dst").as_u64();
+      } else if (name.rfind("deliver #", 0) == 0) {
+        ++delivers;
+        EXPECT_EQ(e.at("pid").as_u64(), 0u);
+        (void)e.at("args").at("src").as_u64();
+      } else {
+        ASSERT_EQ(name, "forced checkpoint");
+        ++forced;
+        EXPECT_GE(e.at("pid").as_u64(), 1u);
+        EXPECT_NE(e.at("args").at("rule").as_string(), "none");
+        (void)e.at("args").at("msg").as_u64();  // the triggering message
+      }
+      continue;
+    }
     ASSERT_EQ(ph, "i");
     EXPECT_EQ(e.at("s").as_string(), "t");
-    const std::string& name = e.at("name").as_string();
     if (name == "forced checkpoint") {
+      // Forced without a recorded trigger (e.g. a coordinator marker).
       ++forced;
-      // pid = slot + 1, tid = host; args carry sn and the rule.
       EXPECT_GE(e.at("pid").as_u64(), 1u);
       EXPECT_LT(e.at("tid").as_u64(), u64{cfg_->network.n_hosts});
       EXPECT_NE(e.at("args").at("rule").as_string(), "none");
@@ -465,8 +538,29 @@ TEST_F(ObservedRun, ChromeTraceIsValidJsonWithPerHostCheckpointInstants) {
   EXPECT_EQ(metadata, expected_meta);
   EXPECT_GT(forced, 0u);
   EXPECT_GT(basic, 0u);
+  EXPECT_GT(sends, 0u);
+  EXPECT_GT(delivers, 0u);
+  EXPECT_GT(flow_starts, 0u);
+  // Every emitted flow start is terminated by exactly one finish.
+  EXPECT_EQ(flow_finishes, flow_starts);
+  EXPECT_TRUE(open_flows.empty());
   // The trailing metrics block mirrors the registry.
   EXPECT_EQ(doc.at("metrics").object.size(), observer_->registry().snapshot().size());
+}
+
+TEST_F(ObservedRun, TimelineCarriesSendAndDeliverEventsMatchingNetStats) {
+  u64 sends = 0, delivers = 0;
+  for (const obs::ProbeEvent& e : observer_->timeline().events()) {
+    if (e.kind == obs::ProbeKind::kSend) {
+      ++sends;
+      EXPECT_GT(e.a, 0u);  // message ids are 1-based
+    } else if (e.kind == obs::ProbeKind::kDeliver) {
+      ++delivers;
+      EXPECT_GT(e.a, 0u);
+    }
+  }
+  EXPECT_EQ(sends, result_->net.app_sent);
+  EXPECT_EQ(delivers, result_->net.app_received);
 }
 
 #ifndef MOBICHK_TEST_DATA_DIR
@@ -501,6 +595,36 @@ TEST(ObsGolden, ChromeTraceOfTinyRunMatchesCommittedFile) {
   want << file.rdbuf();
   EXPECT_EQ(got.str(), want.str())
       << "chrome-trace output changed; delete " << path << " and re-run to regenerate";
+}
+
+TEST(ObsGolden, FlowEventsJsonlOfTinyRunMatchesCommittedFile) {
+  // Same tiny run, JSONL exporter: pins the send/deliver/sn_promote
+  // event lines and the rl.* recovery-line metric families.
+  sim::SimConfig cfg;
+  cfg.network.n_hosts = 4;
+  cfg.network.n_mss = 2;
+  cfg.sim_length = 300.0;
+  cfg.t_switch = 50.0;
+  cfg.p_switch = 0.8;
+  cfg.seed = 3;
+  obs::RunObserver observer;
+  sim::ExperimentOptions opts;
+  opts.observer = &observer;
+  (void)sim::run_experiment(cfg, opts);
+  std::ostringstream got;
+  obs::write_metrics_jsonl(got, observer);
+
+  const std::string path = std::string(MOBICHK_TEST_DATA_DIR) + "/golden_flow_events.jsonl";
+  std::ifstream file(path);
+  if (!file) {
+    std::ofstream regen(path);
+    regen << got.str();
+    FAIL() << "golden file was missing; regenerated " << path << " — inspect and commit it";
+  }
+  std::ostringstream want;
+  want << file.rdbuf();
+  EXPECT_EQ(got.str(), want.str())
+      << "jsonl output changed; delete " << path << " and re-run to regenerate";
 }
 
 }  // namespace

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Structural linter for mobichk's observability exports.
+
+Validates two formats (dispatched on file extension, or forced with
+--format):
+
+  *.json   Chrome-trace files (obs::write_chrome_trace): checks the
+           top-level shape, the per-phase required keys, and — the part a
+           generic JSON check cannot see — that every flow-finish event
+           ("ph":"f") is preceded in file order by a flow-start ("ph":"s")
+           with the same (cat, id), that no flow terminates twice, and
+           that flow events carry the binding fields (pid, tid, ts).
+
+  *.jsonl  Metrics/event JSONL files (obs::write_metrics_jsonl): every
+           line parses on its own, carries a known "type", and all event
+           lines precede all metric lines (consumers stream them in one
+           pass).
+
+Exit status: 0 clean, 1 with a message naming file, line/event and reason.
+Usage: tools/lint_trace.py FILE [FILE ...]
+"""
+
+import json
+import sys
+
+PHASE_REQUIRED = {
+    "M": ("name", "pid"),
+    "i": ("name", "ts", "pid", "tid", "s"),
+    "X": ("name", "ts", "dur", "pid", "tid"),
+    "s": ("name", "cat", "id", "ts", "pid", "tid"),
+    "f": ("name", "cat", "id", "ts", "pid", "tid", "bp"),
+}
+
+JSONL_TYPES = {"event", "metric"}
+
+
+class LintError(Exception):
+    pass
+
+
+def lint_chrome_trace(path, data):
+    try:
+        doc = json.loads(data)
+    except json.JSONDecodeError as e:
+        raise LintError(f"not valid JSON: {e}")
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise LintError("top level must be an object with a traceEvents array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        raise LintError("traceEvents is not an array")
+
+    open_flows = set()
+    closed_flows = set()
+    for i, e in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(e, dict):
+            raise LintError(f"{where}: not an object")
+        ph = e.get("ph")
+        if ph not in PHASE_REQUIRED:
+            raise LintError(f"{where}: unknown ph {ph!r}")
+        for key in PHASE_REQUIRED[ph]:
+            if key not in e:
+                raise LintError(f"{where}: ph {ph!r} is missing {key!r}")
+        if ph in ("s", "f"):
+            flow = (e["cat"], e["id"])
+            if ph == "s":
+                open_flows.add(flow)
+            else:
+                if e["bp"] != "e":
+                    raise LintError(f"{where}: flow finish must bind enclosing (bp='e')")
+                if flow not in open_flows:
+                    raise LintError(f"{where}: flow finish {flow} has no earlier start")
+                if flow in closed_flows:
+                    raise LintError(f"{where}: flow {flow} terminated twice")
+                closed_flows.add(flow)
+    dangling = open_flows - closed_flows
+    if dangling:
+        raise LintError(f"{len(dangling)} flow start(s) never finish, e.g. {sorted(dangling)[0]}")
+
+
+def lint_jsonl(path, data):
+    seen_metric = False
+    n_events = n_metrics = 0
+    for lineno, line in enumerate(data.splitlines(), start=1):
+        if not line.strip():
+            raise LintError(f"line {lineno}: blank line")
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as e:
+            raise LintError(f"line {lineno}: not valid JSON: {e}")
+        kind = obj.get("type")
+        if kind not in JSONL_TYPES:
+            raise LintError(f"line {lineno}: unknown type {kind!r}")
+        if kind == "metric":
+            seen_metric = True
+            n_metrics += 1
+            if "name" not in obj or "value" not in obj:
+                raise LintError(f"line {lineno}: metric without name/value")
+        else:
+            n_events += 1
+            if seen_metric:
+                raise LintError(f"line {lineno}: event after the metric block")
+            if "kind" not in obj or "t" not in obj:
+                raise LintError(f"line {lineno}: event without kind/t")
+    if n_metrics == 0:
+        raise LintError("no metric lines (every observed run exports some)")
+    return n_events, n_metrics
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    forced = None
+    for a in argv[1:]:
+        if a.startswith("--format="):
+            forced = a.split("=", 1)[1]
+    if not args:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for path in args:
+        fmt = forced or ("jsonl" if path.endswith(".jsonl") else "json")
+        try:
+            with open(path, encoding="utf-8") as f:
+                data = f.read()
+            if fmt == "jsonl":
+                lint_jsonl(path, data)
+            else:
+                lint_chrome_trace(path, data)
+        except (OSError, LintError) as e:
+            print(f"lint_trace: {path}: {e}", file=sys.stderr)
+            return 1
+        print(f"lint_trace: {path}: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,70 @@
+// XRCV: executed crash recovery — measured, not estimated.
+//
+// abl_recovery injects a *hypothetical* failure at the end of a run and
+// evaluates the rollback builders analytically. This ablation goes the
+// rest of the way: the CrashDriver kills hosts mid-run, the run actually
+// rolls back, replays its logged messages and resumes, and we report the
+// *measured* outage alongside the plan_recovery and
+// estimate_recovery_time models it is reconciled against. Each protocol
+// runs alone (slot 0's line is the one physically executed), across the
+// three failure modes.
+#include <cstdio>
+
+#include "sim/cli.hpp"
+#include "sim/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mobichk;
+  const sim::ArgParser args(argc, argv);
+  const u64 seeds = args.get_u64("seeds", 5);
+  const f64 length = args.get_f64("length", 20'000.0);
+
+  std::printf("XRCV — executed mid-run crash + rollback + replay (%.0f tu runs,\n"
+              "T_switch=1000, P_switch=0.8, first crash at length/2; averages over %llu seeds)\n",
+              length, static_cast<unsigned long long>(seeds));
+
+  const sim::CrashMode modes[] = {sim::CrashMode::kMhCrash, sim::CrashMode::kCorrelated,
+                                  sim::CrashMode::kCellOutage};
+  const std::vector<core::ProtocolKind> kinds = core::all_protocol_kinds();
+
+  for (const auto mode : modes) {
+    std::printf("\n--- failure mode: %s ---\n", sim::crash_mode_name(mode));
+    std::printf("%-8s %10s %12s %12s %14s %12s %12s %12s\n", "proto", "crashes", "rolled-back",
+                "undone-ev", "replayed-msg", "actual(tu)", "planned(tu)", "model(tu)");
+    for (const auto kind : kinds) {
+      f64 crashes = 0.0, rolled = 0.0, undone = 0.0, replayed = 0.0;
+      f64 actual = 0.0, planned = 0.0, modeled = 0.0;
+      for (u64 s = 1; s <= seeds; ++s) {
+        sim::SimConfig cfg;
+        cfg.sim_length = length;
+        cfg.t_switch = 1'000.0;
+        cfg.p_switch = 0.8;
+        cfg.seed = s;
+        cfg.faults.mode = mode;
+        cfg.faults.first_crash_at = length / 2.0;
+        sim::ExperimentOptions opts;
+        opts.protocols = {kind};
+        const sim::RunResult r = sim::run_experiment(cfg, opts);
+        crashes += static_cast<f64>(r.recovery.crashes_executed);
+        rolled += static_cast<f64>(r.recovery.hosts_rolled_back);
+        undone += static_cast<f64>(r.recovery.undone_events);
+        replayed += static_cast<f64>(r.recovery.replayed_messages);
+        actual += r.recovery.total_recovery_time;
+        planned += r.recovery.total_planned;
+        modeled += r.recovery.total_estimated;
+      }
+      const f64 n = static_cast<f64>(seeds);
+      std::printf("%-8s %10.1f %12.1f %12.1f %14.1f %12.2f %12.2f %12.2f\n",
+                  core::protocol_kind_name(kind), crashes / n, rolled / n, undone / n,
+                  replayed / n, actual / n, planned / n, modeled / n);
+    }
+  }
+
+  std::printf("\nexpected: the measured outage sits between the pipelined plan (per-cell\n"
+              "FIFO state transfers overlap replay) and the phase-barrier model estimate.\n"
+              "BASIC/UNCOORD roll back far more hosts and events (domino cascades) than\n"
+              "the communication-induced protocols; cell outages cost the most because a\n"
+              "whole cell's transfers serialize on one MSS. Replayed messages grow with\n"
+              "rollback distance — the roll-forward work message logging buys back.\n");
+  return 0;
+}

@@ -25,6 +25,7 @@
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 
 #include "mobichk.hpp"
 
@@ -66,7 +67,18 @@ void add_config_flags(sim::FlagSet& fs) {
       .add("bandwidth", sim::FlagType::kNumber, "0",
            "wireless bandwidth in bytes/tu (0 = unlimited)")
       .add("protocols", sim::FlagType::kString, "TP,BCS,QBC",
-           "comma-separated protocol set (TP,BCS,QBC,BASIC,UNCOORD,COORD,LAZY-BCS)");
+           "comma-separated protocol set (TP,BCS,QBC,BASIC,UNCOORD,COORD,LAZY-BCS)")
+      .add("crash-mode", sim::FlagType::kString, "none",
+           "failure injection: none|host|correlated|cell")
+      .add("crash-time", sim::FlagType::kNumber, "0",
+           "time of the first injected failure (0 = length/2)")
+      .add("crash-interval", sim::FlagType::kNumber, "0",
+           "mean gap between subsequent failures (0 = a single failure)")
+      .add("crash-count", sim::FlagType::kUInt, "1", "maximum failures to inject")
+      .add("crash-target", sim::FlagType::kUInt, "",
+           "fixed victim host (or cell for --crash-mode=cell); default random")
+      .add("crash-hosts", sim::FlagType::kUInt, "2",
+           "hosts killed together under --crash-mode=correlated");
 }
 
 sim::FlagSet make_flags(const std::string& cmd) {
@@ -118,7 +130,9 @@ sim::FlagSet make_flags(const std::string& cmd) {
         .add("msg", sim::FlagType::kUInt, "0", "message id whose causal story to print")
         .add("depth", sim::FlagType::kUInt, "16", "maximum causal-chain links to follow")
         .add("dot", sim::FlagType::kString, "",
-             "write the checkpoint-interval graph as Graphviz DOT to <path> (- = stdout)");
+             "write the checkpoint-interval graph as Graphviz DOT to <path> (- = stdout)")
+        .add("recovery", sim::FlagType::kBool, "",
+             "narrate the run's executed crash recoveries (needs --crash-mode)");
     return fs;
   }
   // audit
@@ -147,6 +161,24 @@ sim::SimConfig config_from(const sim::ArgParser& args) {
   if (topo == "line") cfg.network.mss_topology = net::MssTopologyKind::kLine;
   if (topo == "star") cfg.network.mss_topology = net::MssTopologyKind::kStar;
   cfg.network.wireless_bandwidth = args.get_f64("bandwidth", 0.0);
+  const std::string crash = args.get_string("crash-mode", "none");
+  if (crash == "host") {
+    cfg.faults.mode = sim::CrashMode::kMhCrash;
+  } else if (crash == "correlated") {
+    cfg.faults.mode = sim::CrashMode::kCorrelated;
+  } else if (crash == "cell") {
+    cfg.faults.mode = sim::CrashMode::kCellOutage;
+  } else if (crash != "none") {
+    throw std::invalid_argument("unknown --crash-mode: " + crash);
+  }
+  if (cfg.faults.enabled()) {
+    const f64 at = args.get_f64("crash-time", 0.0);
+    cfg.faults.first_crash_at = at > 0.0 ? at : cfg.sim_length / 2.0;
+    cfg.faults.crash_interval = args.get_f64("crash-interval", 0.0);
+    cfg.faults.max_crashes = args.get_u32("crash-count", 1);
+    cfg.faults.target = args.get_u32("crash-target", sim::FaultConfig::kRandomTarget);
+    cfg.faults.correlated = args.get_u32("crash-hosts", 2);
+  }
   return cfg;
 }
 
@@ -197,6 +229,21 @@ int cmd_run(const sim::ArgParser& args) {
                 static_cast<unsigned long long>(p.forced),
                 static_cast<unsigned long long>(p.max_index),
                 static_cast<unsigned long long>(p.piggyback_bytes));
+  }
+  if (r.recovery.crashes_executed > 0) {
+    const sim::CrashRunStats& rec = r.recovery;
+    std::printf("\nrecovery: %llu crash(es) executed (%llu skipped), %llu host(s) failed, "
+                "%llu rolled back\n",
+                static_cast<unsigned long long>(rec.crashes_executed),
+                static_cast<unsigned long long>(rec.crashes_skipped),
+                static_cast<unsigned long long>(rec.hosts_crashed),
+                static_cast<unsigned long long>(rec.hosts_rolled_back));
+    std::printf("  %llu events undone, %llu messages replayed, %llu checkpoints discarded\n",
+                static_cast<unsigned long long>(rec.undone_events),
+                static_cast<unsigned long long>(rec.replayed_messages),
+                static_cast<unsigned long long>(rec.checkpoints_discarded));
+    std::printf("  recovery time: measured max %.2f tu, planned %.2f tu, model estimate %.2f tu\n",
+                rec.max_recovery_time, rec.total_planned, rec.total_estimated);
   }
   return 0;
 }
@@ -252,8 +299,10 @@ int cmd_explain(const sim::ArgParser& args) {
   const std::string ckpt_spec = args.get_string("ckpt", "");
   const u64 msg_id = args.get_u64("msg", 0);
   const std::string dot_path = args.get_string("dot", "");
-  if (ckpt_spec.empty() && msg_id == 0 && dot_path.empty()) {
-    std::fprintf(stderr, "explain: nothing to explain — pass --ckpt, --msg, and/or --dot\n");
+  const bool recovery = args.get_flag("recovery");
+  if (ckpt_spec.empty() && msg_id == 0 && dot_path.empty() && !recovery) {
+    std::fprintf(stderr,
+                 "explain: nothing to explain — pass --ckpt, --msg, --recovery, and/or --dot\n");
     return 2;
   }
   sim::ExperimentOptions opts;
@@ -266,6 +315,13 @@ int cmd_explain(const sim::ArgParser& args) {
 
   if (msg_id != 0) {
     sim::print_message_story(std::cout, observer.timeline(), names, msg_id);
+  }
+  if (recovery) {
+    if (exp.faults() == nullptr) {
+      std::fprintf(stderr, "explain: --recovery needs a crash scenario (--crash-mode)\n");
+      return 2;
+    }
+    sim::print_recovery_story(std::cout, *exp.faults(), names);
   }
   bool have_target = false;
   sim::CkptTarget target;

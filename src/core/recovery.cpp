@@ -88,21 +88,48 @@ u64 RollbackResult::total_discarded() const noexcept {
   return total;
 }
 
-u64 RollbackResult::undone_events() const noexcept {
+u64 RollbackResult::undone_events() const {
+  if (line.pos.size() != fail_pos.size()) {
+    throw std::logic_error("RollbackResult::undone_events: line/fail_pos size mismatch");
+  }
   u64 total = 0;
   for (usize h = 0; h < fail_pos.size(); ++h) {
-    assert(fail_pos[h] >= line.pos[h]);
+    if (fail_pos[h] < line.pos[h]) {
+      throw std::logic_error("RollbackResult::undone_events: line above the failure cut");
+    }
     total += fail_pos[h] - line.pos[h];
   }
   return total;
 }
 
+namespace {
+
+std::vector<bool> failure_mask(u32 n, net::HostId failed_host, const char* fn) {
+  std::vector<bool> failed(n, failed_host == kAllHostsFailed);
+  if (failed_host != kAllHostsFailed) {
+    if (failed_host >= n) {
+      throw std::invalid_argument(std::string(fn) + ": failed_host out of range");
+    }
+    failed[failed_host] = true;
+  }
+  return failed;
+}
+
+}  // namespace
+
 RollbackResult rollback_to_consistent(const CheckpointLog& log, const MessageLog& messages,
                                       const std::vector<u64>& fail_pos,
                                       net::HostId failed_host) {
+  return rollback_to_consistent(log, messages, fail_pos,
+                                failure_mask(log.n_hosts(), failed_host, "rollback_to_consistent"));
+}
+
+RollbackResult rollback_to_consistent(const CheckpointLog& log, const MessageLog& messages,
+                                      const std::vector<u64>& fail_pos,
+                                      const std::vector<bool>& failed) {
   const u32 n = log.n_hosts();
-  if (fail_pos.size() != n) {
-    throw std::invalid_argument("rollback_to_consistent: fail_pos size mismatch");
+  if (fail_pos.size() != n || failed.size() != n) {
+    throw std::invalid_argument("rollback_to_consistent: fail_pos/failed size mismatch");
   }
   RollbackResult result;
   result.fail_pos = fail_pos;
@@ -117,7 +144,7 @@ RollbackResult rollback_to_consistent(const CheckpointLog& log, const MessageLog
       throw std::logic_error("rollback_to_consistent: host lacks an initial checkpoint");
     }
     latest_ordinal[h] = member->ordinal;
-    if (failed_host == kAllHostsFailed || h == failed_host) {
+    if (failed[h]) {
       result.line.members[h] = member;
       result.line.pos[h] = member->event_pos;
     } else {
@@ -136,9 +163,14 @@ RollbackResult rollback_to_consistent(const CheckpointLog& log, const MessageLog
     ++result.iterations;
     for (const auto& d : messages.deliveries()) {
       if (d.send_pos > result.line.pos[d.src] && d.recv_pos <= result.line.pos[d.dst]) {
-        const CheckpointRecord* member = log.last_at_or_before_pos(d.dst, d.recv_pos - 1);
-        assert(member != nullptr && "initial checkpoint at pos 0 always qualifies");
-        assert(member->event_pos < result.line.pos[d.dst]);
+        // The receiver must roll strictly below the orphan receive. A
+        // receive at pos 0 cannot be rolled under (and `recv_pos - 1`
+        // would wrap the u64); likewise, when no stored checkpoint lies
+        // strictly below the current cut the line cannot move — skip the
+        // delivery instead of looping on it forever.
+        const CheckpointRecord* member =
+            d.recv_pos == 0 ? nullptr : log.last_at_or_before_pos(d.dst, d.recv_pos - 1);
+        if (member == nullptr || member->event_pos >= result.line.pos[d.dst]) continue;
         result.line.members[d.dst] = member;
         result.line.pos[d.dst] = member->event_pos;
         changed = true;
@@ -156,18 +188,37 @@ RollbackResult rollback_to_consistent(const CheckpointLog& log, const MessageLog
 
 RollbackResult index_rollback(const CheckpointLog& log, IndexLineRule rule,
                               const std::vector<u64>& fail_pos, net::HostId failed_host) {
+  return index_rollback(log, rule, fail_pos,
+                        failure_mask(log.n_hosts(), failed_host, "index_rollback"));
+}
+
+RollbackResult index_rollback(const CheckpointLog& log, IndexLineRule rule,
+                              const std::vector<u64>& fail_pos, const std::vector<bool>& failed) {
   const u32 n = log.n_hosts();
-  if (fail_pos.size() != n) throw std::invalid_argument("index_rollback: fail_pos size mismatch");
-  // The failed host must restart from a stored checkpoint; the best index
-  // is the highest it ever reached.
-  const u64 index = log.max_sn(failed_host);
+  if (fail_pos.size() != n || failed.size() != n) {
+    throw std::invalid_argument("index_rollback: fail_pos/failed size mismatch");
+  }
   RollbackResult result;
   result.fail_pos = fail_pos;
   result.iterations = 1;
+  if (n == 0) return result;  // degenerate zero-host log: nothing to roll back
+  // Every crashed host must restart from a stored checkpoint; the best
+  // index is the highest one all of them reached. (Feeding the
+  // kAllHostsFailed sentinel into max_sn used to index out of range.)
+  bool any_failed = false;
+  u64 index = ~0ULL;
+  for (net::HostId h = 0; h < n; ++h) {
+    if (!failed[h]) continue;
+    any_failed = true;
+    index = std::min(index, log.max_sn(h));
+  }
+  if (!any_failed) {
+    throw std::invalid_argument("index_rollback: no failed host — line index undefined");
+  }
   result.line = index_recovery_line(log, index, rule, fail_pos);
   // Survivors whose member lies beyond their failure position roll to
   // their last stored checkpoint with sn semantics intact: this cannot
-  // happen for the index = failed host's max sn (members were taken
+  // happen for the index = failed hosts' max sn (members were taken
   // before the failure), but clamp defensively.
   for (net::HostId h = 0; h < n; ++h) {
     if (result.line.pos[h] > fail_pos[h]) {

@@ -78,8 +78,11 @@ struct RollbackResult {
 
   u64 total_discarded() const noexcept;
   /// Events of computation undone by the rollback (sum over hosts of
-  /// fail position minus cut position).
-  u64 undone_events() const noexcept;
+  /// fail position minus cut position). Throws std::logic_error when the
+  /// fail_pos >= line.pos invariant is violated — a line above the
+  /// failure cut means the rollback was built from inconsistent inputs,
+  /// and that must surface in release builds too, not only under assert.
+  u64 undone_events() const;
 };
 
 /// No specific failed host: every host restarts from a stored checkpoint.
@@ -100,10 +103,27 @@ RollbackResult rollback_to_consistent(const CheckpointLog& log, const MessageLog
                                       const std::vector<u64>& fail_pos,
                                       net::HostId failed_host = kAllHostsFailed);
 
+/// Multi-victim generic rollback: `failed[h]` marks every host that
+/// crashed (correlated failures, cell-wide outages). Failed hosts are
+/// forced onto stored checkpoints; survivors stay at their failure state
+/// until orphans drag them back.
+RollbackResult rollback_to_consistent(const CheckpointLog& log, const MessageLog& messages,
+                                      const std::vector<u64>& fail_pos,
+                                      const std::vector<bool>& failed);
+
 /// Index-based rollback after a failure of `failed_host`: uses the line
-/// of index M = the failed host's highest checkpoint index. Virtual
+/// of index M = the failed host's highest checkpoint index. With
+/// `failed_host == kAllHostsFailed` every host restarts, and M is the
+/// highest index *all* hosts reached (min over per-host max sn). Virtual
 /// members represent surviving hosts that checkpoint their current state.
 RollbackResult index_rollback(const CheckpointLog& log, IndexLineRule rule,
                               const std::vector<u64>& fail_pos, net::HostId failed_host);
+
+/// Multi-victim index rollback: M is the highest index every crashed host
+/// reached (min over `failed` hosts of max sn). Throws when no host is
+/// marked failed on a non-empty log — the line index would be undefined.
+RollbackResult index_rollback(const CheckpointLog& log, IndexLineRule rule,
+                              const std::vector<u64>& fail_pos,
+                              const std::vector<bool>& failed);
 
 }  // namespace mobichk::core

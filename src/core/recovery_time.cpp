@@ -25,6 +25,7 @@ RecoveryTimeEstimate estimate_recovery_time(const RollbackResult& rollback,
   }
 
   RecoveryTimeEstimate out;
+  if (n == 0) return out;  // no hosts: nothing to notify, zero estimate
   // Phase 1: one round of notifications, in parallel — a wired hop to
   // each host's MSS plus the wireless leg into the cell.
   out.coordination = cfg.wired_latency + cfg.wireless_latency;
@@ -41,6 +42,9 @@ RecoveryTimeEstimate estimate_recovery_time(const RollbackResult& rollback,
     if (member == nullptr) continue;  // survivor keeps its state
     ++out.hosts_rolled_back;
     const net::MssId cell = host_mss.at(h);
+    if (cell >= n_mss) {
+      throw std::invalid_argument("estimate_recovery_time: host_mss entry out of range");
+    }
     f64 transfer = wireless_xfer;
     out.wireless_bytes += cfg.state_bytes;
     if (member->location != cell) {
@@ -53,7 +57,10 @@ RecoveryTimeEstimate estimate_recovery_time(const RollbackResult& rollback,
     max_replay = std::max(max_replay, cfg.restart_overhead +
                                           static_cast<f64>(undone) * cfg.event_replay_time);
   }
-  out.state_transfer = *std::max_element(cell_busy.begin(), cell_busy.end());
+  // With n_mss == 0 (or no host rolling back) the busiest-cell range is
+  // empty or all-zero; dereferencing max_element of an empty vector was UB.
+  out.state_transfer =
+      cell_busy.empty() ? 0.0 : *std::max_element(cell_busy.begin(), cell_busy.end());
   out.replay = max_replay;
   return out;
 }

@@ -1,0 +1,66 @@
+#include "core/replay.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mobichk::core {
+
+RecoveryPlan plan_recovery(const RollbackResult& rollback, const MessageLog& messages,
+                           const std::vector<bool>& crashed,
+                           const std::vector<net::MssId>& host_mss, u32 n_mss,
+                           const RecoveryTimeConfig& cfg) {
+  const usize n = rollback.line.pos.size();
+  if (crashed.size() != n || host_mss.size() != n) {
+    throw std::invalid_argument("plan_recovery: crashed/host_mss size mismatch");
+  }
+  RecoveryPlan plan;
+  // Validates cfg and the host_mss entries of every rolled-back host.
+  plan.estimate = estimate_recovery_time(rollback, host_mss, n_mss, cfg);
+  plan.hosts.resize(n);
+  if (n == 0) return plan;
+
+  const f64 coordination = plan.estimate.coordination;
+  const f64 wireless_xfer =
+      cfg.wireless_latency + static_cast<f64>(cfg.state_bytes) / cfg.wireless_bandwidth;
+  const f64 wired_xfer =
+      cfg.wired_latency + static_cast<f64>(cfg.state_bytes) / cfg.wired_bandwidth;
+  // Each cell's downlink serves its recovering hosts FIFO, starting once
+  // the coordination round told everyone which checkpoint to load.
+  std::vector<f64> cell_cursor(n_mss, coordination);
+  for (usize h = 0; h < n; ++h) {
+    HostRecoveryStep& step = plan.hosts[h];
+    step.crashed = crashed[h];
+    if (step.crashed) ++plan.hosts_down;
+    const CheckpointRecord* member = rollback.line.members[h];
+    step.participates = step.crashed || member != nullptr;
+    if (!step.participates) continue;
+    if (rollback.fail_pos.at(h) < rollback.line.pos.at(h)) {
+      throw std::logic_error("plan_recovery: line above the failure cut");
+    }
+    step.undone_events = rollback.fail_pos[h] - rollback.line.pos[h];
+    step.restore_done = coordination;
+    if (member != nullptr) {
+      f64 transfer = wireless_xfer;
+      if (member->location != host_mss[h]) transfer += wired_xfer;
+      f64& cursor = cell_cursor.at(host_mss[h]);
+      cursor += transfer;
+      step.restore_done = cursor;
+    }
+    step.ready_at = step.restore_done + cfg.restart_overhead +
+                    static_cast<f64>(step.undone_events) * cfg.event_replay_time;
+    plan.undone_events += step.undone_events;
+    plan.completion = std::max(plan.completion, step.ready_at);
+  }
+  // Replay re-consumes every logged delivery the rollback undid: received
+  // after the line but at or before the failure cut.
+  for (const auto& d : messages.deliveries()) {
+    if (d.dst >= n || !plan.hosts[d.dst].participates) continue;
+    if (d.recv_pos > rollback.line.pos[d.dst] && d.recv_pos <= rollback.fail_pos[d.dst]) {
+      ++plan.hosts[d.dst].replayed_messages;
+      ++plan.replayed_messages;
+    }
+  }
+  return plan;
+}
+
+}  // namespace mobichk::core

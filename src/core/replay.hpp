@@ -1,0 +1,56 @@
+// Executed-recovery planning: the per-host schedule the crash engine
+// follows when it restores a run after a failure.
+//
+// estimate_recovery_time prices recovery with phase barriers (all hosts
+// finish coordination, then all transfers, then all replay). The crash
+// engine executes recovery per host: each host restores its image as soon
+// as its cell's downlink frees up and starts replaying immediately, so
+// hosts come back staggered. plan_recovery derives those per-host ready
+// times from the same cost model, plus the logged messages each host will
+// re-consume, and carries the analytical estimate along for
+// reconciliation: whenever every crashed host restores from a stored
+// member, `completion <= estimate.total()` (pipelining can only help).
+#pragma once
+
+#include <vector>
+
+#include "core/message_log.hpp"
+#include "core/recovery.hpp"
+#include "core/recovery_time.hpp"
+#include "des/types.hpp"
+#include "net/ids.hpp"
+
+namespace mobichk::core {
+
+/// One host's part in an executed recovery.
+struct HostRecoveryStep {
+  bool participates = false;  ///< Restores a stored checkpoint, or crashed.
+  bool crashed = false;       ///< The failure killed this host.
+  u64 undone_events = 0;      ///< fail_pos - line.pos: computation to redo.
+  u64 replayed_messages = 0;  ///< Logged deliveries re-consumed during replay.
+  f64 restore_done = 0.0;     ///< Image restored (coordination + cell transfer).
+  f64 ready_at = 0.0;         ///< Replay finished; the host resumes here.
+};
+
+/// The schedule for one executed recovery: per-host steps, run totals,
+/// and the phase-barrier analytical estimate for the same rollback.
+struct RecoveryPlan {
+  std::vector<HostRecoveryStep> hosts;
+  u64 hosts_down = 0;          ///< Hosts marked crashed.
+  u64 undone_events = 0;       ///< Sum over participating hosts.
+  u64 replayed_messages = 0;   ///< Sum over participating hosts.
+  f64 completion = 0.0;        ///< max ready_at over participants.
+  RecoveryTimeEstimate estimate;
+};
+
+/// Builds the executed-recovery schedule for `rollback`. `crashed[h]`
+/// marks the hosts the failure killed (they participate even if their
+/// member is virtual); survivors participate only when the rollback
+/// forced them onto a stored checkpoint. `host_mss[h]` is where host h
+/// recovers; per-cell transfers serialize in host-id order.
+RecoveryPlan plan_recovery(const RollbackResult& rollback, const MessageLog& messages,
+                           const std::vector<bool>& crashed,
+                           const std::vector<net::MssId>& host_mss, u32 n_mss,
+                           const RecoveryTimeConfig& cfg = {});
+
+}  // namespace mobichk::core

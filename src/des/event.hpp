@@ -36,6 +36,8 @@ enum class EventKind : u8 {
   kConnectivity,        ///< Mobility timer: a disconnect or reconnect is due.
   kWorkloadOp,          ///< Workload: a host's next send/receive operation is due.
   kCheckpointTransfer,  ///< A checkpoint/marker control transfer completes.
+  kCrash,               ///< Fault injection: one or more hosts fail now.
+  kRecover,             ///< A crashed host finishes rollback + replay and resumes.
 };
 
 class EventTarget;

@@ -19,6 +19,8 @@ const char* trace_kind_name(TraceKind kind) noexcept {
     case TraceKind::kControlMessage: return "control";
     case TraceKind::kStorageWrite: return "storage-write";
     case TraceKind::kStorageTransfer: return "storage-transfer";
+    case TraceKind::kCrash: return "crash";
+    case TraceKind::kRecover: return "recover";
     case TraceKind::kUser: return "user";
   }
   return "?";

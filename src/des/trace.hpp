@@ -29,6 +29,8 @@ enum class TraceKind : u8 {
   kControlMessage,
   kStorageWrite,
   kStorageTransfer,
+  kCrash,
+  kRecover,
   kUser,
 };
 

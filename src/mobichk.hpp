@@ -28,6 +28,7 @@
 #include "core/harness.hpp"
 #include "core/recovery.hpp"
 #include "core/recovery_time.hpp"
+#include "core/replay.hpp"
 #include "des/simulator.hpp"
 #include "des/trace_io.hpp"
 #include "net/network.hpp"
@@ -41,6 +42,7 @@
 #include "sim/config.hpp"
 #include "sim/experiment.hpp"
 #include "sim/explain.hpp"
+#include "sim/faults.hpp"
 #include "sim/mobility.hpp"
 #include "sim/report.hpp"
 #include "sim/sweep.hpp"

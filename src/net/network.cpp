@@ -321,4 +321,50 @@ void Network::reconnect(HostId host_id, MssId new_mss) {
   }
 }
 
+void Network::crash(HostId host_id) {
+  MobileHost& h = hosts_.at(host_id);
+  assert(h.connected() && "cannot crash a disconnected host");
+  // A failure is unannounced: no control message, no upcall — the host
+  // gets no chance to checkpoint (contrast disconnect()).
+  ++stats_.crashes;
+  if (probe_ != nullptr) probe_->crashes->add();
+  observe_mobility(obs::ProbeKind::kCrash, host_id, -1);
+  trace(des::TraceKind::kCrash, host_id, h.mss(), h.mailbox_.size());
+  h.connected_ = false;
+  // Volatile state dies with the host. Messages delivered but not yet
+  // consumed were already counted received by the MSS's stable log; park
+  // them back in the cell buffer so replay re-delivers them.
+  for (auto& msg : h.mailbox_) {
+    mss_.at(h.mss()).buffer_message(host_id, std::move(msg));
+  }
+  h.mailbox_.clear();
+  h.seen_ids_.clear();
+}
+
+void Network::restore(HostId host_id, MssId at_mss) {
+  MobileHost& h = hosts_.at(host_id);
+  assert(!h.connected() && "cannot restore a live host");
+  assert(at_mss < cfg_.n_mss);
+  const MssId last_mss = h.mss();
+  // The rejoin itself looks like a reconnection to the substrate: one
+  // control message announcing the restored host to its MSS.
+  stats_.control_messages += 1;
+  stats_.wireless_messages += 1;
+  ++stats_.restores;
+  if (probe_ != nullptr) probe_->restores->add();
+  observe_mobility(obs::ProbeKind::kRecover, host_id, static_cast<i32>(at_mss));
+  occupy_control(at_mss);
+  h.connected_ = true;
+  h.mss_ = at_mss;
+  trace(des::TraceKind::kRecover, host_id, last_mss, at_mss);
+  handler_->on_reconnect(h, at_mss);
+  // Messages buffered during the outage (including the crash-parked
+  // mailbox) flow to the restored host.
+  auto pending = mss_.at(last_mss).drain_buffer(host_id);
+  stats_.buffered_deliveries += pending.size();
+  for (auto& msg : pending) {
+    msg_at_mss(last_mss, std::move(msg), /*targeted=*/false);
+  }
+}
+
 }  // namespace mobichk::net

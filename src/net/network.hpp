@@ -68,6 +68,8 @@ struct NetworkStats {
   u64 handoffs = 0;
   u64 disconnects = 0;
   u64 reconnects = 0;
+  u64 crashes = 0;             ///< Injected host failures.
+  u64 restores = 0;            ///< Post-recovery rejoins.
   u64 chase_forwards = 0;      ///< Re-forwards caused by in-flight mobility.
   u64 buffered_deliveries = 0; ///< Deliveries that waited out a disconnection.
   u64 duplicates_generated = 0;
@@ -156,6 +158,21 @@ class Network final : public des::EventTarget {
   /// Reconnects `host` at `new_mss`; buffered messages are forwarded.
   /// Pre: disconnected.
   void reconnect(HostId host, MssId new_mss);
+
+  // -- failure operations (driven by the crash engine) ------------------
+
+  /// Kills `host` without warning: unlike disconnect() there is no
+  /// control message and no protocol upcall (the host had no chance to
+  /// checkpoint). Volatile state — the mailbox and dedup set — is lost;
+  /// undelivered mailbox messages are re-buffered at the host's MSS,
+  /// whose stable message log retains them for replay. Pre: connected.
+  void crash(HostId host);
+
+  /// Rejoins `host` at `at_mss` after rollback + replay completed. Pays
+  /// the reconnect control cost, fires on_reconnect (protocols checkpoint
+  /// the restored state), and forwards messages buffered during the
+  /// outage. Pre: crashed/disconnected.
+  void restore(HostId host, MssId at_mss);
 
   /// Typed-event dispatch for in-flight message legs (des::EventTarget).
   void on_event(const des::EventPayload& payload) override;

@@ -114,6 +114,10 @@ void write_metrics_jsonl(std::ostream& os, const RunObserver& run) {
       os << ",\"host\":" << e.actor << ",\"slot\":" << e.track << ",\"protocol\":";
       emit_string(os, protocol_label(run, e.track));
       os << ",\"sn\":" << e.a;
+    } else if (e.kind == ProbeKind::kCrash) {
+      os << ",\"host\":" << e.actor;
+    } else if (e.kind == ProbeKind::kRecover) {
+      os << ",\"host\":" << e.actor << ",\"mss\":" << e.track;
     }
     os << "}\n";
   }
@@ -155,12 +159,18 @@ void write_chrome_trace(std::ostream& os, const RunObserver& run) {
   // send->deliver arrow, lane 1+slot the send->forced-checkpoint arrow.
   std::unordered_set<u64> delivered;
   std::unordered_map<u64, u64> forced_slots;  // msg id -> slot bitmask
+  // Outage prescan: pair each crash with the host's next recover so the
+  // outage renders as one duration slice instead of two instants.
+  std::unordered_map<i32, std::vector<f64>> recover_times;  // host -> times, in order
+  std::unordered_map<i32, usize> recover_cursor;
   for (const ProbeEvent& e : run.timeline().events()) {
     if (e.kind == ProbeKind::kDeliver) {
       delivered.insert(e.a);
     } else if (e.kind == ProbeKind::kCheckpoint && e.ckpt_kind == CkptKind::kForced &&
                e.b != 0 && e.track >= 0 && e.track < 62) {
       forced_slots[e.b] |= u64{1} << e.track;
+    } else if (e.kind == ProbeKind::kRecover) {
+      recover_times[e.actor].push_back(e.t);
     }
   }
   constexpr u64 kFlowStride = 64;
@@ -254,6 +264,25 @@ void write_chrome_trace(std::ostream& os, const RunObserver& run) {
       emit_ts(os, e.t);
       os << ",\"pid\":" << (e.track + 1) << ",\"tid\":" << e.actor << ",\"args\":{\"sn\":" << e.a
          << "}}";
+    } else if (e.kind == ProbeKind::kCrash) {
+      // The outage is a slice from the crash to the host's next recover
+      // (open-ended instants if the run stopped before the recovery).
+      f64 dur_us = kSliceDurUs;
+      const auto rt = recover_times.find(e.actor);
+      if (rt != recover_times.end()) {
+        usize& cursor = recover_cursor[e.actor];
+        while (cursor < rt->second.size() && rt->second[cursor] < e.t) ++cursor;
+        if (cursor < rt->second.size()) {
+          dur_us = (rt->second[cursor] - e.t) * 1000.0;
+          ++cursor;
+        }
+      }
+      begin_event();
+      os << "{\"name\":\"crashed (recovering)\",\"ph\":\"X\",\"dur\":";
+      emit_number(os, dur_us);
+      os << ",\"ts\":";
+      emit_ts(os, e.t);
+      os << ",\"pid\":0,\"tid\":" << e.actor << "}";
     } else {
       begin_event();
       os << "{\"name\":";

@@ -3,8 +3,7 @@
 namespace mobichk::obs {
 namespace {
 
-// Names must track des::EventKind's enumerators (see des/event.hpp);
-// slots past the last real kind are reserved.
+// Names must track des::EventKind's enumerators (see des/event.hpp).
 constexpr const char* kDispatchNames[KernelProbe::kMaxEventKinds] = {
     "des.dispatch.closure",
     "des.dispatch.message_hop",
@@ -12,8 +11,8 @@ constexpr const char* kDispatchNames[KernelProbe::kMaxEventKinds] = {
     "des.dispatch.connectivity",
     "des.dispatch.workload_op",
     "des.dispatch.checkpoint_transfer",
-    "des.dispatch.reserved6",
-    "des.dispatch.reserved7",
+    "des.dispatch.crash",
+    "des.dispatch.recover",
 };
 
 }  // namespace
@@ -38,6 +37,8 @@ void NetProbe::resolve(MetricRegistry& reg) {
   handoffs = &reg.counter("net.mobility.handoffs");
   disconnects = &reg.counter("net.mobility.disconnects");
   reconnects = &reg.counter("net.mobility.reconnects");
+  crashes = &reg.counter("net.mobility.crashes");
+  restores = &reg.counter("net.mobility.restores");
   delivery_latency = &reg.histogram("net.delivery_latency_tu", 0.0, 50.0, 100);
 }
 

@@ -16,7 +16,7 @@ namespace mobichk::obs {
 
 /// DES kernel: per-kind dispatch counts plus queue traffic. The
 /// dispatched array is indexed by des::EventKind's underlying value;
-/// size 8 leaves headroom beyond the current 6 kinds.
+/// all 8 slots are in use since kCrash/kRecover landed.
 struct KernelProbe {
   static constexpr usize kMaxEventKinds = 8;
 
@@ -40,6 +40,8 @@ struct NetProbe {
   Counter* handoffs = nullptr;
   Counter* disconnects = nullptr;
   Counter* reconnects = nullptr;
+  Counter* crashes = nullptr;   ///< injected host failures
+  Counter* restores = nullptr;  ///< post-recovery rejoins
   FixedHistogram* delivery_latency = nullptr;  ///< tu, app messages only
 
   void resolve(MetricRegistry& reg);

@@ -23,6 +23,8 @@ const char* probe_kind_name(ProbeKind kind) noexcept {
     case ProbeKind::kSend: return "send";
     case ProbeKind::kDeliver: return "deliver";
     case ProbeKind::kSnPromote: return "sn_promote";
+    case ProbeKind::kCrash: return "crash";
+    case ProbeKind::kRecover: return "recover";
   }
   return "unknown";
 }

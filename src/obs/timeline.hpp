@@ -24,6 +24,8 @@ enum class ProbeKind : u8 {
   kSend = 6,         ///< application message left its source host
   kDeliver = 7,      ///< application message was consumed at its destination
   kSnPromote = 8,    ///< a checkpoint was relabelled with a larger index (COORD)
+  kCrash = 9,        ///< fault injection killed the host
+  kRecover = 10,     ///< host finished rollback + replay and rejoined
 };
 
 /// Mirror of core::CheckpointKind — kept value-identical so recording is

@@ -14,6 +14,39 @@ const char* mobility_model_name(MobilityModelKind kind) noexcept {
   return "?";
 }
 
+const char* crash_mode_name(CrashMode mode) noexcept {
+  switch (mode) {
+    case CrashMode::kNone: return "none";
+    case CrashMode::kMhCrash: return "host";
+    case CrashMode::kCorrelated: return "correlated";
+    case CrashMode::kCellOutage: return "cell";
+  }
+  return "?";
+}
+
+void FaultConfig::validate(u32 n_hosts, u32 n_mss) const {
+  if (!enabled()) return;
+  if (first_crash_at <= 0.0) {
+    throw std::invalid_argument("FaultConfig: first_crash_at must be positive");
+  }
+  if (crash_interval < 0.0) {
+    throw std::invalid_argument("FaultConfig: crash_interval must be >= 0");
+  }
+  if (max_crashes == 0) throw std::invalid_argument("FaultConfig: max_crashes must be >= 1");
+  if (target != kRandomTarget) {
+    if (mode == CrashMode::kCellOutage && target >= n_mss) {
+      throw std::invalid_argument("FaultConfig: target cell out of range");
+    }
+    if (mode != CrashMode::kCellOutage && target >= n_hosts) {
+      throw std::invalid_argument("FaultConfig: target host out of range");
+    }
+  }
+  if (mode == CrashMode::kCorrelated && (correlated == 0 || correlated > n_hosts)) {
+    throw std::invalid_argument("FaultConfig: correlated count out of [1, n_hosts]");
+  }
+  recovery.validate();
+}
+
 u32 SimConfig::fast_host_count() const noexcept {
   return static_cast<u32>(
       std::llround(heterogeneity * static_cast<f64>(network.n_hosts)));
@@ -46,6 +79,7 @@ void SimConfig::validate() const {
   if (network.n_mss < 2 && p_switch > 0.0) {
     throw std::invalid_argument("SimConfig: cell switches need at least 2 MSSs");
   }
+  faults.validate(network.n_hosts, network.n_mss);
 }
 
 }  // namespace mobichk::sim

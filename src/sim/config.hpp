@@ -3,6 +3,7 @@
 // latency, storage accounting).
 #pragma once
 
+#include "core/recovery_time.hpp"
 #include "des/types.hpp"
 #include "net/network.hpp"
 
@@ -24,6 +25,37 @@ enum class MobilityModelKind : u8 {
 };
 
 const char* mobility_model_name(MobilityModelKind kind) noexcept;
+
+/// Which failure pattern the crash engine injects (ROADMAP: executed
+/// recovery — the paper's §6 future work).
+enum class CrashMode : u8 {
+  kNone = 0,     ///< No failures (the default; runs stay trace-identical).
+  kMhCrash,      ///< Independent single-MH crashes.
+  kCorrelated,   ///< `correlated` hosts fail at the same instant.
+  kCellOutage,   ///< Every host attached to one MSS fails at once.
+};
+
+const char* crash_mode_name(CrashMode mode) noexcept;
+
+/// Crash-scenario parameters. Failures perturb the trace, so (like
+/// ckpt_latency) executed recovery is meaningful in single-protocol runs;
+/// multi-protocol runs still record per-slot rollback measurements
+/// against the shared trace, but only slot 0's line is physically
+/// restored.
+struct FaultConfig {
+  CrashMode mode = CrashMode::kNone;
+  f64 first_crash_at = 0.0;  ///< Time of the first failure; > 0 when enabled.
+  f64 crash_interval = 0.0;  ///< Mean gap to the next failure (0 = one-shot).
+  u32 max_crashes = 1;       ///< Stop injecting after this many failures.
+  /// Victim chosen uniformly at random among live hosts (or cells).
+  static constexpr u32 kRandomTarget = 0xFFFFFFFFu;
+  u32 target = kRandomTarget;  ///< Fixed victim host (kMhCrash) or cell (kCellOutage).
+  u32 correlated = 2;          ///< Victim count under kCorrelated.
+  core::RecoveryTimeConfig recovery;  ///< Cost model driving executed recovery.
+
+  bool enabled() const noexcept { return mode != CrashMode::kNone; }
+  void validate(u32 n_hosts, u32 n_mss) const;
+};
 
 /// All parameters of one simulation run.
 struct SimConfig {
@@ -58,6 +90,9 @@ struct SimConfig {
   /// are insensitive to it; ablation ABL1 reproduces that). Meaningful
   /// only in single-protocol runs (a non-zero value perturbs the trace).
   f64 ckpt_latency = 0.0;
+
+  /// Crash-scenario engine parameters (disabled by default).
+  FaultConfig faults;
 
   /// Number of fast MHs implied by `heterogeneity` (paper convention:
   /// hosts 0..k-1 are the fast ones).

@@ -67,6 +67,10 @@ Experiment::Experiment(SimConfig cfg, ExperimentOptions opts)
     workload_->set_latency_probes(std::move(probes));
   }
   mobility_ = std::make_unique<MobilityDriver>(*sim_, *net_, cfg_, workload_.get());
+  if (cfg_.faults.enabled()) {
+    crash_ = std::make_unique<CrashDriver>(*sim_, *net_, *harness_, cfg_, opts_.protocols,
+                                           workload_.get(), mobility_.get(), opts_.observer);
+  }
   if (opts_.observer != nullptr) {
     opts_.observer->set_n_hosts(static_cast<i32>(cfg_.network.n_hosts));
     std::vector<std::string> names;
@@ -89,6 +93,7 @@ void Experiment::run() {
   net_->start();
   workload_->start();
   mobility_->start();
+  if (crash_ != nullptr) crash_->start();
   sim_->run_until(cfg_.sim_length);
   result_.wall_seconds =
       std::chrono::duration<f64>(std::chrono::steady_clock::now() - wall_start).count();
@@ -123,11 +128,26 @@ void Experiment::run() {
     if (opts_.verify_consistency) verify_slot(slot, stats);
     result_.protocols.push_back(std::move(stats));
   }
+  if (crash_ != nullptr) result_.recovery = crash_->stats();
   if (opts_.observer != nullptr) {
     // Pull-model metrics: cheap to read once, pointless to track live.
     const obs::KernelProbe* kp = opts_.observer->kernel_probe();
     kp->compactions->add(sim_->queue_compactions());
     kp->max_pending->max_of(static_cast<f64>(result_.invariants.max_pending));
+    if (crash_ != nullptr) {
+      // Executed-recovery metrics, pull-model like the kernel ones.
+      obs::MetricRegistry& reg = opts_.observer->registry();
+      const CrashRunStats& rec = result_.recovery;
+      reg.counter("recovery.crashes").add(rec.crashes_executed);
+      reg.counter("recovery.hosts_crashed").add(rec.hosts_crashed);
+      reg.counter("recovery.hosts_rolled_back").add(rec.hosts_rolled_back);
+      reg.counter("recovery.undone_events").add(rec.undone_events);
+      reg.counter("recovery.replayed_messages").add(rec.replayed_messages);
+      reg.counter("recovery.checkpoints_discarded").add(rec.checkpoints_discarded);
+      reg.gauge("recovery.total_time").set(rec.total_recovery_time);
+      reg.gauge("recovery.max_time").set(rec.max_recovery_time);
+      reg.gauge("recovery.total_estimated").set(rec.total_estimated);
+    }
     // Close the online recovery-line analysis (Z-cycle pass, final
     // gauges) before the snapshot so rl.* metrics are complete.
     opts_.observer->finalize_causal();

@@ -14,6 +14,7 @@
 #include "net/network.hpp"
 #include "obs/observer.hpp"
 #include "sim/config.hpp"
+#include "sim/faults.hpp"
 #include "sim/mobility.hpp"
 #include "sim/workload.hpp"
 
@@ -75,6 +76,8 @@ struct RunResult {
   /// Metric snapshot (registration order); empty when no observer was
   /// attached.
   std::vector<obs::MetricSample> metrics;
+  /// Executed-recovery totals; all-zero when cfg.faults is disabled.
+  CrashRunStats recovery;
 
   const ProtocolRunStats& by_name(const std::string& name) const;
 };
@@ -94,6 +97,8 @@ class Experiment {
   net::Network& network() noexcept { return *net_; }
   core::ProtocolHarness& harness() noexcept { return *harness_; }
   WorkloadDriver& workload() noexcept { return *workload_; }
+  /// The crash engine; nullptr when cfg.faults is disabled.
+  const CrashDriver* faults() const noexcept { return crash_.get(); }
   const core::CheckpointLog& log(usize slot) const { return harness_->log(slot); }
   core::ProtocolKind kind(usize slot) const { return opts_.protocols.at(slot); }
 
@@ -108,6 +113,7 @@ class Experiment {
   std::unique_ptr<core::ProtocolHarness> harness_;
   std::unique_ptr<WorkloadDriver> workload_;
   std::unique_ptr<MobilityDriver> mobility_;
+  std::unique_ptr<CrashDriver> crash_;
   RunResult result_;
   bool ran_ = false;
 };

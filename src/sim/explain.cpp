@@ -203,4 +203,51 @@ void write_interval_dot(std::ostream& os, const core::CheckpointLog& log,
   os << "}\n";
 }
 
+void print_recovery_story(std::ostream& os, const CrashDriver& driver,
+                          const std::vector<std::string>& protocol_names) {
+  const std::vector<CrashRecord>& records = driver.records();
+  if (records.empty()) {
+    os << "no crash was executed — enable one with --crash-mode\n";
+    return;
+  }
+  for (usize i = 0; i < records.size(); ++i) {
+    const CrashRecord& r = records[i];
+    os << "crash #" << i + 1 << " at t=" << r.t << " (" << crash_mode_name(r.mode)
+       << "): " << (r.mode == CrashMode::kCellOutage ? "cell outage kills" : "failure kills")
+       << " host";
+    if (r.victims.size() > 1) os << 's';
+    for (const auto v : r.victims) os << ' ' << v;
+    os << '\n';
+    for (usize slot = 0; slot < r.slot_undone.size(); ++slot) {
+      os << "  " << slot_label(protocol_names, static_cast<i32>(slot)) << ": rolls back "
+         << r.slot_undone[slot] << " events";
+      if (r.slot_line_index[slot] > 0) os << " to line index " << r.slot_line_index[slot];
+      if (r.tracker_line_index[slot] != ~0ULL) {
+        os << (r.tracker_line_index[slot] == r.slot_line_index[slot]
+                   ? " (online tracker agrees)"
+                   : " (online tracker had committed index " +
+                         std::to_string(r.tracker_line_index[slot]) + ")");
+      }
+      os << '\n';
+    }
+    os << "  executed (" << (protocol_names.empty() ? "slot 0" : protocol_names.front())
+       << "'s line): " << r.hosts_taken_down << " host(s) down, " << r.hosts_rolled_back
+       << " restored from stored checkpoints, " << r.checkpoints_discarded
+       << " checkpoints discarded after " << r.orphan_iterations << " orphan pass(es)\n";
+    os << "  replay: " << r.replayed_messages << " logged messages re-consumed\n";
+    os << "  recovery time: ";
+    if (r.actual_recovery > 0.0) {
+      os << "measured " << r.actual_recovery << " tu, ";
+    } else if (r.pending_restores > 0) {
+      os << "still recovering at end of run, ";
+    }
+    os << "planned " << r.planned_recovery << " tu (pipelined), model estimate "
+       << r.estimated_recovery << " tu (phase barriers)\n";
+  }
+  const CrashRunStats& s = driver.stats();
+  os << "totals: " << s.crashes_executed << " crash(es) executed, " << s.crashes_skipped
+     << " skipped, " << s.undone_events << " events undone, " << s.replayed_messages
+     << " messages replayed, max recovery " << s.max_recovery_time << " tu\n";
+}
+
 }  // namespace mobichk::sim

@@ -9,6 +9,9 @@
 //  * write_interval_dot     — the checkpoint-interval graph as DOT, one
 //    cluster per host, message edges aggregated, with an optional
 //    recovery line highlighted.
+//  * print_recovery_story   — narrates every executed crash of a run:
+//    victims, per-protocol rollback, replay, and measured-vs-modelled
+//    recovery time.
 #pragma once
 
 #include <iosfwd>
@@ -19,6 +22,7 @@
 #include "core/message_log.hpp"
 #include "core/recovery.hpp"
 #include "obs/timeline.hpp"
+#include "sim/faults.hpp"
 
 namespace mobichk::sim {
 
@@ -54,5 +58,13 @@ void print_message_story(std::ostream& os, const obs::Timeline& timeline,
 void write_interval_dot(std::ostream& os, const core::CheckpointLog& log,
                         const core::MessageLog& messages, const core::GlobalCheckpoint* line,
                         const std::string& title);
+
+/// Narrates every crash the CrashDriver executed: the failure (time,
+/// mode, victims), each protocol's recovery line (rollback distance,
+/// line index, online-tracker agreement), and the executed recovery
+/// (hosts cycled, messages replayed, measured vs planned vs modelled
+/// recovery time).
+void print_recovery_story(std::ostream& os, const CrashDriver& driver,
+                          const std::vector<std::string>& protocol_names);
 
 }  // namespace mobichk::sim

@@ -24,6 +24,7 @@ MobilityDriver::MobilityDriver(des::Simulator& sim, net::Network& net, const Sim
   for (net::HostId h = 0; h < net.n_hosts(); ++h) {
     rng_.emplace_back(cfg.seed, "mobility", h);
   }
+  epoch_.assign(net.n_hosts(), 0);
 }
 
 void MobilityDriver::start() {
@@ -50,6 +51,9 @@ net::MssId MobilityDriver::pick_switch_target(net::HostId host) {
 
 void MobilityDriver::on_event(const des::EventPayload& p) {
   const auto host = static_cast<net::HostId>(p.a);
+  // Timers scheduled before a crash are void: the dead host's handoff /
+  // disconnect / reconnect must not fire mid-outage.
+  if (p.b != epoch_.at(host)) return;
   if (p.kind == des::EventKind::kHandoff) {
     do_switch(host);
   } else {
@@ -63,6 +67,7 @@ void MobilityDriver::enter_cell(net::HostId host) {
   des::EventPayload p;
   p.target = this;
   p.a = host;
+  p.b = epoch_.at(host);
   if (des::bernoulli(rng, cfg_.p_switch)) {
     const f64 residence = sample_residence(host, mean);
     p.kind = des::EventKind::kHandoff;
@@ -89,6 +94,7 @@ void MobilityDriver::do_disconnect(net::HostId host) {
   p.kind = des::EventKind::kConnectivity;
   p.sub = kSubReconnect;
   p.a = host;
+  p.b = epoch_.at(host);
   sim_.schedule_after(away, p);
 }
 

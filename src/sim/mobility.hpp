@@ -37,9 +37,21 @@ class MobilityDriver final : public des::EventTarget {
   /// net.start().
   void start();
 
+  /// Invalidates the host's pending mobility timer (the crash engine
+  /// calls this when the host fails: a dead host neither hands off nor
+  /// disconnects).
+  void pause(net::HostId host) { ++epoch_.at(host); }
+
+  /// Restarts the host's mobility cycle after recovery.
+  void resume(net::HostId host) {
+    ++epoch_.at(host);
+    enter_cell(host);
+  }
+
   /// Typed-event dispatch: kHandoff fires a cell switch; kConnectivity
-  /// fires a disconnect (sub 0) or reconnect (sub 1). a = host in all
-  /// cases.
+  /// fires a disconnect (sub 0) or reconnect (sub 1). a = host, b = the
+  /// host's epoch at scheduling (stale epochs are dropped — the host
+  /// crashed and recovered since).
   void on_event(const des::EventPayload& payload) override;
 
  private:
@@ -62,6 +74,7 @@ class MobilityDriver final : public des::EventTarget {
   const SimConfig& cfg_;
   WorkloadDriver* workload_;
   std::vector<des::RngStream> rng_;
+  std::vector<u64> epoch_;  ///< Bumped by pause/resume to void stale timers.
 };
 
 }  // namespace mobichk::sim

@@ -88,6 +88,24 @@ void write_json(std::ostream& os, const RunResult& result) {
     for (const obs::MetricSample& m : result.metrics) w.field(m.name, m.value);
     w.end_object();
   }
+  // Written only when a crash actually executed, so crash-free documents
+  // stay byte-identical to earlier versions.
+  if (result.recovery.crashes_executed > 0) {
+    const CrashRunStats& r = result.recovery;
+    w.key("recovery").begin_object();
+    w.field("crashes_executed", r.crashes_executed)
+        .field("crashes_skipped", r.crashes_skipped)
+        .field("hosts_crashed", r.hosts_crashed)
+        .field("hosts_rolled_back", r.hosts_rolled_back)
+        .field("undone_events", r.undone_events)
+        .field("replayed_messages", r.replayed_messages)
+        .field("checkpoints_discarded", r.checkpoints_discarded)
+        .field("total_recovery_time", r.total_recovery_time)
+        .field("max_recovery_time", r.max_recovery_time)
+        .field("total_planned", r.total_planned)
+        .field("total_estimated", r.total_estimated);
+    w.end_object();
+  }
   w.end_object();
   os << '\n';
 }
@@ -322,6 +340,22 @@ RunResult run_result_from_json(const JsonValue& json) {
     for (const auto& [name, value] : metrics->object) {
       result.metrics.push_back(obs::MetricSample{name, value.as_f64()});
     }
+  }
+  if (const JsonValue* rec = json.find("recovery")) {
+    CrashRunStats& r = result.recovery;
+    if (const JsonValue* v = rec->find("crashes_executed")) r.crashes_executed = v->as_u64();
+    if (const JsonValue* v = rec->find("crashes_skipped")) r.crashes_skipped = v->as_u64();
+    if (const JsonValue* v = rec->find("hosts_crashed")) r.hosts_crashed = v->as_u64();
+    if (const JsonValue* v = rec->find("hosts_rolled_back")) r.hosts_rolled_back = v->as_u64();
+    if (const JsonValue* v = rec->find("undone_events")) r.undone_events = v->as_u64();
+    if (const JsonValue* v = rec->find("replayed_messages")) r.replayed_messages = v->as_u64();
+    if (const JsonValue* v = rec->find("checkpoints_discarded")) {
+      r.checkpoints_discarded = v->as_u64();
+    }
+    if (const JsonValue* v = rec->find("total_recovery_time")) r.total_recovery_time = v->as_f64();
+    if (const JsonValue* v = rec->find("max_recovery_time")) r.max_recovery_time = v->as_f64();
+    if (const JsonValue* v = rec->find("total_planned")) r.total_planned = v->as_f64();
+    if (const JsonValue* v = rec->find("total_estimated")) r.total_estimated = v->as_f64();
   }
   return result;
 }

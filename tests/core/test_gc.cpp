@@ -17,6 +17,16 @@ CheckpointRecord make(net::HostId host, u64 sn, u64 pos, net::MssId loc = 0,
   return rec;
 }
 
+TEST(GcAnalysis, ZeroHostLogHasNoStableLine) {
+  // stable_index_of over an empty max-sn vector is the min-identity
+  // ~0ULL; analyze_gc must pass that through without building members.
+  CheckpointLog log(0);
+  const GcAnalysis gc = analyze_gc(log, IndexLineRule::kFirstAtLeast, 2);
+  EXPECT_EQ(gc.stable_index, ~0ULL);
+  EXPECT_TRUE(gc.stable_line.members.empty());
+  EXPECT_EQ(gc.total_collectible(), 0u);
+}
+
 TEST(GcAnalysis, StableIndexIsTheMinimumOfMaxima) {
   CheckpointLog log(3);
   for (net::HostId h = 0; h < 3; ++h) log.append(make(h, 0, 0));

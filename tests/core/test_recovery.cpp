@@ -220,6 +220,105 @@ TEST(Rollback, StartsFromFailurePositionsNotEnd) {
   EXPECT_EQ(result.line.pos[1], 0u);
 }
 
+TEST(Rollback, ReceiveAtPositionZeroCannotUnderflow) {
+  // Regression: an orphan received at recv_pos == 0 used to compute
+  // recv_pos - 1 on u64, wrapping to ~0 — last_at_or_before_pos then
+  // returned the host's *newest* checkpoint instead of one below the
+  // receive. The fixed code treats "no event strictly before the
+  // receive" as "cannot roll further": the fixpoint terminates and the
+  // receiver's cut position is left alone.
+  CheckpointLog log(2);
+  log.append(make(0, 0, 0, CheckpointKind::kInitial));
+  log.append(make(1, 0, 0, CheckpointKind::kInitial));
+  log.append(make(0, 1, 10));
+  MessageLog messages;
+  messages.note_send(1, 0, 1, 11);  // sent beyond host 0's recovery line...
+  messages.note_receive(1, 0, 0);   // ...received at host 1's position 0
+  const auto result = rollback_to_consistent(log, messages, {11, 5}, net::HostId{0});
+  EXPECT_EQ(result.line.pos[0], 10u);
+  EXPECT_EQ(result.line.pos[1], 5u);  // cannot roll under a pos-0 receive
+  EXPECT_EQ(result.undone_events(), 1u);
+  EXPECT_LE(result.iterations, 2u);  // terminates instead of looping
+}
+
+TEST(Rollback, SurvivorOnlyLineRollsNobodyBack) {
+  // A failure whose victim restores right at its last checkpoint, with no
+  // orphan: every survivor keeps its current state (virtual member).
+  CheckpointLog log(3);
+  for (net::HostId h = 0; h < 3; ++h) log.append(make(h, 0, 0, CheckpointKind::kInitial));
+  log.append(make(0, 1, 10));
+  MessageLog messages;
+  const auto result = rollback_to_consistent(log, messages, {10, 7, 3}, net::HostId{0});
+  EXPECT_EQ(result.line.pos[0], 10u);
+  EXPECT_EQ(result.line.pos[1], 7u);
+  EXPECT_EQ(result.line.pos[2], 3u);
+  EXPECT_EQ(result.line.virtual_members(), 2u);
+  EXPECT_EQ(result.undone_events(), 0u);
+  EXPECT_EQ(result.total_discarded(), 0u);
+}
+
+TEST(Rollback, MultiVictimMaskForcesEveryVictimOntoStoredCheckpoints) {
+  CheckpointLog log(3);
+  for (net::HostId h = 0; h < 3; ++h) log.append(make(h, 0, 0, CheckpointKind::kInitial));
+  log.append(make(0, 1, 10));
+  log.append(make(1, 1, 8));
+  MessageLog messages;
+  const auto result =
+      rollback_to_consistent(log, messages, {14, 9, 6}, std::vector<bool>{true, true, false});
+  EXPECT_EQ(result.line.pos[0], 10u);  // victim: last stored <= 14
+  EXPECT_EQ(result.line.pos[1], 8u);   // victim: last stored <= 9
+  EXPECT_EQ(result.line.pos[2], 6u);   // survivor: current state
+  EXPECT_EQ(result.line.virtual_members(), 1u);
+}
+
+TEST(Rollback, MaskSizeMismatchThrows) {
+  CheckpointLog log(2);
+  log.append(make(0, 0, 0, CheckpointKind::kInitial));
+  log.append(make(1, 0, 0, CheckpointKind::kInitial));
+  MessageLog messages;
+  EXPECT_THROW(rollback_to_consistent(log, messages, {5, 5}, std::vector<bool>{true}),
+               std::invalid_argument);
+  EXPECT_THROW(rollback_to_consistent(log, messages, {5, 5}, net::HostId{7}),
+               std::invalid_argument);
+}
+
+TEST(Rollback, ZeroHostLogYieldsEmptyResult) {
+  CheckpointLog log(0);
+  MessageLog messages;
+  const auto generic = rollback_to_consistent(log, messages, {});
+  EXPECT_EQ(generic.undone_events(), 0u);
+  EXPECT_EQ(generic.total_discarded(), 0u);
+  const auto indexed = index_rollback(log, IndexLineRule::kFirstAtLeast, {}, kAllHostsFailed);
+  EXPECT_EQ(indexed.undone_events(), 0u);
+  EXPECT_EQ(indexed.iterations, 1u);
+}
+
+TEST(Rollback, SingleHostLogRollsToItsLatestCheckpoint) {
+  CheckpointLog log(1);
+  log.append(make(0, 0, 0, CheckpointKind::kInitial));
+  log.append(make(0, 1, 6));
+  MessageLog messages;
+  const auto result = rollback_to_consistent(log, messages, {9}, net::HostId{0});
+  EXPECT_EQ(result.line.pos[0], 6u);
+  EXPECT_EQ(result.undone_events(), 3u);
+  EXPECT_EQ(result.checkpoints_discarded[0], 0u);
+}
+
+TEST(Rollback, UndoneEventsThrowsWhenLineIsAboveTheFailureCut) {
+  // The fail_pos >= line.pos invariant must surface in release builds
+  // too: a hand-built result violating it throws instead of wrapping.
+  RollbackResult bad;
+  bad.line.pos = {5};
+  bad.line.members = {nullptr};
+  bad.fail_pos = {3};  // cut below the line: inconsistent inputs
+  bad.checkpoints_discarded = {0};
+  EXPECT_THROW(bad.undone_events(), std::logic_error);
+  RollbackResult mismatched;
+  mismatched.line.pos = {5, 5};
+  mismatched.fail_pos = {5};
+  EXPECT_THROW(mismatched.undone_events(), std::logic_error);
+}
+
 TEST(IndexRollback, UsesFailedHostsMaxIndex) {
   CheckpointLog log(3);
   for (net::HostId h = 0; h < 3; ++h) log.append(make(h, 0, 0, CheckpointKind::kInitial));
@@ -234,6 +333,85 @@ TEST(IndexRollback, UsesFailedHostsMaxIndex) {
   // Host 2 never reached index 1: survives at its current state.
   EXPECT_EQ(result.line.pos[2], 7u);
   EXPECT_EQ(result.undone_events(), 8u + 19u + 0u);
+}
+
+TEST(IndexRollback, AllHostsFailedTakesTheMinimumMaxIndex) {
+  // Regression: the kAllHostsFailed sentinel used to be passed straight
+  // into log.max_sn(failed_host), indexing out of range. A total failure
+  // must use M = the highest index *every* host reached.
+  CheckpointLog log(3);
+  for (net::HostId h = 0; h < 3; ++h) log.append(make(h, 0, 0, CheckpointKind::kInitial));
+  log.append(make(0, 1, 10));
+  log.append(make(1, 1, 11));
+  log.append(make(1, 2, 22));
+  log.append(make(2, 1, 9));
+  const auto result =
+      index_rollback(log, IndexLineRule::kFirstAtLeast, {18, 30, 12}, kAllHostsFailed);
+  EXPECT_EQ(result.line.index, 1u);  // min(1, 2, 1)
+  EXPECT_EQ(result.line.pos[0], 10u);
+  EXPECT_EQ(result.line.pos[1], 11u);
+  EXPECT_EQ(result.line.pos[2], 9u);
+  EXPECT_EQ(result.line.virtual_members(), 0u);  // total failure: all stored
+  EXPECT_EQ(result.checkpoints_discarded[1], 1u);  // host 1 loses sn 2
+}
+
+TEST(IndexRollback, MultiVictimMaskUsesTheVictimsSharedIndex) {
+  CheckpointLog log(3);
+  for (net::HostId h = 0; h < 3; ++h) log.append(make(h, 0, 0, CheckpointKind::kInitial));
+  log.append(make(0, 2, 10));
+  log.append(make(1, 1, 11));
+  log.append(make(2, 5, 9));
+  // Hosts 0 and 1 fail: M = min(2, 1) = 1; host 2's max index is ignored.
+  const auto result = index_rollback(log, IndexLineRule::kFirstAtLeast, {18, 30, 12},
+                                     std::vector<bool>{true, true, false});
+  EXPECT_EQ(result.line.index, 1u);
+  EXPECT_EQ(result.line.pos[0], 10u);  // first sn >= 1 is the jump to 2
+  EXPECT_EQ(result.line.pos[1], 11u);
+  EXPECT_EQ(result.line.pos[2], 9u);
+}
+
+TEST(IndexRollback, NoFailedHostOnNonEmptyLogThrows) {
+  CheckpointLog log(2);
+  log.append(make(0, 0, 0, CheckpointKind::kInitial));
+  log.append(make(1, 0, 0, CheckpointKind::kInitial));
+  EXPECT_THROW(
+      index_rollback(log, IndexLineRule::kFirstAtLeast, {5, 5}, std::vector<bool>{false, false}),
+      std::invalid_argument);
+}
+
+TEST(IndexRollback, MemberBeyondTheFailureCutIsClampedBack) {
+  CheckpointLog log(2);
+  log.append(make(0, 0, 0, CheckpointKind::kInitial));
+  log.append(make(1, 0, 0, CheckpointKind::kInitial));
+  log.append(make(0, 1, 10));
+  log.append(make(1, 1, 20));
+  // Host 0 fails at 12; host 1's index-1 member sits at pos 20, beyond
+  // its own failure position 15 — the defensive clamp must pull it back
+  // to its last stored checkpoint at or before 15 (the initial one).
+  const auto result =
+      index_rollback(log, IndexLineRule::kFirstAtLeast, {12, 15}, net::HostId{0});
+  EXPECT_EQ(result.line.pos[0], 10u);
+  EXPECT_EQ(result.line.pos[1], 0u);
+  ASSERT_NE(result.line.members[1], nullptr);
+  EXPECT_EQ(result.line.members[1]->sn, 0u);
+  EXPECT_NO_THROW(result.undone_events());
+}
+
+TEST(IndexRollback, DiscardedCheckpointsCountOrdinalsAboveTheLine) {
+  CheckpointLog log(1);
+  log.append(make(0, 0, 0, CheckpointKind::kInitial));
+  log.append(make(0, 1, 5));
+  log.append(make(0, 2, 9));
+  log.append(make(0, 3, 14));
+  // Failure at pos 15 with every checkpoint stored: rolling to index 3
+  // discards nothing; the count is relative to the latest usable one.
+  const auto all = index_rollback(log, IndexLineRule::kFirstAtLeast, {15}, net::HostId{0});
+  EXPECT_EQ(all.total_discarded(), 0u);
+  // Failure at pos 10: the pos-14 checkpoint is unusable (in the future),
+  // the line lands on sn 2 at pos 9 and nothing below it is discarded.
+  const auto mid = index_rollback(log, IndexLineRule::kFirstAtLeast, {10}, net::HostId{0});
+  EXPECT_EQ(mid.line.pos[0], 9u);
+  EXPECT_EQ(mid.total_discarded(), 0u);
 }
 
 }  // namespace

@@ -93,5 +93,28 @@ TEST(RecoveryTime, Validation) {
   EXPECT_THROW(estimate_recovery_time(rb, {0, 1}, 2), std::invalid_argument);
 }
 
+TEST(RecoveryTime, ZeroHostRollbackIsFree) {
+  // Regression: an empty rollback (zero-host log, n_mss == 0) used to
+  // dereference *std::max_element on an empty cell vector. It must price
+  // to exactly zero instead.
+  const auto rb = make_rollback({}, {}, {});
+  const auto est = estimate_recovery_time(rb, {}, 0);
+  EXPECT_EQ(est.hosts_rolled_back, 0u);
+  EXPECT_DOUBLE_EQ(est.coordination, 0.0);
+  EXPECT_DOUBLE_EQ(est.state_transfer, 0.0);
+  EXPECT_DOUBLE_EQ(est.replay, 0.0);
+  EXPECT_DOUBLE_EQ(est.total(), 0.0);
+}
+
+TEST(RecoveryTime, HostMssEntryOutOfRangeThrows) {
+  // A rolled-back host attached to a cell >= n_mss is a wiring bug — it
+  // must surface as invalid_argument, not as an out-of-bounds write into
+  // the per-cell busy vector.
+  const CheckpointRecord member = member_at(0);
+  const auto rb = make_rollback({&member}, {5}, {9});
+  EXPECT_THROW(estimate_recovery_time(rb, {2}, 2), std::invalid_argument);
+  EXPECT_NO_THROW(estimate_recovery_time(rb, {1}, 2));
+}
+
 }  // namespace
 }  // namespace mobichk::core

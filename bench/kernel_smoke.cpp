@@ -198,6 +198,32 @@ int run(int argc, char** argv) {
               static_cast<unsigned long long>(fig1.events_executed), fig1_wall, fig1_eps / 1e6,
               static_cast<unsigned long long>(fig1.trace_hash));
 
+  // One large-n point (10^4 hosts, short horizon, sparse TP piggybacks):
+  // the city-scale smoke. Records throughput plus the encoded vs
+  // dense-equivalent control-byte split so scaling regressions land in
+  // the same trajectory file as the kernel numbers.
+  sim::SimConfig scale_cfg;
+  scale_cfg.network.n_hosts = 10'000;
+  scale_cfg.network.n_mss = 500;
+  scale_cfg.sim_length = 50.0;
+  scale_cfg.t_switch = 1'000.0;
+  scale_cfg.p_switch = 1.0;
+  scale_cfg.heterogeneity = 0.0;
+  scale_cfg.seed = 42;
+  sim::ExperimentOptions scale_opts;
+  scale_opts.queue_kind = des::QueueKind::kCalendar;
+  const auto scale_t0 = std::chrono::steady_clock::now();
+  const sim::RunResult scale = sim::run_experiment(scale_cfg, scale_opts);
+  const f64 scale_wall = seconds_since(scale_t0);
+  const f64 scale_eps = static_cast<f64>(scale.events_executed) / scale_wall;
+  const u64 scale_encoded = scale.by_name("TP").piggyback_bytes;
+  const u64 scale_dense = scale.by_name("TP").piggyback_dense_bytes;
+  std::printf("  scale point: n=10^4, %llu events in %.3fs (%.3gM events/s), "
+              "TP enc/dense = %llu/%llu B\n",
+              static_cast<unsigned long long>(scale.events_executed), scale_wall,
+              scale_eps / 1e6, static_cast<unsigned long long>(scale_encoded),
+              static_cast<unsigned long long>(scale_dense));
+
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
@@ -220,8 +246,17 @@ int run(int argc, char** argv) {
                static_cast<unsigned long long>(fig1.events_executed));
   std::fprintf(out, "  \"fig1_wall_seconds\": %.4f,\n", fig1_wall);
   std::fprintf(out, "  \"fig1_events_per_second\": %.1f,\n", fig1_eps);
-  std::fprintf(out, "  \"fig1_trace_hash\": \"%016llx\"\n",
+  std::fprintf(out, "  \"fig1_trace_hash\": \"%016llx\",\n",
                static_cast<unsigned long long>(fig1.trace_hash));
+  std::fprintf(out, "  \"scale_hosts\": %u,\n", scale_cfg.network.n_hosts);
+  std::fprintf(out, "  \"scale_events\": %llu,\n",
+               static_cast<unsigned long long>(scale.events_executed));
+  std::fprintf(out, "  \"scale_wall_seconds\": %.4f,\n", scale_wall);
+  std::fprintf(out, "  \"scale_events_per_second\": %.1f,\n", scale_eps);
+  std::fprintf(out, "  \"scale_tp_encoded_bytes\": %llu,\n",
+               static_cast<unsigned long long>(scale_encoded));
+  std::fprintf(out, "  \"scale_tp_dense_bytes\": %llu\n",
+               static_cast<unsigned long long>(scale_dense));
   std::fprintf(out, "}\n");
   std::fclose(out);
   std::printf("wrote %s\n", out_path.c_str());
@@ -237,6 +272,13 @@ int run(int argc, char** argv) {
   if (typed_obs.allocs_per_event > 0.01) {
     std::fprintf(stderr, "FAIL: typed path with probe allocates (%.4f allocs/event)\n",
                  typed_obs.allocs_per_event);
+    return 1;
+  }
+  if (scale_encoded > scale_dense || scale.events_executed == 0) {
+    std::fprintf(stderr, "FAIL: scale point broken (events=%llu, enc=%llu, dense=%llu)\n",
+                 static_cast<unsigned long long>(scale.events_executed),
+                 static_cast<unsigned long long>(scale_encoded),
+                 static_cast<unsigned long long>(scale_dense));
     return 1;
   }
   if (speedup < 1.3) {

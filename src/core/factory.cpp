@@ -19,7 +19,7 @@ std::unique_ptr<CheckpointProtocol> make_protocol(ProtocolKind kind,
                                                   const ProtocolParams& params) {
   switch (kind) {
     case ProtocolKind::kTp:
-      return std::make_unique<TpProtocol>();
+      return std::make_unique<TpProtocol>(params.tp_encoding);
     case ProtocolKind::kBcs:
       return std::make_unique<BcsProtocol>();
     case ProtocolKind::kQbc:

@@ -43,16 +43,25 @@ void ProtocolHarness::on_host_init(net::MobileHost& host) {
 }
 
 void ProtocolHarness::on_send(net::MobileHost& host, net::AppMessage& msg) {
-  std::vector<net::Piggyback> pbs;
-  pbs.reserve(slots_.size());
-  for (auto& slot : slots_) {
-    pbs.push_back(slot->protocol->make_piggyback(host));
-    slot->pb_bytes += pbs.back().wire_bytes();
+  u32 idx;
+  if (!park_free_.empty()) {
+    idx = park_free_.back();
+    park_free_.pop_back();
+  } else {
+    idx = static_cast<u32>(park_.size());
+    park_.emplace_back();
   }
-  if (!pbs.empty()) msg.pb = pbs.front();  // slot 0 rides the wire
+  Parked& parked = park_[idx];
+  parked.pbs.resize(slots_.size());
+  for (usize k = 0; k < slots_.size(); ++k) {
+    parked.pbs[k] = slots_[k]->protocol->make_piggyback(host, msg.dst);
+    slots_[k]->pb_bytes += parked.pbs[k].wire_bytes();
+    slots_[k]->pb_dense_bytes += parked.pbs[k].dense_bytes();
+  }
+  if (!parked.pbs.empty()) msg.pb = parked.pbs.front();  // slot 0 rides the wire
   // The send event will occupy the next position (see Network::send_app_message).
   msg_log_.note_send(msg.id, msg.src, msg.dst, host.event_pos() + 1);
-  in_flight_.emplace(msg.id, std::move(pbs));
+  in_flight_.emplace(msg.id, idx);
 }
 
 void ProtocolHarness::on_receive(net::MobileHost& host, const net::AppMessage& msg) {
@@ -62,13 +71,16 @@ void ProtocolHarness::on_receive(net::MobileHost& host, const net::AppMessage& m
         "ProtocolHarness: piggybacks for a delivered message are gone; "
         "call retain_piggybacks(true) when the network exposes duplicates");
   }
-  const std::vector<net::Piggyback>& pbs = it->second;
+  const std::vector<net::Piggyback>& pbs = park_[it->second].pbs;
   for (usize k = 0; k < slots_.size(); ++k) {
     slots_[k]->protocol->handle_receive(host, msg, pbs[k]);
   }
   // The receive event will occupy the next position (see Network::consume_one).
   msg_log_.note_receive(msg.id, host.event_pos() + 1, msg.pb.sn);
-  if (!retain_piggybacks_) in_flight_.erase(it);
+  if (!retain_piggybacks_) {
+    park_free_.push_back(it->second);
+    in_flight_.erase(it);
+  }
 }
 
 void ProtocolHarness::on_cell_switch(net::MobileHost& host, net::MssId from, net::MssId to) {

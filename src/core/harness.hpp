@@ -46,8 +46,13 @@ class ProtocolHarness final : public net::HostEventHandler {
   const CheckpointLog& log(usize slot) const { return slots_.at(slot)->log; }
   const StorageModel* storage(usize slot) const { return slots_.at(slot)->storage.get(); }
   /// Control-information bytes protocol `slot` put (or would have put) on
-  /// the wire over the whole run.
+  /// the wire over the whole run, as actually encoded (sparse piggybacks
+  /// count their delta encoding, not the dense vectors they replace).
   u64 piggyback_bytes(usize slot) const { return slots_.at(slot)->pb_bytes; }
+  /// Dense-equivalent control bytes for `slot`: what the same control
+  /// information would have cost with full vectors on every message.
+  /// Equal to piggyback_bytes for protocols without a sparse encoding.
+  u64 piggyback_dense_bytes(usize slot) const { return slots_.at(slot)->pb_dense_bytes; }
 
   const MessageLog& message_log() const noexcept { return msg_log_; }
 
@@ -77,6 +82,14 @@ class ProtocolHarness final : public net::HostEventHandler {
     CheckpointLog log;
     std::unique_ptr<StorageModel> storage;
     u64 pb_bytes = 0;
+    u64 pb_dense_bytes = 0;
+  };
+
+  /// Pooled per-message piggyback parking: slots are recycled after
+  /// delivery so the inner vectors keep their capacity and steady-state
+  /// sends stop allocating.
+  struct Parked {
+    std::vector<net::Piggyback> pbs;
   };
 
   net::Network& net_;
@@ -86,8 +99,11 @@ class ProtocolHarness final : public net::HostEventHandler {
   /// storage, which must stay stable as more slots are added.
   std::vector<std::unique_ptr<Slot>> slots_;
   MessageLog msg_log_;
-  /// msg id -> one piggyback per slot, parked between send and receive.
-  std::unordered_map<u64, std::vector<net::Piggyback>> in_flight_;
+  /// msg id -> pool index; the pool entry holds one piggyback per slot,
+  /// parked between send and receive.
+  std::unordered_map<u64, u32> in_flight_;
+  std::vector<Parked> park_;
+  std::vector<u32> park_free_;
   bool retain_piggybacks_ = false;
 };
 

@@ -27,12 +27,33 @@ const CheckpointRecord& CheckpointProtocol::take_checkpoint(const net::MobileHos
 
 const CheckpointRecord& CheckpointProtocol::take_checkpoint(const net::MobileHost& host,
                                                             CheckpointKind kind, u64 sn,
+                                                            std::vector<DepEntry> deps, u32 rank,
+                                                            obs::ForcedRule rule,
+                                                            net::MsgId trigger_msg) {
+  CheckpointRecord rec;
+  rec.sparse_deps = std::move(deps);
+  rec.dep_rank = rank;
+  return finish_checkpoint(std::move(rec), host, kind, sn, false, rule, trigger_msg);
+}
+
+const CheckpointRecord& CheckpointProtocol::take_checkpoint(const net::MobileHost& host,
+                                                            CheckpointKind kind, u64 sn,
                                                             std::vector<u32> dep_ckpt,
                                                             std::vector<u32> dep_loc,
                                                             bool replaced,
                                                             obs::ForcedRule rule,
                                                             net::MsgId trigger_msg) {
   CheckpointRecord rec;
+  rec.dep_ckpt = std::move(dep_ckpt);
+  rec.dep_loc = std::move(dep_loc);
+  return finish_checkpoint(std::move(rec), host, kind, sn, replaced, rule, trigger_msg);
+}
+
+const CheckpointRecord& CheckpointProtocol::finish_checkpoint(CheckpointRecord rec,
+                                                              const net::MobileHost& host,
+                                                              CheckpointKind kind, u64 sn,
+                                                              bool replaced, obs::ForcedRule rule,
+                                                              net::MsgId trigger_msg) {
   rec.host = host.id();
   rec.sn = sn;
   rec.kind = kind;
@@ -40,8 +61,6 @@ const CheckpointRecord& CheckpointProtocol::take_checkpoint(const net::MobileHos
   rec.location = host.mss();
   rec.event_pos = host.event_pos();
   rec.replaced_predecessor = replaced;
-  rec.dep_ckpt = std::move(dep_ckpt);
-  rec.dep_loc = std::move(dep_loc);
   const CheckpointRecord& stored = ctx_.log->append(std::move(rec));
   if (ctx_.storage != nullptr) {
     ctx_.storage->record_checkpoint(host.id(), host.mss(), ctx_.sim->now());

@@ -2,7 +2,7 @@
 
 namespace mobichk::core {
 
-net::Piggyback BcsProtocol::make_piggyback(const net::MobileHost& host) {
+net::Piggyback BcsProtocol::make_piggyback(const net::MobileHost& host, net::HostId) {
   net::Piggyback pb;
   pb.sn = sn_.at(host.id());
   pb.has_sn = true;

@@ -75,7 +75,7 @@ void CoordinatedProtocol::join_round(const net::MobileHost& host, u64 round, net
   take_checkpoint(host, CheckpointKind::kForced, r, obs::ForcedRule::kMarker, trigger);
 }
 
-net::Piggyback CoordinatedProtocol::make_piggyback(const net::MobileHost& host) {
+net::Piggyback CoordinatedProtocol::make_piggyback(const net::MobileHost& host, net::HostId) {
   net::Piggyback pb;
   pb.sn = round_.at(host.id());
   pb.has_sn = true;

@@ -2,7 +2,7 @@
 
 namespace mobichk::core {
 
-net::Piggyback LazyBcsProtocol::make_piggyback(const net::MobileHost& host) {
+net::Piggyback LazyBcsProtocol::make_piggyback(const net::MobileHost& host, net::HostId) {
   net::Piggyback pb;
   pb.sn = per_host_.at(host.id()).sn;
   pb.has_sn = true;

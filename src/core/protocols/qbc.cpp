@@ -4,7 +4,7 @@
 
 namespace mobichk::core {
 
-net::Piggyback QbcProtocol::make_piggyback(const net::MobileHost& host) {
+net::Piggyback QbcProtocol::make_piggyback(const net::MobileHost& host, net::HostId) {
   net::Piggyback pb;
   pb.sn = per_host_.at(host.id()).sn;
   pb.has_sn = true;

@@ -4,65 +4,194 @@
 
 namespace mobichk::core {
 
+namespace {
+
+/// Find-or-insert keyed lookup in a small sorted vector (flat map).
+template <typename T, typename Key>
+T& flat_map_get(std::vector<T>& v, Key T::* key, Key k) {
+  const auto it = std::lower_bound(v.begin(), v.end(), k,
+                                   [key](const T& e, Key x) { return e.*key < x; });
+  if (it != v.end() && (*it).*key == k) return *it;
+  T fresh{};
+  fresh.*key = k;
+  return *v.insert(it, fresh);
+}
+
+}  // namespace
+
 void TpProtocol::do_bind() {
-  per_host_.assign(ctx_.n_hosts, HostState{});
-  for (auto& hs : per_host_) {
-    hs.ckpt_req.assign(ctx_.n_hosts, 0);
-    hs.loc.assign(ctx_.n_hosts, 0);
+  phase_send_.assign(ctx_.n_hosts, 0);
+  ckpt_count_.assign(ctx_.n_hosts, 0);
+  if (encoding_ == TpEncoding::kDense) {
+    // Flat n*n arenas: two allocations total, not 2n heap vectors.
+    req_.assign(static_cast<usize>(ctx_.n_hosts) * ctx_.n_hosts, 0);
+    loc_.assign(static_cast<usize>(ctx_.n_hosts) * ctx_.n_hosts, 0);
+  } else {
+    self_loc_.assign(ctx_.n_hosts, 0);
+    entries_.assign(ctx_.n_hosts, {});
+    version_.assign(ctx_.n_hosts, 0);
+    send_cur_.assign(ctx_.n_hosts, {});
+    recv_cur_.assign(ctx_.n_hosts, {});
   }
 }
 
+TpProtocol::SendCursor& TpProtocol::send_cursor(net::HostId src, net::HostId dst) {
+  return flat_map_get(send_cur_[src], &SendCursor::dst, static_cast<u32>(dst));
+}
+
+TpProtocol::RecvCursor& TpProtocol::recv_cursor(net::HostId dst, net::HostId src) {
+  return flat_map_get(recv_cur_[dst], &RecvCursor::src, static_cast<u32>(src));
+}
+
 void TpProtocol::host_init(const net::MobileHost& host) {
-  HostState& hs = per_host_.at(host.id());
-  hs.loc[host.id()] = host.mss();
+  if (encoding_ == TpEncoding::kDense) {
+    loc_[static_cast<usize>(host.id()) * ctx_.n_hosts + host.id()] = host.mss();
+  } else {
+    self_loc_[host.id()] = host.mss();
+  }
   checkpoint(host, CheckpointKind::kInitial);
 }
 
 void TpProtocol::checkpoint(const net::MobileHost& host, CheckpointKind kind, net::MsgId trigger) {
-  HostState& hs = per_host_.at(host.id());
-  std::vector<u32> dep = hs.ckpt_req;
-  dep[host.id()] = static_cast<u32>(hs.ckpt_count);  // anchor ordinal
-  hs.loc[host.id()] = host.mss();
+  const net::HostId me = host.id();
   const obs::ForcedRule rule = kind == CheckpointKind::kForced
                                    ? obs::ForcedRule::kReceiveAfterSend
                                    : obs::ForcedRule::kNone;
-  take_checkpoint(host, kind, hs.ckpt_count, std::move(dep), hs.loc, /*replaced=*/false, rule,
-                  trigger);
-  ++hs.ckpt_count;
+  if (encoding_ == TpEncoding::kDense) {
+    const usize row = static_cast<usize>(me) * ctx_.n_hosts;
+    std::vector<u32> dep(req_.begin() + static_cast<std::ptrdiff_t>(row),
+                         req_.begin() + static_cast<std::ptrdiff_t>(row + ctx_.n_hosts));
+    dep[me] = static_cast<u32>(ckpt_count_[me]);  // anchor ordinal
+    loc_[row + me] = host.mss();
+    std::vector<u32> dep_loc(loc_.begin() + static_cast<std::ptrdiff_t>(row),
+                             loc_.begin() + static_cast<std::ptrdiff_t>(row + ctx_.n_hosts));
+    take_checkpoint(host, kind, ckpt_count_[me], std::move(dep), std::move(dep_loc),
+                    /*replaced=*/false, rule, trigger);
+  } else {
+    // Mirror the dense row refresh: the own location observable through
+    // location_vector() reflects the MSS at the latest checkpoint.
+    self_loc_[me] = host.mss();
+    // Snapshot the touched entries plus the own anchor, sorted by host.
+    const std::vector<Entry>& es = entries_[me];
+    std::vector<DepEntry> deps;
+    deps.reserve(es.size() + 1);
+    bool own_emitted = false;
+    for (const Entry& e : es) {
+      if (!own_emitted && e.idx > me) {
+        deps.push_back({me, static_cast<u32>(ckpt_count_[me]), host.mss()});
+        own_emitted = true;
+      }
+      deps.push_back({e.idx, e.ckpt, e.loc});
+    }
+    if (!own_emitted) deps.push_back({me, static_cast<u32>(ckpt_count_[me]), host.mss()});
+    take_checkpoint(host, kind, ckpt_count_[me], std::move(deps), ctx_.n_hosts, rule, trigger);
+  }
+  ++ckpt_count_[me];
   // A fresh interval has no sends yet; phase returns to RECV (Russell's
   // discipline: forced checkpoints are needed only for receives that
   // follow a send *within the same interval*).
-  hs.phase_send = false;
+  phase_send_[me] = 0;
 }
 
-net::Piggyback TpProtocol::make_piggyback(const net::MobileHost& host) {
-  HostState& hs = per_host_.at(host.id());
+net::Piggyback TpProtocol::make_piggyback(const net::MobileHost& host, net::HostId dst) {
+  const net::HostId me = host.id();
   net::Piggyback pb;
-  pb.vec_a = hs.ckpt_req;
-  // A receiver of this message depends on the sender's *current* interval,
-  // so it will require the checkpoint that closes it (ordinal ckpt_count).
-  pb.vec_a[host.id()] = static_cast<u32>(hs.ckpt_count);
-  pb.vec_b = hs.loc;
-  pb.vec_b[host.id()] = host.mss();
-  hs.phase_send = true;
+  if (encoding_ == TpEncoding::kDense) {
+    const usize row = static_cast<usize>(me) * ctx_.n_hosts;
+    pb.vec_a.assign(req_.begin() + static_cast<std::ptrdiff_t>(row),
+                    req_.begin() + static_cast<std::ptrdiff_t>(row + ctx_.n_hosts));
+    // A receiver of this message depends on the sender's *current*
+    // interval, so it will require the checkpoint that closes it
+    // (ordinal ckpt_count).
+    pb.vec_a[me] = static_cast<u32>(ckpt_count_[me]);
+    pb.vec_b.assign(loc_.begin() + static_cast<std::ptrdiff_t>(row),
+                    loc_.begin() + static_cast<std::ptrdiff_t>(row + ctx_.n_hosts));
+    pb.vec_b[me] = host.mss();
+  } else {
+    SendCursor& sc = send_cursor(me, dst);
+    pb.has_delta = true;
+    pb.delta_seq = sc.next_seq++;
+    pb.dense_rank = 2 * ctx_.n_hosts;
+    // Entries changed since the last message to this destination, plus
+    // the sender's own entry (always fresh: the receiver needs the
+    // sender's current interval and location), in host order.
+    const std::vector<Entry>& es = entries_[me];
+    bool own_emitted = false;
+    for (const Entry& e : es) {
+      if (!own_emitted && e.idx > me) {
+        pb.deltas.push_back({me, static_cast<u32>(ckpt_count_[me]), host.mss()});
+        own_emitted = true;
+      }
+      if (e.ver > sc.last_ver) pb.deltas.push_back({e.idx, e.ckpt, e.loc});
+    }
+    if (!own_emitted) pb.deltas.push_back({me, static_cast<u32>(ckpt_count_[me]), host.mss()});
+    sc.last_ver = version_[me];
+  }
+  phase_send_[me] = 1;
   return pb;
 }
 
 void TpProtocol::handle_receive(const net::MobileHost& host, const net::AppMessage& msg,
                                 const net::Piggyback& pb) {
-  HostState& hs = per_host_.at(host.id());
-  if (hs.phase_send) {
+  const net::HostId me = host.id();
+  if (encoding_ == TpEncoding::kSparse) {
+    // Per-pair gap detection must run even for messages that force a
+    // checkpoint, so it happens before anything else.
+    RecvCursor& rc = recv_cursor(me, msg.src);
+    if (pb.delta_seq != rc.expect) ++delta_reorders_;
+    rc.expect = pb.delta_seq + 1;
+  }
+  if (phase_send_[me] != 0) {
     checkpoint(host, CheckpointKind::kForced, msg.id);
   }
   // Merge transitive dependencies after checkpointing, so the forced
   // checkpoint excludes this message.
-  for (u32 j = 0; j < ctx_.n_hosts; ++j) {
-    if (j == host.id()) continue;
-    if (pb.vec_a[j] > hs.ckpt_req[j]) {
-      hs.ckpt_req[j] = pb.vec_a[j];
-      hs.loc[j] = pb.vec_b[j];
+  if (encoding_ == TpEncoding::kDense) {
+    const usize row = static_cast<usize>(me) * ctx_.n_hosts;
+    for (u32 j = 0; j < ctx_.n_hosts; ++j) {
+      if (j == me) continue;
+      if (pb.vec_a[j] > req_[row + j]) {
+        req_[row + j] = pb.vec_a[j];
+        loc_[row + j] = pb.vec_b[j];
+      }
+    }
+  } else {
+    std::vector<Entry>& es = entries_[me];
+    for (const net::PbDelta& d : pb.deltas) {
+      if (d.idx == me) continue;
+      Entry& e = flat_map_get(es, &Entry::idx, d.idx);
+      if (d.ckpt > e.ckpt) {
+        e.ckpt = d.ckpt;
+        e.loc = d.loc;
+        e.ver = ++version_[me];
+      }
     }
   }
+}
+
+std::vector<u32> TpProtocol::requirement_vector(net::HostId host) const {
+  std::vector<u32> out(ctx_.n_hosts, 0);
+  if (encoding_ == TpEncoding::kDense) {
+    const usize row = static_cast<usize>(host) * ctx_.n_hosts;
+    std::copy(req_.begin() + static_cast<std::ptrdiff_t>(row),
+              req_.begin() + static_cast<std::ptrdiff_t>(row + ctx_.n_hosts), out.begin());
+  } else {
+    for (const Entry& e : entries_.at(host)) out[e.idx] = e.ckpt;
+  }
+  return out;
+}
+
+std::vector<u32> TpProtocol::location_vector(net::HostId host) const {
+  std::vector<u32> out(ctx_.n_hosts, 0);
+  if (encoding_ == TpEncoding::kDense) {
+    const usize row = static_cast<usize>(host) * ctx_.n_hosts;
+    std::copy(loc_.begin() + static_cast<std::ptrdiff_t>(row),
+              loc_.begin() + static_cast<std::ptrdiff_t>(row + ctx_.n_hosts), out.begin());
+  } else {
+    for (const Entry& e : entries_.at(host)) out[e.idx] = e.loc;
+    out[host] = self_loc_[host];
+  }
+  return out;
 }
 
 void TpProtocol::basic_checkpoint(const net::MobileHost& host) {

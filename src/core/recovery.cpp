@@ -40,7 +40,7 @@ GlobalCheckpoint index_recovery_line(const CheckpointLog& log, u64 index, IndexL
 GlobalCheckpoint tp_recovery_line(const CheckpointLog& log, const CheckpointRecord& anchor,
                                   const std::vector<u64>& current_pos) {
   const u32 n = log.n_hosts();
-  if (anchor.dep_ckpt.size() != n) {
+  if (!anchor.has_deps() || anchor.deps_rank() != n) {
     throw std::invalid_argument("tp_recovery_line: anchor lacks dependency vectors");
   }
   GlobalCheckpoint cut;
@@ -49,7 +49,7 @@ GlobalCheckpoint tp_recovery_line(const CheckpointLog& log, const CheckpointReco
   cut.members.resize(n, nullptr);
   for (net::HostId h = 0; h < n; ++h) {
     const CheckpointRecord* member =
-        h == anchor.host ? &anchor : log.by_ordinal(h, anchor.dep_ckpt[h]);
+        h == anchor.host ? &anchor : log.by_ordinal(h, anchor.dep_ckpt_at(h));
     if (member != nullptr) {
       cut.members[h] = member;
       cut.pos[h] = member->event_pos;

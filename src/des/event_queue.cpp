@@ -123,6 +123,17 @@ void BinaryHeapQueue::sift_down(usize i) {
 namespace {
 constexpr usize kMinBuckets = 2;
 constexpr usize kInitialBuckets = 8;
+/// Width estimation: up to this many adjacent-gap samples, spread evenly
+/// over the sorted pending set. Brown's classic rule samples only the
+/// first ~25 events, which mis-tunes when the near future is dense and
+/// the tail sparse (or vice versa); an even sample sees the whole
+/// distribution at O(1) extra cost per resize.
+constexpr usize kWidthSamples = 64;
+/// Scan-cost monitor: every kTuneWindow pops, compare buckets scanned to
+/// pops; above kScanPerPopLimit the geometry is stale (width far off the
+/// current event spacing) and a re-tune is forced.
+constexpr u64 kTuneWindow = 1024;
+constexpr f64 kScanPerPopLimit = 4.0;
 }  // namespace
 
 CalendarQueue::CalendarQueue() { buckets_.resize(kInitialBuckets); }
@@ -202,6 +213,7 @@ usize CalendarQueue::seek_min() {
     const Time year_len = bucket_width_ * static_cast<f64>(nb);
     // Scan up to one full year starting at the cursor.
     for (usize k = 0; k < nb; ++k) {
+      ++scan_steps_;
       const usize raw = current_bucket_ + k;
       const bool wrapped = raw >= nb;
       const usize b = raw % nb;
@@ -221,6 +233,7 @@ usize CalendarQueue::seek_min() {
       }
     }
     // Nothing due within a year: jump directly to the global minimum.
+    scan_steps_ += nb;
     const EventEntry* min_entry = nullptr;
     for (auto& bucket : buckets_) {
       purge_tail(bucket);
@@ -243,8 +256,21 @@ EventEntry CalendarQueue::pop() {
   last_popped_ = out.time;
   slots_.release(out.slot);
   --live_;
+  ++pops_;
   if (live_ < buckets_.size() / 2 && buckets_.size() > kMinBuckets) {
     resize(buckets_.size() / 2);
+  } else if (pops_ - pops_at_tune_ >= kTuneWindow) {
+    // Scan-cost monitor: when seek_min walked too many buckets per pop
+    // over the last window, the width no longer matches the live event
+    // spacing — rebuild at the same bucket count with a fresh estimate.
+    const u64 window_scans = scan_steps_ - scan_at_tune_;
+    if (static_cast<f64>(window_scans) >
+        kScanPerPopLimit * static_cast<f64>(pops_ - pops_at_tune_)) {
+      ++retunes_;
+      resize(buckets_.size());
+    }
+    pops_at_tune_ = pops_;
+    scan_at_tune_ = scan_steps_;
   }
   return out;
 }
@@ -275,11 +301,27 @@ void CalendarQueue::resize(usize new_bucket_count) {
   assert(dead_ == 0);
   std::sort(all.begin(), all.end());
   if (all.size() >= 2) {
-    const usize sample = std::min<usize>(all.size(), 25);
-    f64 span = all[sample - 1].time - all[0].time;
-    f64 avg_gap = span / static_cast<f64>(sample - 1);
-    if (avg_gap <= 0.0) avg_gap = 1.0;
-    bucket_width_ = 3.0 * avg_gap;
+    // Estimate the typical event spacing from adjacent gaps sampled
+    // evenly across the whole pending set, and take their median: robust
+    // both to a cluster of simultaneous events (zero gaps) and to a lone
+    // far-future outlier (one huge gap), either of which would wreck a
+    // mean-of-first-k estimate.
+    const usize samples = std::min<usize>(all.size() - 1, kWidthSamples);
+    const usize stride = (all.size() - 1) / samples;
+    f64 gaps[kWidthSamples];
+    for (usize s = 0; s < samples; ++s) {
+      const usize i = s * stride;
+      gaps[s] = all[i + 1].time - all[i].time;
+    }
+    std::sort(gaps, gaps + samples);
+    f64 gap = gaps[samples / 2];
+    if (gap <= 0.0) {
+      // Median gap is zero (mostly-simultaneous events): fall back to the
+      // mean over the sampled span, then to the last known width.
+      const f64 span = all[(samples - 1) * stride + 1].time - all[0].time;
+      gap = span > 0.0 ? span / static_cast<f64>(samples) : bucket_width_ / 3.0;
+    }
+    bucket_width_ = 3.0 * gap;
   }
   buckets_.assign(new_bucket_count, {});
   live_ = 0;

@@ -209,6 +209,14 @@ class BinaryHeapQueue final : public EventQueue {
 /// "year"; each bucket holds a sorted list of events. Resizes itself to
 /// keep ~1 event per bucket. Cancellation is lazy and handle-based, with
 /// the same dead-entry bound as the binary heap.
+///
+/// The queue self-tunes from the live event population: every resize
+/// re-estimates the bucket width from an even sample of pending-event
+/// gaps (robust to a dense near-future or a sparse far tail), and a
+/// scan-cost monitor — buckets examined per pop over a sliding window —
+/// triggers a re-tune when the current geometry makes seek_min walk too
+/// far. Tuning only changes internal layout; pop order is fixed by the
+/// (time, seq) comparator, so traces are identical at any geometry.
 class CalendarQueue final : public EventQueue {
  public:
   CalendarQueue();
@@ -222,6 +230,16 @@ class CalendarQueue final : public EventQueue {
   usize stored() const override { return live_ + dead_; }
   u64 compactions() const noexcept override { return compactions_; }
   const char* name() const noexcept override { return "calendar"; }
+
+  // -- tuning observability (pull-based, read by probes and benches) ----
+  usize bucket_count() const noexcept { return buckets_.size(); }
+  f64 bucket_width() const noexcept { return bucket_width_; }
+  /// Buckets examined across all seek_min scans (the queue's dominant
+  /// cost; ~1 per pop when well tuned).
+  u64 scan_steps() const noexcept { return scan_steps_; }
+  /// Re-tunes forced by the scan-cost monitor (excludes ordinary
+  /// grow/shrink resizes).
+  u64 retunes() const noexcept { return retunes_; }
 
  private:
   usize bucket_of(Time t) const noexcept;
@@ -246,6 +264,11 @@ class CalendarQueue final : public EventQueue {
   usize live_ = 0;  ///< Entries neither cancelled nor popped.
   usize dead_ = 0;  ///< Cancelled entries still bucketed.
   u64 compactions_ = 0;
+  u64 scan_steps_ = 0;         ///< Buckets examined by seek_min, cumulative.
+  u64 pops_ = 0;               ///< Events popped, cumulative.
+  u64 pops_at_tune_ = 0;       ///< pops_ when the monitor last checked.
+  u64 scan_at_tune_ = 0;       ///< scan_steps_ when the monitor last checked.
+  u64 retunes_ = 0;            ///< Monitor-forced re-tunes.
 };
 
 /// Factory for the queue implementations.

@@ -1,0 +1,103 @@
+// Hierarchical location directory: per-MSS cell membership under a
+// top-level host -> cell map.
+//
+// The substrate needs two directions of lookup: "which cell is host h
+// in" (every routing decision) and "which hosts are in cell m" (cell
+// outages, cell-population accounting). The first is a dense array read;
+// the second used to be an O(n_hosts) scan, which at city scale turns a
+// single cell-outage pick into a 10^5-element sweep. The directory keeps
+// each cell's members in an intrusive doubly-linked list threaded through
+// two dense arrays, so membership moves on handoff/reconnect are O(1) and
+// cell enumeration is O(cell population).
+//
+// Iteration order within a cell is unspecified (most-recently-moved
+// first); callers that need a canonical order must sort.
+#pragma once
+
+#include <vector>
+
+#include "des/types.hpp"
+#include "net/ids.hpp"
+
+namespace mobichk::net {
+
+class LocationDirectory {
+ public:
+  /// Builds the directory with every host unplaced; call place() for each.
+  void init(u32 n_hosts, u32 n_mss) {
+    head_.assign(n_mss, -1);
+    population_.assign(n_mss, 0);
+    next_.assign(n_hosts, -1);
+    prev_.assign(n_hosts, -1);
+    cell_.assign(n_hosts, kUnplaced);
+  }
+
+  /// Current cell of `host` (its last cell while disconnected).
+  MssId cell_of(HostId host) const { return static_cast<MssId>(cell_[host]); }
+
+  /// Number of hosts whose current/last cell is `mss`.
+  u32 population(MssId mss) const { return population_[mss]; }
+
+  /// Moves `host` into `mss`'s cell list (O(1)); no-op if already there.
+  void move(HostId host, MssId mss) {
+    if (cell_[host] == static_cast<i64>(mss)) return;
+    if (cell_[host] != kUnplaced) unlink(host);
+    link(host, mss);
+  }
+
+  /// Calls `f(HostId)` for every member of `mss`'s cell.
+  template <typename F>
+  void for_each_in_cell(MssId mss, F&& f) const {
+    for (i64 h = head_[mss]; h != -1; h = next_[static_cast<usize>(h)]) {
+      f(static_cast<HostId>(h));
+    }
+  }
+
+  /// Materialised membership of `mss`'s cell, sorted by host id (the
+  /// canonical order for deterministic victim picks).
+  std::vector<HostId> hosts_in_cell(MssId mss) const {
+    std::vector<HostId> out;
+    out.reserve(population_[mss]);
+    for_each_in_cell(mss, [&out](HostId h) { out.push_back(h); });
+    // Insertion sort into ascending order: cell lists are small relative
+    // to n and enumeration is off the hot path.
+    for (usize i = 1; i < out.size(); ++i) {
+      HostId v = out[i];
+      usize j = i;
+      for (; j > 0 && out[j - 1] > v; --j) out[j] = out[j - 1];
+      out[j] = v;
+    }
+    return out;
+  }
+
+ private:
+  static constexpr i64 kUnplaced = -2;
+
+  void link(HostId host, MssId mss) {
+    cell_[host] = static_cast<i64>(mss);
+    prev_[host] = -1;
+    next_[host] = head_[mss];
+    if (head_[mss] != -1) prev_[static_cast<usize>(head_[mss])] = static_cast<i64>(host);
+    head_[mss] = static_cast<i64>(host);
+    ++population_[mss];
+  }
+
+  void unlink(HostId host) {
+    const MssId mss = static_cast<MssId>(cell_[host]);
+    if (prev_[host] != -1) {
+      next_[static_cast<usize>(prev_[host])] = next_[host];
+    } else {
+      head_[mss] = next_[host];
+    }
+    if (next_[host] != -1) prev_[static_cast<usize>(next_[host])] = prev_[host];
+    --population_[mss];
+  }
+
+  std::vector<i64> head_;       ///< Per cell: first member host (-1 = empty).
+  std::vector<u32> population_; ///< Per cell: member count.
+  std::vector<i64> next_;       ///< Per host: next member in its cell (-1 = end).
+  std::vector<i64> prev_;       ///< Per host: previous member (-1 = head).
+  std::vector<i64> cell_;       ///< Per host: current cell (kUnplaced before place).
+};
+
+}  // namespace mobichk::net

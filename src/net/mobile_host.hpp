@@ -1,17 +1,15 @@
-// Mobile host (MH) state: attachment, connectivity, mailbox, and the
+// Mobile host (MH) view: attachment, connectivity, mailbox, and the
 // per-host event-position counter used by the consistency oracle.
 //
-// MobileHost is mechanism-only. Policy — when to send, when to move, when
-// to disconnect — is driven by the workload and mobility models in
-// src/sim/, which call the corresponding Network operations.
+// MobileHost is mechanism-only and, since the SoA refactor, state-free:
+// it is a 16-byte handle over the HostArena that actually stores every
+// per-host field (net/host_arena.hpp). Protocol and policy code keeps
+// the same read API it always had; mutation stays private to Network.
 #pragma once
 
-#include <deque>
-#include <unordered_set>
-
 #include "des/types.hpp"
+#include "net/host_arena.hpp"
 #include "net/ids.hpp"
-#include "net/message.hpp"
 
 namespace mobichk::net {
 
@@ -19,35 +17,32 @@ class Network;
 
 class MobileHost {
  public:
-  MobileHost(HostId id, MssId initial_mss) noexcept : id_(id), mss_(initial_mss) {}
+  MobileHost(HostArena* arena, HostId id) noexcept : arena_(arena), id_(id) {}
 
   HostId id() const noexcept { return id_; }
 
   /// Current MSS while connected; last MSS while disconnected.
-  MssId mss() const noexcept { return mss_; }
+  MssId mss() const noexcept { return arena_->mss[id_]; }
 
-  bool connected() const noexcept { return connected_; }
+  bool connected() const noexcept { return arena_->connected[id_] != 0; }
 
   /// Number of messages delivered but not yet consumed by the application.
-  usize mailbox_size() const noexcept { return mailbox_.size(); }
+  usize mailbox_size() const noexcept { return arena_->mailbox[id_].size(); }
 
   /// Monotonic per-host event position; advanced once per application
   /// event (internal, send, receive). Checkpoints record the position at
   /// which they were taken, which lets the oracle decide whether a message
   /// crosses a cut.
-  u64 event_pos() const noexcept { return event_pos_; }
+  u64 event_pos() const noexcept { return arena_->event_pos[id_]; }
 
  private:
   friend class Network;
 
-  u64 advance_pos() noexcept { return ++event_pos_; }
+  u64 advance_pos() noexcept { return ++arena_->event_pos[id_]; }
+  Mailbox& mailbox() noexcept { return arena_->mailbox[id_]; }
 
+  HostArena* arena_;
   HostId id_;
-  MssId mss_;
-  bool connected_ = true;
-  u64 event_pos_ = 0;
-  std::deque<AppMessage> mailbox_;
-  std::unordered_set<u64> seen_ids_;  ///< Transport dedup (only fed when duplication is on).
 };
 
 }  // namespace mobichk::net

@@ -26,12 +26,15 @@ Network::Network(des::Simulator& sim, NetworkConfig cfg, u64 seed, des::TraceSin
       channel_rng_(seed, "net.channel"),
       topology_(cfg.mss_topology, cfg.n_mss) {
   cfg_.validate();
-  hosts_.reserve(cfg_.n_hosts);
   mss_.reserve(cfg_.n_mss);
   for (MssId m = 0; m < cfg_.n_mss; ++m) mss_.emplace_back(m);
   channels_.resize(cfg_.n_mss);
+  arena_.init(cfg_.n_hosts);
+  directory_.init(cfg_.n_hosts, cfg_.n_mss);
+  hosts_.reserve(cfg_.n_hosts);
   for (HostId h = 0; h < cfg_.n_hosts; ++h) {
-    hosts_.emplace_back(h, static_cast<MssId>(h % cfg_.n_mss));
+    hosts_.emplace_back(&arena_, h);
+    set_mss(h, static_cast<MssId>(h % cfg_.n_mss));
   }
 }
 
@@ -49,7 +52,7 @@ void Network::start(const std::vector<MssId>& placement) {
   if (handler_ == nullptr) throw std::logic_error("Network::start: no handler installed");
   for (HostId h = 0; h < cfg_.n_hosts; ++h) {
     if (placement[h] >= cfg_.n_mss) throw std::invalid_argument("Network::start: bad MSS id");
-    hosts_[h].mss_ = placement[h];
+    set_mss(h, placement[h]);
   }
   started_ = true;
   for (auto& host : hosts_) handler_->on_host_init(host);
@@ -170,10 +173,12 @@ void Network::send_app_message(HostId src, HostId dst, u32 payload_bytes) {
   ++stats_.wireless_messages;  // MH -> MSS uplink.
   stats_.payload_bytes += payload_bytes;
   stats_.piggyback_bytes += msg.pb.wire_bytes();
+  stats_.piggyback_dense_bytes += msg.pb.dense_bytes();
   if (probe_ != nullptr) {
     probe_->uplink_legs->add();
     probe_->payload_bytes->add(payload_bytes);
     probe_->piggyback_bytes->add(msg.pb.wire_bytes());
+    probe_->piggyback_dense_bytes->add(msg.pb.dense_bytes());
   }
 
   const MssId src_mss = s.mss();
@@ -233,7 +238,7 @@ void Network::deliver_to_host(MssId from_mss, AppMessage msg, bool is_duplicate)
                                                /*is_duplicate=*/true));
   }
   if (cfg_.duplicate_prob > 0.0 && cfg_.transport_dedup) {
-    if (!d.seen_ids_.insert(msg.id).second) {
+    if (!arena_.seen_ids[msg.dst].insert(msg.id).second) {
       ++stats_.duplicates_suppressed;
       return;
     }
@@ -242,14 +247,13 @@ void Network::deliver_to_host(MssId from_mss, AppMessage msg, bool is_duplicate)
   ++stats_.app_delivered;
   stats_.delivery_latency.add(sim_.now() - msg.sent_at);
   if (probe_ != nullptr) probe_->delivery_latency->add(sim_.now() - msg.sent_at);
-  d.mailbox_.push_back(std::move(msg));
+  d.mailbox().push(std::move(msg));
 }
 
 bool Network::consume_one(HostId host_id) {
   MobileHost& h = hosts_.at(host_id);
-  if (h.mailbox_.empty()) return false;
-  AppMessage msg = std::move(h.mailbox_.front());
-  h.mailbox_.pop_front();
+  if (h.mailbox().empty()) return false;
+  AppMessage msg = h.mailbox().pop();
   // The protocol reacts (and possibly checkpoints) *before* the receive
   // event occupies its position, so a forced checkpoint excludes the
   // message being processed (no orphan by construction).
@@ -277,7 +281,7 @@ void Network::switch_cell(HostId host_id, MssId new_mss) {
   observe_mobility(obs::ProbeKind::kHandoff, host_id, static_cast<i32>(new_mss));
   occupy_control(old_mss);
   occupy_control(new_mss);
-  h.mss_ = new_mss;
+  set_mss(host_id, new_mss);
   trace(des::TraceKind::kHandoff, host_id, old_mss, new_mss);
   handler_->on_cell_switch(h, old_mss, new_mss);
 }
@@ -295,7 +299,7 @@ void Network::disconnect(HostId host_id) {
   trace(des::TraceKind::kDisconnect, host_id, h.mss());
   // The basic checkpoint is taken while still attached.
   handler_->on_disconnect(h);
-  h.connected_ = false;
+  arena_.connected[host_id] = 0;
 }
 
 void Network::reconnect(HostId host_id, MssId new_mss) {
@@ -309,8 +313,8 @@ void Network::reconnect(HostId host_id, MssId new_mss) {
   if (probe_ != nullptr) probe_->reconnects->add();
   observe_mobility(obs::ProbeKind::kReconnect, host_id, static_cast<i32>(new_mss));
   occupy_control(new_mss);
-  h.connected_ = true;
-  h.mss_ = new_mss;
+  arena_.connected[host_id] = 1;
+  set_mss(host_id, new_mss);
   trace(des::TraceKind::kReconnect, host_id, last_mss, new_mss);
   handler_->on_reconnect(h, new_mss);
   // Messages that waited out the disconnection now flow to the new cell.
@@ -329,16 +333,15 @@ void Network::crash(HostId host_id) {
   ++stats_.crashes;
   if (probe_ != nullptr) probe_->crashes->add();
   observe_mobility(obs::ProbeKind::kCrash, host_id, -1);
-  trace(des::TraceKind::kCrash, host_id, h.mss(), h.mailbox_.size());
-  h.connected_ = false;
+  trace(des::TraceKind::kCrash, host_id, h.mss(), h.mailbox_size());
+  arena_.connected[host_id] = 0;
   // Volatile state dies with the host. Messages delivered but not yet
   // consumed were already counted received by the MSS's stable log; park
   // them back in the cell buffer so replay re-delivers them.
-  for (auto& msg : h.mailbox_) {
-    mss_.at(h.mss()).buffer_message(host_id, std::move(msg));
-  }
-  h.mailbox_.clear();
-  h.seen_ids_.clear();
+  Mss& cell = mss_.at(h.mss());
+  h.mailbox().drain(
+      [&cell, host_id](AppMessage&& msg) { cell.buffer_message(host_id, std::move(msg)); });
+  arena_.seen_ids[host_id].clear();
 }
 
 void Network::restore(HostId host_id, MssId at_mss) {
@@ -354,8 +357,8 @@ void Network::restore(HostId host_id, MssId at_mss) {
   if (probe_ != nullptr) probe_->restores->add();
   observe_mobility(obs::ProbeKind::kRecover, host_id, static_cast<i32>(at_mss));
   occupy_control(at_mss);
-  h.connected_ = true;
-  h.mss_ = at_mss;
+  arena_.connected[host_id] = 1;
+  set_mss(host_id, at_mss);
   trace(des::TraceKind::kRecover, host_id, last_mss, at_mss);
   handler_->on_reconnect(h, at_mss);
   // Messages buffered during the outage (including the crash-parked

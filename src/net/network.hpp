@@ -25,7 +25,9 @@
 #include "des/types.hpp"
 #include "net/channel.hpp"
 #include "net/handler.hpp"
+#include "net/host_arena.hpp"
 #include "net/ids.hpp"
+#include "net/location_directory.hpp"
 #include "net/message.hpp"
 #include "net/mobile_host.hpp"
 #include "net/mss.hpp"
@@ -75,7 +77,10 @@ struct NetworkStats {
   u64 duplicates_generated = 0;
   u64 duplicates_suppressed = 0;
   u64 payload_bytes = 0;
-  u64 piggyback_bytes = 0;     ///< Control information carried on app messages.
+  u64 piggyback_bytes = 0;     ///< Control information carried on app messages
+                               ///< (encoded size: sparse piggybacks count deltas).
+  u64 piggyback_dense_bytes = 0;  ///< Dense-equivalent control bytes (the cost the
+                                  ///< paper-literal full vectors would have paid).
   des::Tally delivery_latency; ///< Send-to-mailbox latency of app messages.
 };
 
@@ -120,6 +125,10 @@ class Network final : public des::EventTarget {
   const MobileHost& host(HostId id) const { return hosts_.at(id); }
   Mss& mss(MssId id) { return mss_.at(id); }
   const Mss& mss(MssId id) const { return mss_.at(id); }
+  /// Hierarchical location directory: host -> cell plus O(population)
+  /// per-cell membership enumeration (kept in sync with every handoff,
+  /// reconnection, and restore).
+  const LocationDirectory& directory() const noexcept { return directory_; }
   /// Contention statistics of a cell's wireless channel (meaningful when
   /// wireless_bandwidth > 0; otherwise all-zero).
   const CellChannel& channel(MssId id) const { return channels_.at(id); }
@@ -192,6 +201,12 @@ class Network final : public des::EventTarget {
   /// Builds the kMessageHop payload for one message leg.
   des::EventPayload hop_payload(u8 sub, MssId at, u32 park_idx, bool flag) noexcept;
 
+  /// Moves `host` to `new_mss` in both the arena and the directory.
+  void set_mss(HostId host, MssId new_mss) {
+    arena_.mss[host] = new_mss;
+    directory_.move(host, new_mss);
+  }
+
   /// `targeted` is true when `at` was chosen because the destination was
   /// believed to be there (so finding it gone is a chase, not routing).
   void msg_at_mss(MssId at, AppMessage msg, bool targeted = false);
@@ -241,7 +256,9 @@ class Network final : public des::EventTarget {
   des::TraceSink* sink_;
   des::RngStream channel_rng_;
   MssTopology topology_;
-  std::vector<MobileHost> hosts_;
+  HostArena arena_;              ///< SoA storage for all per-host state.
+  LocationDirectory directory_;  ///< host -> cell + per-cell membership.
+  std::vector<MobileHost> hosts_;  ///< Thin views over arena_, index = id.
   std::vector<Mss> mss_;
   std::vector<CellChannel> channels_;
   NetworkStats stats_;

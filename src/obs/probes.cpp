@@ -34,6 +34,7 @@ void NetProbe::resolve(MetricRegistry& reg) {
   downlink_legs = &reg.counter("net.leg.downlink");
   payload_bytes = &reg.counter("net.bytes.payload");
   piggyback_bytes = &reg.counter("net.bytes.piggyback");
+  piggyback_dense_bytes = &reg.counter("net.bytes.piggyback_dense");
   handoffs = &reg.counter("net.mobility.handoffs");
   disconnects = &reg.counter("net.mobility.disconnects");
   reconnects = &reg.counter("net.mobility.reconnects");

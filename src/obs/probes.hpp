@@ -36,7 +36,8 @@ struct NetProbe {
   Counter* wired_hops = nullptr;        ///< MSS -> MSS wired forwards
   Counter* downlink_legs = nullptr;     ///< MSS -> MH wireless deliveries
   Counter* payload_bytes = nullptr;     ///< application payload on the wire
-  Counter* piggyback_bytes = nullptr;   ///< protocol piggyback on the wire
+  Counter* piggyback_bytes = nullptr;   ///< protocol piggyback on the wire (encoded)
+  Counter* piggyback_dense_bytes = nullptr;  ///< dense-equivalent piggyback cost
   Counter* handoffs = nullptr;
   Counter* disconnects = nullptr;
   Counter* reconnects = nullptr;

@@ -119,6 +119,7 @@ void Experiment::run() {
     stats.initial = log.initial();
     stats.max_index = log.max_sn();
     stats.piggyback_bytes = harness_->piggyback_bytes(slot);
+    stats.piggyback_dense_bytes = harness_->piggyback_dense_bytes(slot);
     stats.control_messages = harness_->protocol(slot).control_messages();
     if (const core::StorageModel* storage = harness_->storage(slot)) {
       stats.storage_wireless_bytes = storage->wireless_bytes();

@@ -53,7 +53,8 @@ struct ProtocolRunStats {
   u64 forced = 0;
   u64 initial = 0;
   u64 max_index = 0;
-  u64 piggyback_bytes = 0;     ///< Control info this protocol puts on the wire.
+  u64 piggyback_bytes = 0;     ///< Control info this protocol puts on the wire (encoded).
+  u64 piggyback_dense_bytes = 0;  ///< Dense-equivalent control info cost.
   u64 control_messages = 0;    ///< Dedicated control messages (coordinated only).
   u64 storage_wireless_bytes = 0;
   u64 storage_wired_bytes = 0;

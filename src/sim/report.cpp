@@ -54,6 +54,7 @@ void write_json(std::ostream& os, const RunResult& result) {
       .field("chase_forwards", result.net.chase_forwards)
       .field("buffered_deliveries", result.net.buffered_deliveries)
       .field("piggyback_bytes", result.net.piggyback_bytes)
+      .field("piggyback_dense_bytes", result.net.piggyback_dense_bytes)
       .field("mean_delivery_latency", result.net.delivery_latency.mean());
   w.end_object();
 
@@ -67,6 +68,7 @@ void write_json(std::ostream& os, const RunResult& result) {
         .field("initial", p.initial)
         .field("max_index", p.max_index)
         .field("piggyback_bytes", p.piggyback_bytes)
+        .field("piggyback_dense_bytes", p.piggyback_dense_bytes)
         .field("control_messages", p.control_messages)
         .field("storage_wireless_bytes", p.storage_wireless_bytes)
         .field("storage_wired_bytes", p.storage_wired_bytes)
@@ -293,6 +295,9 @@ RunResult run_result_from_json(const JsonValue& json) {
     if (const JsonValue* v = net->find("chase_forwards")) result.net.chase_forwards = v->as_u64();
     if (const JsonValue* v = net->find("buffered_deliveries")) result.net.buffered_deliveries = v->as_u64();
     if (const JsonValue* v = net->find("piggyback_bytes")) result.net.piggyback_bytes = v->as_u64();
+    if (const JsonValue* v = net->find("piggyback_dense_bytes")) {
+      result.net.piggyback_dense_bytes = v->as_u64();
+    }
     if (const JsonValue* v = net->find("mean_delivery_latency")) {
       // The writer serializes only the mean; a one-sample tally re-emits
       // it exactly (write -> parse -> write is byte-identical).
@@ -313,6 +318,9 @@ RunResult run_result_from_json(const JsonValue& json) {
       p.total = p.basic + p.forced + p.initial;
       if (const JsonValue* v = entry.find("max_index")) p.max_index = v->as_u64();
       if (const JsonValue* v = entry.find("piggyback_bytes")) p.piggyback_bytes = v->as_u64();
+      if (const JsonValue* v = entry.find("piggyback_dense_bytes")) {
+        p.piggyback_dense_bytes = v->as_u64();
+      }
       if (const JsonValue* v = entry.find("control_messages")) p.control_messages = v->as_u64();
       if (const JsonValue* v = entry.find("storage_wireless_bytes")) p.storage_wireless_bytes = v->as_u64();
       if (const JsonValue* v = entry.find("storage_wired_bytes")) p.storage_wired_bytes = v->as_u64();

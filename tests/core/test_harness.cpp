@@ -33,15 +33,28 @@ TEST_F(HarnessTest, RejectsNullProtocol) {
 }
 
 TEST_F(HarnessTest, SlotZeroPiggybackRidesTheWire) {
-  harness_.add_protocol(std::make_unique<TpProtocol>());
+  harness_.add_protocol(std::make_unique<TpProtocol>(TpEncoding::kDense));
   harness_.add_protocol(std::make_unique<BcsProtocol>());
   net_.start({0, 0, 1});
   net_.send_app_message(0, 1, 8);
   sim_.run();
   // TP's two vectors are on the wire; BCS's integer is only accounted.
   EXPECT_EQ(net_.stats().piggyback_bytes, 6 * sizeof(u32));
+  EXPECT_EQ(net_.stats().piggyback_dense_bytes, 6 * sizeof(u32));
   EXPECT_EQ(harness_.piggyback_bytes(0), 6 * sizeof(u32));
   EXPECT_EQ(harness_.piggyback_bytes(1), sizeof(u64));
+}
+
+TEST_F(HarnessTest, SparseTpEncodedBytesStayBelowDense) {
+  harness_.add_protocol(std::make_unique<TpProtocol>());  // sparse default
+  net_.start({0, 0, 1});
+  net_.send_app_message(0, 1, 8);
+  sim_.run();
+  // One delta entry (the sender's own) versus two 3-entry vectors.
+  EXPECT_LT(net_.stats().piggyback_bytes, net_.stats().piggyback_dense_bytes);
+  EXPECT_EQ(net_.stats().piggyback_dense_bytes, 6 * sizeof(u32));
+  EXPECT_EQ(harness_.piggyback_dense_bytes(0), 6 * sizeof(u32));
+  EXPECT_EQ(harness_.piggyback_bytes(0), net_.stats().piggyback_bytes);
 }
 
 TEST_F(HarnessTest, EachProtocolSeesItsOwnPiggyback) {

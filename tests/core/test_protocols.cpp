@@ -128,18 +128,52 @@ TEST_F(TpTest, CheckpointRecordsCarryDependencyVectors) {
   transfer(0, 1);
   net_.switch_cell(1, 2);
   const CheckpointRecord& rec = log().of(1).back();
-  ASSERT_EQ(rec.dep_ckpt.size(), 3u);
-  EXPECT_EQ(rec.dep_ckpt[0], 1u);  // requires 0's checkpoint ordinal 1
-  EXPECT_EQ(rec.dep_ckpt[1], 1u);  // its own ordinal
-  EXPECT_EQ(rec.dep_ckpt[2], 0u);  // no dependency on host 2
+  ASSERT_TRUE(rec.has_deps());
+  ASSERT_EQ(rec.deps_rank(), 3u);
+  EXPECT_EQ(rec.dep_ckpt_at(0), 1u);  // requires 0's checkpoint ordinal 1
+  EXPECT_EQ(rec.dep_ckpt_at(1), 1u);  // its own ordinal
+  EXPECT_EQ(rec.dep_ckpt_at(2), 0u);  // no dependency on host 2
 }
 
-TEST_F(TpTest, PiggybackCarriesTwoVectors) {
-  TpProtocol& tp = install<TpProtocol>();
-  const net::Piggyback pb = tp.make_piggyback(net_.host(0));
+TEST_F(TpTest, DensePiggybackCarriesTwoVectors) {
+  TpProtocol& tp = install<TpProtocol>(TpEncoding::kDense);
+  const net::Piggyback pb = tp.make_piggyback(net_.host(0), 1);
   EXPECT_EQ(pb.vec_a.size(), 3u);
   EXPECT_EQ(pb.vec_b.size(), 3u);
   EXPECT_EQ(pb.wire_bytes(), 6 * sizeof(u32));
+  EXPECT_EQ(pb.dense_bytes(), pb.wire_bytes());
+}
+
+TEST_F(TpTest, SparsePiggybackCarriesDeltas) {
+  TpProtocol& tp = install<TpProtocol>();
+  ASSERT_EQ(tp.encoding(), TpEncoding::kSparse);
+  const net::Piggyback pb = tp.make_piggyback(net_.host(0), 1);
+  EXPECT_TRUE(pb.has_delta);
+  EXPECT_TRUE(pb.vec_a.empty());
+  // Nothing learned yet: only the sender's own entry travels.
+  ASSERT_EQ(pb.deltas.size(), 1u);
+  EXPECT_EQ(pb.deltas[0].idx, 0u);
+  EXPECT_EQ(pb.deltas[0].ckpt, 1u);  // the checkpoint closing 0's interval
+  EXPECT_EQ(pb.dense_bytes(), 6 * sizeof(u32));
+  EXPECT_LE(pb.wire_bytes(), pb.dense_bytes());
+}
+
+TEST_F(TpTest, SparseDeltaShipsOnlyChangesPerDestination) {
+  TpProtocol& tp = install<TpProtocol>();
+  transfer(0, 1);  // 1 learns about 0
+  // First message 1 -> 2 carries 1's own entry plus the learned entry.
+  net::Piggyback first = tp.make_piggyback(net_.host(1), 2);
+  ASSERT_EQ(first.deltas.size(), 2u);
+  EXPECT_EQ(first.delta_seq, 0u);
+  // Nothing changed since: the next message to the same destination
+  // carries only the (always-fresh) own entry, and the sequence advances.
+  net::Piggyback second = tp.make_piggyback(net_.host(1), 2);
+  ASSERT_EQ(second.deltas.size(), 1u);
+  EXPECT_EQ(second.deltas[0].idx, 1u);
+  EXPECT_EQ(second.delta_seq, 1u);
+  // A different destination has seen nothing and gets the full set.
+  net::Piggyback other = tp.make_piggyback(net_.host(1), 0);
+  EXPECT_EQ(other.deltas.size(), 2u);
 }
 
 // ---------------------------------------------------------------------------
@@ -199,7 +233,7 @@ TEST_F(BcsTest, StaleMessageDoesNotForce) {
 
 TEST_F(BcsTest, PiggybackIsOneInteger) {
   BcsProtocol& bcs = install<BcsProtocol>();
-  const net::Piggyback pb = bcs.make_piggyback(net_.host(0));
+  const net::Piggyback pb = bcs.make_piggyback(net_.host(0), 1);
   EXPECT_TRUE(pb.has_sn);
   EXPECT_EQ(pb.wire_bytes(), sizeof(u64));
 }
@@ -309,7 +343,7 @@ TEST_F(BasicOnlyTest, OnlyMandatoryCheckpoints) {
 
 TEST_F(BasicOnlyTest, NoPiggyback) {
   BasicOnlyProtocol& p = install<BasicOnlyProtocol>();
-  EXPECT_EQ(p.make_piggyback(net_.host(0)).wire_bytes(), 0u);
+  EXPECT_EQ(p.make_piggyback(net_.host(0), 1).wire_bytes(), 0u);
 }
 
 // ---------------------------------------------------------------------------

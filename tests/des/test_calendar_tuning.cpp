@@ -1,0 +1,161 @@
+// Calendar-queue self-tuning: the scan-cost monitor, the even-sample
+// width estimator, and large-population differential fuzz against the
+// sorted-list oracle.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "des/event_queue.hpp"
+#include "des/rng.hpp"
+#include "des/sorted_list_queue.hpp"
+
+namespace mobichk::des {
+namespace {
+
+EventEntry entry(Time t, u64 seq) {
+  EventEntry e;
+  e.time = t;
+  e.seq = seq;
+  return e;
+}
+
+TEST(CalendarTuning, ScanMonitorRetunesAMistunedWidth) {
+  // Hold-and-pop with a small, constant population: no grow/shrink
+  // resize ever fires, so the width stays at its initial 1.0 while the
+  // events are spaced ~1e6 apart — every pop has to scan a whole year
+  // and fall through to the jump-to-minimum path. The scan-cost monitor
+  // must notice and force a re-tune, after which the width matches the
+  // actual spacing and the scan rate collapses.
+  CalendarQueue cal;
+  SortedListQueue oracle;
+  u64 seq = 0;
+  Time t = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    t += 1'000'000.0;
+    cal.push(entry(t, seq));
+    oracle.push(entry(t, seq));
+    ++seq;
+  }
+  EXPECT_DOUBLE_EQ(cal.bucket_width(), 1.0);  // mistuned on purpose
+
+  const int kOps = 3000;
+  for (int i = 0; i < kOps; ++i) {
+    const EventEntry got = cal.pop();
+    const EventEntry want = oracle.pop();
+    ASSERT_DOUBLE_EQ(got.time, want.time);
+    ASSERT_EQ(got.seq, want.seq);
+    t += 1'000'000.0;
+    cal.push(entry(t, seq));
+    oracle.push(entry(t, seq));
+    ++seq;
+  }
+  EXPECT_GE(cal.retunes(), 1u);
+  EXPECT_GT(cal.bucket_width(), 1.0);  // re-estimated from the real gaps
+  // Post-tune steady state: near-constant scan cost. Measure a fresh
+  // window and demand it stays close to one bucket per pop.
+  const u64 scans_before = cal.scan_steps();
+  for (int i = 0; i < 500; ++i) {
+    cal.pop();
+    t += 1'000'000.0;
+    cal.push(entry(t, seq++));
+  }
+  const f64 per_pop = static_cast<f64>(cal.scan_steps() - scans_before) / 500.0;
+  EXPECT_LT(per_pop, 4.0);
+}
+
+TEST(CalendarTuning, WidthEstimateIgnoresOutlierGap) {
+  // A far-future straggler plus 99 events spaced 0.01 apart: the growth
+  // resizes re-estimate the width with the 1e9 gap in the sample, and
+  // the median-gap estimator must tune to the cluster spacing, not to
+  // the mean (which the lone huge gap would dominate).
+  CalendarQueue cal;
+  u64 seq = 0;
+  cal.push(entry(1e9, seq++));
+  for (int i = 0; i < 99; ++i) cal.push(entry(static_cast<f64>(i) * 0.01, seq++));
+  EXPECT_LT(cal.bucket_width(), 1.0);
+  EXPECT_GT(cal.bucket_width(), 0.0);
+  // Pop order is still exact.
+  Time prev = -1.0;
+  while (!cal.empty()) {
+    const Time now = cal.pop().time;
+    ASSERT_GE(now, prev);
+    prev = now;
+  }
+}
+
+TEST(CalendarTuning, SimultaneousEventsDoNotZeroTheWidth) {
+  // All events at the same instant: every sampled gap is zero. The
+  // estimator must fall back rather than set width = 0 (which would put
+  // everything in one bucket forever / divide by zero).
+  CalendarQueue cal;
+  for (u64 s = 0; s < 200; ++s) cal.push(entry(5.0, s));
+  EXPECT_GT(cal.bucket_width(), 0.0);
+  for (u64 s = 0; s < 200; ++s) ASSERT_EQ(cal.pop().seq, s);  // seq breaks ties
+}
+
+TEST(CalendarTuning, LargePopulationFuzzMatchesSortedOracle) {
+  // n ~ 1000 live events, mixed time scales (three decades of spacing),
+  // random push/pop/cancel churn: the calendar must reproduce the
+  // oracle's (time, seq) sequence exactly through every resize and
+  // re-tune.
+  CalendarQueue cal;
+  SortedListQueue oracle;
+  RngStream rng(99, "cal-fuzz");
+  u64 seq = 0;
+  Time now = 0.0;
+  std::vector<std::pair<EventHandle, EventHandle>> live;
+
+  auto push_one = [&] {
+    // Bimodal horizon: mostly near-future, sometimes far.
+    const f64 scale = rng.uniform01() < 0.8 ? 1.0 : 1000.0;
+    const Time t = now + rng.uniform01() * scale;
+    const EventHandle hc = cal.push(entry(t, seq));
+    const EventHandle ho = oracle.push(entry(t, seq));
+    live.push_back({hc, ho});
+    ++seq;
+  };
+
+  for (int i = 0; i < 1000; ++i) push_one();
+  for (int step = 0; step < 20'000; ++step) {
+    const f64 r = rng.uniform01();
+    if (r < 0.45 || cal.empty()) {
+      push_one();
+    } else if (r < 0.9) {
+      const EventEntry got = cal.pop();
+      const EventEntry want = oracle.pop();
+      ASSERT_DOUBLE_EQ(got.time, want.time) << "step " << step;
+      ASSERT_EQ(got.seq, want.seq) << "step " << step;
+      now = got.time;
+    } else if (!live.empty()) {
+      const usize j = static_cast<usize>(rng.uniform01() * static_cast<f64>(live.size())) %
+                      live.size();
+      const bool a = cal.cancel(live[j].first);
+      const bool b = oracle.cancel(live[j].second);
+      ASSERT_EQ(a, b) << "step " << step;
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(j));
+    }
+    ASSERT_EQ(cal.size(), oracle.size());
+  }
+  // Drain completely; sequences must agree to the last event.
+  while (!cal.empty()) {
+    const EventEntry got = cal.pop();
+    const EventEntry want = oracle.pop();
+    ASSERT_DOUBLE_EQ(got.time, want.time);
+    ASSERT_EQ(got.seq, want.seq);
+  }
+  EXPECT_TRUE(oracle.empty());
+}
+
+TEST(CalendarTuning, TinyPopulationsStayCorrect) {
+  // n in {1, 2}: the estimator's small-sample edges (0 or 1 gaps).
+  for (const int n : {1, 2}) {
+    CalendarQueue cal;
+    for (int i = 0; i < n; ++i) cal.push(entry(static_cast<f64>(i) * 7.5, static_cast<u64>(i)));
+    for (int i = 0; i < n; ++i) EXPECT_EQ(cal.pop().seq, static_cast<u64>(i));
+    EXPECT_TRUE(cal.empty());
+    EXPECT_GT(cal.bucket_width(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace mobichk::des

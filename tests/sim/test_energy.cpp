@@ -56,6 +56,9 @@ TEST(Energy, ProtocolsRankAsExpectedOnARealRun) {
   cfg.seed = 5;
   ExperimentOptions opts;
   opts.with_storage = true;
+  // The 10x control-byte pin below is the paper-literal dense TP cost;
+  // the sparse default would ship less than that.
+  opts.params.tp_encoding = core::TpEncoding::kDense;
   const RunResult r = run_experiment(cfg, opts);
 
   const EnergyConfig ecfg;

@@ -20,10 +20,12 @@
 // Every command supports --help; flags are schema-checked (unknown flags
 // fail with a did-you-mean suggestion, malformed numbers fail naming the
 // flag).
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 
@@ -78,7 +80,10 @@ void add_config_flags(sim::FlagSet& fs) {
       .add("crash-target", sim::FlagType::kUInt, "",
            "fixed victim host (or cell for --crash-mode=cell); default random")
       .add("crash-hosts", sim::FlagType::kUInt, "2",
-           "hosts killed together under --crash-mode=correlated");
+           "hosts killed together under --crash-mode=correlated")
+      .add("shards", sim::FlagType::kUInt, "1",
+           "spatial shards for the parallel engine (clamped to --mss; "
+           "bit-identical to 1)");
 }
 
 sim::FlagSet make_flags(const std::string& cmd) {
@@ -196,6 +201,7 @@ std::vector<core::ProtocolKind> protocols_from(const sim::ArgParser& args) {
 int cmd_audit(const sim::ArgParser& args) {
   sim::ExperimentOptions opts;
   opts.protocols = protocols_from(args);
+  opts.shards = args.get_u32("shards", 1);
   const sim::AuditReport report = sim::audit_determinism(config_from(args), opts);
   report.print(std::cout);
   return report.deterministic() ? 0 : 1;
@@ -207,6 +213,7 @@ int cmd_run(const sim::ArgParser& args) {
   opts.protocols = protocols_from(args);
   opts.with_storage = true;
   opts.verify_consistency = args.get_flag("verify");
+  opts.shards = args.get_u32("shards", 1);
   const std::string metrics_path = args.get_string("metrics", "");
   const std::string trace_path = args.get_string("chrome-trace", "");
   obs::RunObserver observer;
@@ -254,8 +261,9 @@ int cmd_figure(const sim::ArgParser& args) {
   spec.base = config_from(args);
   spec.protocols = protocols_from(args);
   sim::apply_cli_flags(spec, args);
-  const sim::FigureResult result =
-      sim::run_figure(spec, sim::ExperimentOptions{}, args.get_u32("threads", 0));
+  sim::ExperimentOptions opts;
+  opts.shards = args.get_u32("shards", 1);
+  const sim::FigureResult result = sim::run_figure(spec, opts, args.get_u32("threads", 0));
   if (args.get_flag("json")) {
     sim::write_json(std::cout, result);
   } else if (args.get_flag("csv")) {
@@ -271,6 +279,7 @@ int cmd_figure(const sim::ArgParser& args) {
 int cmd_recover(const sim::ArgParser& args) {
   sim::ExperimentOptions opts;
   opts.protocols = protocols_from(args);
+  opts.shards = args.get_u32("shards", 1);
   sim::Experiment exp(config_from(args), opts);
   exp.run();
   const auto failed = static_cast<net::HostId>(args.get_u64("failed", 0));
@@ -332,6 +341,25 @@ int cmd_explain(const sim::ArgParser& args) {
                                 static_cast<i32>(target.slot), static_cast<i32>(target.host),
                                 target.ordinal, args.get_u64("depth", 16));
   }
+  if (const u32 shards = args.get_u32("shards", 1); shards > 1 && (msg_id != 0 || have_target)) {
+    // Observed runs are sequential-only, so the shard/window annotation
+    // comes from a second, unobserved sharded replay of the same config
+    // with the barrier-window log enabled. The replay is bit-identical to
+    // the observed run, so its windows map 1:1 onto the timeline's times.
+    sim::ExperimentOptions sopts;
+    sopts.protocols = opts.protocols;
+    sopts.shards = shards;
+    sim::Experiment sexp(config_from(args), sopts);
+    sexp.sharded()->enable_window_log(true);
+    sexp.run();
+    std::vector<u32> owners(sexp.network().n_hosts());
+    for (net::HostId h = 0; h < sexp.network().n_hosts(); ++h) {
+      owners[h] = sexp.network().owner_shard(h);
+    }
+    sim::print_shard_annotation(std::cout, observer.timeline(), owners,
+                                sexp.sharded()->window_log(), msg_id,
+                                have_target ? static_cast<i32>(target.host) : -1);
+  }
   if (!dot_path.empty()) {
     const usize slot = have_target ? target.slot : 0;
     const core::CheckpointLog& log = exp.log(slot);
@@ -389,22 +417,60 @@ int cmd_explain(const sim::ArgParser& args) {
   return 0;
 }
 
+/// cmd_trace's ShardHooks: network first (it builds the id map), then the
+/// harness journals — the same order Experiment::WindowMerger uses.
+struct TraceMerger final : des::ShardHooks {
+  net::Network& net;
+  core::ProtocolHarness& harness;
+  TraceMerger(net::Network& n, core::ProtocolHarness& h) : net(n), harness(h) {}
+  void on_window_merge(des::Time) override { harness.merge_window(net.merge_window()); }
+};
+
 int cmd_trace(const sim::ArgParser& args) {
   sim::SimConfig cfg = config_from(args);
   // Collect the full trace with a vector sink wired through the stack.
+  // With --shards the stack is composed by hand exactly as Experiment
+  // does it: a ShardTraceMux in front of the sink, dst-owner routing in
+  // the network, journaled MessageLog merges at every barrier.
   des::Simulator simulator;
   des::VectorSink sink;
-  net::Network network(simulator, cfg.network, cfg.seed, &sink);
-  core::ProtocolHarness harness(network, &sink);
+  const u32 shards = std::min(args.get_u32("shards", 1), cfg.network.n_mss);
+  std::unique_ptr<des::ShardedSimulator> sharded;
+  std::unique_ptr<des::ShardTraceMux> mux;
+  des::TraceSink* front = &sink;
+  if (shards > 1) {
+    const f64 lookahead = std::min(cfg.network.wireless_latency, cfg.network.wired_latency);
+    sharded = std::make_unique<des::ShardedSimulator>(simulator, shards,
+                                                      des::QueueKind::kBinaryHeap, lookahead);
+    simulator.set_sharded(sharded.get());
+    mux = std::make_unique<des::ShardTraceMux>(shards, &sink);
+    front = mux.get();
+  }
+  net::Network network(simulator, cfg.network, cfg.seed, front);
+  core::ProtocolHarness harness(network, front);
   for (const auto kind : protocols_from(args)) {
     harness.add_protocol(core::make_protocol(kind));
   }
+  std::unique_ptr<TraceMerger> merger;
+  if (shards > 1) {
+    network.enable_sharding(sharded.get(), mux.get());
+    harness.enable_sharding(shards);
+    merger = std::make_unique<TraceMerger>(network, harness);
+    sharded->set_hooks(merger.get());
+  }
   sim::WorkloadDriver workload(simulator, network, cfg);
+  if (shards > 1) workload.enable_sharding(shards);
   sim::MobilityDriver mobility(simulator, network, cfg, &workload);
   network.start();
   workload.start();
   mobility.start();
-  simulator.run_until(cfg.sim_length);
+  if (shards > 1) {
+    sharded->run_until(cfg.sim_length);
+    network.finalize_sharding();
+    harness.finalize_sharding();
+  } else {
+    simulator.run_until(cfg.sim_length);
+  }
 
   const std::string out = args.get_string("out", "");
   if (!out.empty()) {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/checkpoint.hpp"
+#include "des/relaxed_counter.hpp"
 #include "des/types.hpp"
 #include "net/ids.hpp"
 
@@ -63,10 +64,13 @@ class CheckpointLog {
 
  private:
   std::vector<std::vector<CheckpointRecord>> per_host_;
-  u64 total_ = 0;
-  u64 initial_ = 0;
-  u64 basic_ = 0;
-  u64 forced_ = 0;
+  // Relaxed atomics: shard-parallel windows append checkpoints for
+  // different hosts concurrently (the per-host vectors are owner-local;
+  // these aggregates are order-independent sums).
+  des::RelaxedCounter total_;
+  des::RelaxedCounter initial_;
+  des::RelaxedCounter basic_;
+  des::RelaxedCounter forced_;
 };
 
 }  // namespace mobichk::core

@@ -42,7 +42,81 @@ void ProtocolHarness::on_host_init(net::MobileHost& host) {
   for (auto& slot : slots_) slot->protocol->host_init(host);
 }
 
+void ProtocolHarness::enable_sharding(u32 n_shards) {
+  if (retain_piggybacks_) {
+    throw std::logic_error("ProtocolHarness: duplicate-exposing runs are sequential-only");
+  }
+  slices_.clear();
+  slices_.resize(n_shards);
+  for (auto& sl : slices_) {
+    sl.pb_bytes.assign(slots_.size(), 0);
+    sl.pb_dense_bytes.assign(slots_.size(), 0);
+  }
+}
+
+void ProtocolHarness::merge_window(const std::unordered_map<u64, u64>& idmap) {
+  // Sends first (the map is order-independent), translated to final ids.
+  for (auto& sl : slices_) {
+    for (const SendRec& s : sl.sends) {
+      const auto it = idmap.find(s.id);
+      msg_log_.note_send(it != idmap.end() ? it->second : s.id, s.src, s.dst, s.pos);
+    }
+    sl.sends.clear();
+  }
+  // Deliveries in merged (time, shard) order — the sequential append
+  // order the rollback machinery scans. Ids seen at receive time are
+  // already final: the send merged at least one barrier earlier.
+  const u32 n = static_cast<u32>(slices_.size());
+  std::vector<usize> head(n, 0);
+  for (;;) {
+    u32 best = n;
+    for (u32 s = 0; s < n; ++s) {
+      if (head[s] >= slices_[s].recvs.size()) continue;
+      if (best == n || slices_[s].recvs[head[s]].t < slices_[best].recvs[head[best]].t) best = s;
+    }
+    if (best == n) break;
+    const RecvRec& r = slices_[best].recvs[head[best]++];
+    msg_log_.note_receive(r.id, r.pos, r.sn);
+  }
+  for (auto& sl : slices_) sl.recvs.clear();
+}
+
+void ProtocolHarness::finalize_sharding() {
+  for (auto& sl : slices_) {
+    for (usize k = 0; k < slots_.size(); ++k) {
+      slots_[k]->pb_bytes += sl.pb_bytes[k];
+      slots_[k]->pb_dense_bytes += sl.pb_dense_bytes[k];
+      sl.pb_bytes[k] = 0;
+      sl.pb_dense_bytes[k] = 0;
+    }
+  }
+}
+
 void ProtocolHarness::on_send(net::MobileHost& host, net::AppMessage& msg) {
+  if (!slices_.empty()) {
+    // Sharded run: the piggybacks travel by value with the message (the
+    // sender's and receiver's shards share no parking pool), and the
+    // MessageLog update is journaled for the barrier.
+    msg.pbs.resize(slots_.size());
+    des::ShardContext* c = des::current_shard();
+    for (usize k = 0; k < slots_.size(); ++k) {
+      msg.pbs[k] = slots_[k]->protocol->make_piggyback(host, msg.dst);
+      if (c != nullptr) {
+        slices_[c->shard].pb_bytes[k] += msg.pbs[k].wire_bytes();
+        slices_[c->shard].pb_dense_bytes[k] += msg.pbs[k].dense_bytes();
+      } else {
+        slots_[k]->pb_bytes += msg.pbs[k].wire_bytes();
+        slots_[k]->pb_dense_bytes += msg.pbs[k].dense_bytes();
+      }
+    }
+    if (!msg.pbs.empty()) msg.pb = msg.pbs.front();  // slot 0 rides the wire
+    if (c != nullptr) {
+      slices_[c->shard].sends.push_back(SendRec{msg.id, msg.src, msg.dst, host.event_pos() + 1});
+    } else {
+      msg_log_.note_send(msg.id, msg.src, msg.dst, host.event_pos() + 1);
+    }
+    return;
+  }
   u32 idx;
   if (!park_free_.empty()) {
     idx = park_free_.back();
@@ -65,6 +139,18 @@ void ProtocolHarness::on_send(net::MobileHost& host, net::AppMessage& msg) {
 }
 
 void ProtocolHarness::on_receive(net::MobileHost& host, const net::AppMessage& msg) {
+  if (!slices_.empty()) {
+    for (usize k = 0; k < slots_.size(); ++k) {
+      slots_[k]->protocol->handle_receive(host, msg, msg.pbs[k]);
+    }
+    if (des::ShardContext* c = des::current_shard()) {
+      slices_[c->shard].recvs.push_back(
+          RecvRec{c->sim->now(), msg.id, host.event_pos() + 1, msg.pb.sn});
+    } else {
+      msg_log_.note_receive(msg.id, host.event_pos() + 1, msg.pb.sn);
+    }
+    return;
+  }
   const auto it = in_flight_.find(msg.id);
   if (it == in_flight_.end()) {
     throw std::logic_error(

@@ -68,6 +68,25 @@ class ProtocolHarness final : public net::HostEventHandler {
   /// Must be called before add_protocol; later slots inherit it.
   void set_timeline(obs::Timeline* timeline) noexcept { timeline_ = timeline; }
 
+  // -- spatial sharding -------------------------------------------------
+
+  /// Switches the harness into shard-parallel mode (call after every
+  /// add_protocol): piggybacks travel by value on messages instead of
+  /// through the pooled shared parking, per-slot piggyback bytes go to
+  /// per-shard slices, and MessageLog updates are journaled per shard
+  /// for the barrier merge.
+  void enable_sharding(u32 n_shards);
+
+  /// Barrier-time merge (coordinator, shards parked): folds this window's
+  /// send/receive journals into the MessageLog — sends first, translated
+  /// through `idmap` (provisional -> final message ids), then deliveries
+  /// in merged (time, shard) order, which is the sequential order the
+  /// rollback machinery depends on.
+  void merge_window(const std::unordered_map<u64, u64>& idmap);
+
+  /// End-of-run fold of the per-shard piggyback byte slices.
+  void finalize_sharding();
+
   // -- net::HostEventHandler --------------------------------------------
   void on_host_init(net::MobileHost& host) override;
   void on_send(net::MobileHost& host, net::AppMessage& msg) override;
@@ -92,6 +111,27 @@ class ProtocolHarness final : public net::HostEventHandler {
     std::vector<net::Piggyback> pbs;
   };
 
+  struct SendRec {
+    u64 id = 0;  ///< Provisional message id (finalized at the barrier).
+    net::HostId src = 0;
+    net::HostId dst = 0;
+    u64 pos = 0;
+  };
+  struct RecvRec {
+    des::Time t = 0.0;  ///< Receive time (merge key).
+    u64 id = 0;         ///< Final message id (assigned before delivery).
+    u64 pos = 0;
+    u64 sn = 0;
+  };
+
+  /// Per-shard journal + hot-counter slice, padded against false sharing.
+  struct alignas(64) Slice {
+    std::vector<SendRec> sends;       ///< This window's sends.
+    std::vector<RecvRec> recvs;       ///< This window's deliveries.
+    std::vector<u64> pb_bytes;        ///< Per protocol slot, whole run.
+    std::vector<u64> pb_dense_bytes;  ///< Per protocol slot, whole run.
+  };
+
   net::Network& net_;
   des::TraceSink* sink_;
   obs::Timeline* timeline_ = nullptr;
@@ -105,6 +145,7 @@ class ProtocolHarness final : public net::HostEventHandler {
   std::vector<Parked> park_;
   std::vector<u32> park_free_;
   bool retain_piggybacks_ = false;
+  std::vector<Slice> slices_;  ///< Non-empty exactly in sharded mode.
 };
 
 }  // namespace mobichk::core

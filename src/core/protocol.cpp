@@ -57,22 +57,22 @@ const CheckpointRecord& CheckpointProtocol::finish_checkpoint(CheckpointRecord r
   rec.host = host.id();
   rec.sn = sn;
   rec.kind = kind;
-  rec.time = ctx_.sim->now();
+  rec.time = ctx_.now();
   rec.location = host.mss();
   rec.event_pos = host.event_pos();
   rec.replaced_predecessor = replaced;
   const CheckpointRecord& stored = ctx_.log->append(std::move(rec));
   if (ctx_.storage != nullptr) {
-    ctx_.storage->record_checkpoint(host.id(), host.mss(), ctx_.sim->now());
+    ctx_.storage->record_checkpoint(host.id(), host.mss(), ctx_.now());
   }
   if (ctx_.sink != nullptr) {
     const auto tk = kind == CheckpointKind::kForced ? des::TraceKind::kForcedCheckpoint
                                                     : des::TraceKind::kBasicCheckpoint;
-    ctx_.sink->record(des::TraceRecord{ctx_.sim->now(), host.id(), tk, stored.sn, stored.ordinal});
+    ctx_.sink->record(des::TraceRecord{ctx_.now(), host.id(), tk, stored.sn, stored.ordinal});
   }
   if (ctx_.timeline != nullptr) {
     obs::ProbeEvent e;
-    e.t = ctx_.sim->now();
+    e.t = ctx_.now();
     e.kind = obs::ProbeKind::kCheckpoint;
     e.ckpt_kind = static_cast<obs::CkptKind>(kind);  // value-identical enums
     e.rule = rule;

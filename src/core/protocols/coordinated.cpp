@@ -55,7 +55,7 @@ void CoordinatedProtocol::marker_arrive(net::HostId host_id, u64 round) {
       ctx_.log->promote_sn(host_id, round);
       if (ctx_.timeline != nullptr) {
         obs::ProbeEvent e;
-        e.t = ctx_.sim->now();
+        e.t = ctx_.now();
         e.kind = obs::ProbeKind::kSnPromote;
         e.actor = static_cast<i32>(host_id);
         e.track = ctx_.slot;

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/protocol.hpp"
+#include "des/relaxed_counter.hpp"
 
 namespace mobichk::core {
 
@@ -110,7 +111,9 @@ class TpProtocol final : public CheckpointProtocol {
   std::vector<u64> version_;                       ///< Per-host change counter.
   std::vector<std::vector<SendCursor>> send_cur_;  ///< Per-host, sorted by dst.
   std::vector<std::vector<RecvCursor>> recv_cur_;  ///< Per-host, sorted by src.
-  u64 delta_reorders_ = 0;
+  // Relaxed atomic: a rare cross-shard bump (only on an out-of-order
+  // per-pair delta, which owner-local receives make owner-local anyway).
+  des::RelaxedCounter delta_reorders_;
 };
 
 }  // namespace mobichk::core

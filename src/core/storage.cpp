@@ -11,7 +11,7 @@ void StorageConfig::validate() const {
 }
 
 StorageModel::StorageModel(u32 n_hosts, u32 n_mss, StorageConfig cfg)
-    : cfg_(cfg), hosts_(n_hosts), per_mss_bytes_(n_mss, 0) {
+    : cfg_(cfg), hosts_(n_hosts), per_mss_bytes_(n_mss) {
   cfg_.validate();
   if (cfg_.track_history) history_.resize(n_hosts);
 }

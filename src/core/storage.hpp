@@ -15,6 +15,7 @@
 
 #include <vector>
 
+#include "des/relaxed_counter.hpp"
 #include "des/types.hpp"
 #include "net/ids.hpp"
 
@@ -62,11 +63,15 @@ class StorageModel {
   StorageConfig cfg_;
   std::vector<HostState> hosts_;
   std::vector<std::vector<u64>> history_;
-  std::vector<u64> per_mss_bytes_;
-  u64 writes_ = 0;
-  u64 wireless_bytes_ = 0;
-  u64 wired_bytes_ = 0;
-  u64 transfers_ = 0;
+  // Relaxed atomics: shard windows record checkpoints for different hosts
+  // concurrently. Per-host state (and history) stays owner-local; these
+  // aggregates — including per-MSS byte totals, since hosts of several
+  // shards share a cell — are order-independent sums.
+  std::vector<des::RelaxedCounter> per_mss_bytes_;
+  des::RelaxedCounter writes_;
+  des::RelaxedCounter wireless_bytes_;
+  des::RelaxedCounter wired_bytes_;
+  des::RelaxedCounter transfers_;
 };
 
 }  // namespace mobichk::core

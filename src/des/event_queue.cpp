@@ -61,6 +61,15 @@ Time BinaryHeapQueue::peek_time() {
   return heap_.front().time;
 }
 
+Time BinaryHeapQueue::peek_time_below(Time bound) {
+  if (live_ == 0) return kNoEventBelow;
+  // Dropping cancelled tops is a pure reclaim: it releases only tombstoned
+  // slots, so live handles and the eventual pop order are untouched.
+  drop_cancelled_top();
+  const Time t = heap_.front().time;
+  return t < bound ? t : kNoEventBelow;
+}
+
 bool BinaryHeapQueue::cancel(EventHandle handle) {
   // Lazy: mark the slot and skip the entry when it surfaces. Only a
   // still-pending generation may be cancelled; a fired, unknown or
@@ -281,6 +290,16 @@ Time CalendarQueue::peek_time() {
   // following pop re-uses; it never removes the entry, so a push of an
   // earlier event in between still pulls the cursor back.
   return buckets_[seek_min()].back().time;
+}
+
+Time CalendarQueue::peek_time_below(Time bound) {
+  if (live_ == 0) return kNoEventBelow;
+  // seek_min only moves the cursor and purges tombstones; the minimum
+  // entry stays in place, so this probe cannot perturb pop order or
+  // invalidate live handles (push pulls the cursor back when an earlier
+  // event arrives later).
+  const Time t = buckets_[seek_min()].back().time;
+  return t < bound ? t : kNoEventBelow;
 }
 
 void CalendarQueue::resize(usize new_bucket_count) {

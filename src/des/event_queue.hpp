@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cassert>
+#include <limits>
 #include <memory>
 #include <string_view>
 #include <vector>
@@ -116,6 +117,10 @@ class SlotTable {
   std::vector<u32> free_;
 };
 
+/// Sentinel returned by EventQueue::peek_time_below when no live event
+/// lies below the probe bound (or the queue is empty).
+inline constexpr Time kNoEventBelow = std::numeric_limits<Time>::infinity();
+
 /// Abstract pending-event set ordered by (time, seq).
 class EventQueue {
  public:
@@ -130,6 +135,12 @@ class EventQueue {
 
   /// Time of the minimum live event without removing it. Pre: !empty().
   virtual Time peek_time() = 0;
+
+  /// Horizon probe for shard windows: the minimum live event time if it is
+  /// strictly below `bound`, else kNoEventBelow. Unlike peek_time() this is
+  /// safe on an empty queue, and it never pops-and-reinserts — outstanding
+  /// EventHandles stay valid and pop order is undisturbed.
+  virtual Time peek_time_below(Time bound) = 0;
 
   /// Cancels the event behind `handle`. Returns true when a live pending
   /// event was removed; a stale handle (already fired, already cancelled,
@@ -185,6 +196,7 @@ class BinaryHeapQueue final : public EventQueue {
   EventHandle push(EventEntry entry) override;
   EventEntry pop() override;
   Time peek_time() override;
+  Time peek_time_below(Time bound) override;
   bool cancel(EventHandle handle) override;
   bool empty() const override { return live_ == 0; }
   usize size() const override { return live_; }
@@ -224,6 +236,7 @@ class CalendarQueue final : public EventQueue {
   EventHandle push(EventEntry entry) override;
   EventEntry pop() override;
   Time peek_time() override;
+  Time peek_time_below(Time bound) override;
   bool cancel(EventHandle handle) override;
   bool empty() const override { return live_ == 0; }
   usize size() const override { return live_; }

@@ -1,0 +1,46 @@
+// A copyable relaxed atomic counter for rare cross-shard accumulation.
+//
+// Shard-parallel windows (des/sharded.hpp) let several threads bump the
+// same aggregate counter (checkpoint totals, storage bytes, MSS routing
+// counts). Those sums are order-independent, so relaxed atomics keep them
+// exact without journaling; the copy/move operations (plain value copies)
+// exist so the holders stay aggregate-movable like the plain u64 they
+// replace. Hot per-event counters must NOT use this — they get per-shard
+// padded slices instead (a shared atomic cache line would serialize the
+// very windows sharding exists to parallelize).
+#pragma once
+
+#include <atomic>
+
+#include "des/types.hpp"
+
+namespace mobichk::des {
+
+class RelaxedCounter {
+ public:
+  RelaxedCounter() noexcept = default;
+  explicit RelaxedCounter(u64 v) noexcept : v_(v) {}
+  RelaxedCounter(const RelaxedCounter& o) noexcept : v_(o.load()) {}
+  RelaxedCounter& operator=(const RelaxedCounter& o) noexcept {
+    v_.store(o.load(), std::memory_order_relaxed);
+    return *this;
+  }
+
+  u64 load() const noexcept { return v_.load(std::memory_order_relaxed); }
+  operator u64() const noexcept { return load(); }
+
+  RelaxedCounter& operator=(u64 v) noexcept {
+    v_.store(v, std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator+=(u64 d) noexcept {
+    v_.fetch_add(d, std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator++() noexcept { return *this += 1; }
+
+ private:
+  std::atomic<u64> v_{0};
+};
+
+}  // namespace mobichk::des

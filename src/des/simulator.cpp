@@ -74,6 +74,32 @@ u64 Simulator::run_until(Time t_end) {
   return count;
 }
 
+u64 Simulator::run_window(Time h_excl, Time cap) {
+  u64 count = 0;
+  for (;;) {
+    const Time t = queue_->peek_time_below(h_excl);
+    if (t == kNoEventBelow || t > cap) break;
+    EventEntry e = queue_->pop();
+    advance_to(e);
+    if (probe_ != nullptr) observe_pop(e);
+    fire(e);
+    ++executed_;
+    ++invariants_.executed;
+    ++count;
+  }
+  return count;
+}
+
+void Simulator::step_one() {
+  assert(!queue_->empty() && "step_one() on empty queue");
+  EventEntry e = queue_->pop();
+  advance_to(e);
+  if (probe_ != nullptr) observe_pop(e);
+  fire(e);
+  ++executed_;
+  ++invariants_.executed;
+}
+
 u64 Simulator::run() {
   u64 count = 0;
   stop_requested_ = false;

@@ -18,6 +18,8 @@
 
 namespace mobichk::des {
 
+class ShardedSimulator;
+
 /// Cheap release-mode invariant counters maintained by the Simulator.
 ///
 /// A healthy run always reconciles: every scheduled event either fired,
@@ -77,6 +79,29 @@ class Simulator {
   /// the queue drains earlier. Returns the number of events executed.
   u64 run_until(Time t_end);
 
+  /// Time of the next pending event if it is strictly below `bound`, else
+  /// kNoEventBelow. Safe on an empty queue; never disturbs pop order or
+  /// outstanding handles (the shard-window horizon probe).
+  Time next_event_time_below(Time bound = kNoEventBelow) {
+    return queue_->peek_time_below(bound);
+  }
+
+  /// Conservative-window run: executes pending events while their time is
+  /// strictly below `h_excl` AND at most `cap` (the run-end boundary,
+  /// inclusive to match run_until's `<= t_end` semantics). Does not move
+  /// the clock past the last executed event. Returns events executed.
+  u64 run_window(Time h_excl, Time cap);
+
+  /// Executes exactly one pending event (the minimum). Pre: !empty() is
+  /// implied by the caller having probed a finite next_event_time_below.
+  void step_one();
+
+  /// Advances the clock without executing anything (end-of-run alignment
+  /// across shards); no-op when `t` is not ahead of now().
+  void advance_clock_to(Time t) noexcept {
+    if (t > now_) now_ = t;
+  }
+
   /// Runs until the event set is empty (or stop() is called).
   u64 run();
 
@@ -107,6 +132,12 @@ class Simulator {
   /// before they dangle. Null probe == zero-cost unobserved run.
   void set_probe(const obs::KernelProbe* probe) noexcept { probe_ = probe; }
 
+  /// When this simulator is the main engine of a sharded run, the shard
+  /// coordinator is attached here so des::route_schedule_after can file
+  /// per-host events into their owner shard. Null in sequential runs.
+  void set_sharded(ShardedSimulator* sharded) noexcept { sharded_ = sharded; }
+  ShardedSimulator* sharded() const noexcept { return sharded_; }
+
  private:
   /// Assigns the next sequence number and pushes the finished entry.
   EventHandle enqueue(Time t, EventEntry entry);
@@ -133,6 +164,7 @@ class Simulator {
 
   std::unique_ptr<EventQueue> queue_;
   const obs::KernelProbe* probe_ = nullptr;
+  ShardedSimulator* sharded_ = nullptr;
   Time now_ = 0.0;
   u64 next_seq_ = 1;
   u64 executed_ = 0;

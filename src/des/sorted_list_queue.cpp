@@ -28,6 +28,13 @@ Time SortedListQueue::peek_time() {
   return entries_.back().time;
 }
 
+Time SortedListQueue::peek_time_below(Time bound) {
+  // The eager oracle carries no tombstones, so the probe is a pure read.
+  if (entries_.empty()) return kNoEventBelow;
+  const Time t = entries_.back().time;
+  return t < bound ? t : kNoEventBelow;
+}
+
 bool SortedListQueue::cancel(EventHandle handle) {
   // Eager: validate the handle against the slot table, then physically
   // remove the entry — the oracle never carries tombstones.

@@ -23,6 +23,7 @@ class SortedListQueue final : public EventQueue {
   EventHandle push(EventEntry entry) override;
   EventEntry pop() override;
   Time peek_time() override;
+  Time peek_time_below(Time bound) override;
   bool cancel(EventHandle handle) override;
   bool empty() const override { return entries_.empty(); }
   usize size() const override { return entries_.size(); }

@@ -11,6 +11,7 @@
 // keeps the protocol-facing API unchanged.
 #pragma once
 
+#include <deque>
 #include <unordered_set>
 #include <vector>
 
@@ -54,12 +55,26 @@ class Mailbox {
   usize head_ = 0;
 };
 
+/// Messages an MSS holds for one (disconnected) host. A host rarely has
+/// buffers at more than one MSS at a time, so a flat vector of per-cell
+/// queues beats a map.
+struct BufferedAt {
+  MssId at = 0;
+  std::deque<AppMessage> q;
+};
+
 /// All per-host network state, one array per field (index = dense HostId).
+///
+/// The MSS message buffers live here (indexed by the *host* they are held
+/// for, tagged with the MSS holding them) rather than inside Mss: shard-
+/// parallel windows have each host's owner shard touching only that
+/// host's buffers, which would race on a shared per-MSS map.
 struct HostArena {
   std::vector<MssId> mss;        ///< Current cell while connected; last cell otherwise.
   std::vector<u8> connected;     ///< 1 = attached to its cell.
   std::vector<u64> event_pos;    ///< Consistency-oracle event position.
   std::vector<Mailbox> mailbox;  ///< Delivered-but-unconsumed messages.
+  std::vector<std::vector<BufferedAt>> buffered;  ///< MSS-held messages, per host.
   /// Transport dedup (only fed when duplication is on; an untouched
   /// unordered_set performs no heap allocation).
   std::vector<std::unordered_set<u64>> seen_ids;
@@ -69,7 +84,40 @@ struct HostArena {
     connected.assign(n_hosts, 1);
     event_pos.assign(n_hosts, 0);
     mailbox.assign(n_hosts, {});
+    buffered.assign(n_hosts, {});
     seen_ids.assign(n_hosts, {});
+  }
+
+  /// Queues a message held at `cell` for `host` (FIFO per cell).
+  void buffer_at(MssId cell, HostId host, AppMessage msg) {
+    for (auto& b : buffered[host]) {
+      if (b.at == cell) {
+        b.q.push_back(std::move(msg));
+        return;
+      }
+    }
+    buffered[host].push_back(BufferedAt{cell, {}});
+    buffered[host].back().q.push_back(std::move(msg));
+  }
+
+  /// Removes and returns everything `cell` holds for `host` (FIFO order).
+  std::vector<AppMessage> drain_buffered(MssId cell, HostId host) {
+    auto& entries = buffered[host];
+    for (usize i = 0; i < entries.size(); ++i) {
+      if (entries[i].at != cell) continue;
+      std::vector<AppMessage> out(std::make_move_iterator(entries[i].q.begin()),
+                                  std::make_move_iterator(entries[i].q.end()));
+      entries.erase(entries.begin() + static_cast<std::ptrdiff_t>(i));
+      return out;
+    }
+    return {};
+  }
+
+  usize buffered_count(MssId cell, HostId host) const {
+    for (const auto& b : buffered[host]) {
+      if (b.at == cell) return b.q.size();
+    }
+    return 0;
   }
 };
 

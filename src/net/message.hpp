@@ -103,6 +103,12 @@ struct AppMessage {
   des::Time sent_at = 0.0;
   u64 send_pos = 0;         ///< Sender's event position at send (consistency oracle).
   Piggyback pb;
+  /// Sharded runs only: every protocol slot's piggyback travels by value
+  /// with the message (sender and receiver may live on different shards,
+  /// so the harness cannot park them in a shared pool). Sequential runs
+  /// leave this empty and use the pooled parking path. Slot 0's piggyback
+  /// is still mirrored into `pb` — that is the one on the wire.
+  std::vector<Piggyback> pbs;
 
   usize wire_bytes() const noexcept { return payload_bytes + pb.wire_bytes(); }
 };

@@ -6,13 +6,19 @@
 // (the storage model itself lives in core/storage.hpp and is keyed by
 // MssId). Routing decisions are made by Network using the location
 // directory.
+//
+// The buffered messages themselves live in the HostArena (keyed by the
+// host they are held for and tagged with this MSS), so shard-parallel
+// windows touch disjoint per-host state; this class keeps the per-MSS
+// API and the lifetime counters. The counters are relaxed atomics
+// because hosts owned by different shards route through the same cell.
 #pragma once
 
-#include <deque>
-#include <unordered_map>
 #include <vector>
 
+#include "des/relaxed_counter.hpp"
 #include "des/types.hpp"
+#include "net/host_arena.hpp"
 #include "net/ids.hpp"
 #include "net/message.hpp"
 
@@ -20,30 +26,23 @@ namespace mobichk::net {
 
 class Mss {
  public:
-  explicit Mss(MssId id) noexcept : id_(id) {}
+  /// `arena` stores the buffered messages; must outlive the Mss.
+  Mss(MssId id, HostArena* arena) noexcept : id_(id), arena_(arena) {}
 
   MssId id() const noexcept { return id_; }
 
   /// Queues a message for a disconnected host.
   void buffer_message(HostId host, AppMessage msg) {
-    buffers_[host].push_back(std::move(msg));
+    arena_->buffer_at(id_, host, std::move(msg));
     ++messages_buffered_;
   }
 
   /// Removes and returns all messages buffered for `host` (FIFO order).
   std::vector<AppMessage> drain_buffer(HostId host) {
-    auto it = buffers_.find(host);
-    if (it == buffers_.end()) return {};
-    std::vector<AppMessage> out(std::make_move_iterator(it->second.begin()),
-                                std::make_move_iterator(it->second.end()));
-    buffers_.erase(it);
-    return out;
+    return arena_->drain_buffered(id_, host);
   }
 
-  usize buffered_count(HostId host) const {
-    const auto it = buffers_.find(host);
-    return it == buffers_.end() ? 0 : it->second.size();
-  }
+  usize buffered_count(HostId host) const { return arena_->buffered_count(id_, host); }
 
   /// Lifetime count of messages ever buffered at this MSS.
   u64 messages_buffered() const noexcept { return messages_buffered_; }
@@ -54,9 +53,9 @@ class Mss {
 
  private:
   MssId id_;
-  std::unordered_map<HostId, std::deque<AppMessage>> buffers_;
-  u64 messages_buffered_ = 0;
-  u64 messages_routed_ = 0;
+  HostArena* arena_;
+  des::RelaxedCounter messages_buffered_;
+  des::RelaxedCounter messages_routed_;
 };
 
 }  // namespace mobichk::net

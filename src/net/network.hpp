@@ -14,12 +14,15 @@
 #pragma once
 
 #include <memory>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "des/distributions.hpp"
 #include "des/event.hpp"
 #include "des/stats.hpp"
 #include "des/rng.hpp"
+#include "des/sharded.hpp"
 #include "des/simulator.hpp"
 #include "des/trace.hpp"
 #include "des/types.hpp"
@@ -112,6 +115,38 @@ class Network final : public des::EventTarget {
     timeline_ = timeline;
   }
 
+  // -- spatial sharding -------------------------------------------------
+
+  /// Switches the substrate into shard-parallel mode: hosts are owned by
+  /// shards in contiguous cell blocks of their *current* placement
+  /// (call after any custom start() placement is decided — the default
+  /// round-robin placement from the constructor matches start()), the
+  /// owner map is installed into `sharded`, and per-shard slices (stats,
+  /// in-flight pools, egress channels, journals) are allocated. `mux`
+  /// must be the TraceSink this network was constructed with (kSend
+  /// records are patched in its buffers when message ids are finalized).
+  /// Requires an ideal channel (no bandwidth cap, no duplication, no
+  /// observer) and strictly positive latencies — the wired/wireless
+  /// minimum is the conservative lookahead.
+  void enable_sharding(des::ShardedSimulator* sharded, des::ShardTraceMux* mux);
+
+  /// Barrier-time merge, run on the coordinator with all shards parked:
+  /// assigns final message ids to this window's sends in global
+  /// (time, shard) order, patches parked/egress messages and buffered
+  /// kSend trace records, applies journaled directory moves, drains
+  /// cross-shard egress legs into their owner queues, and flushes the
+  /// trace mux. Returns the provisional -> final id map for this window
+  /// (the harness merges its journals through it).
+  const std::unordered_map<u64, u64>& merge_window();
+
+  /// End-of-run fold: sums per-shard counter slices into stats() and
+  /// replays the delivery-latency journals into the Tally in global
+  /// time order (bit-identical to the sequential insertion order).
+  void finalize_sharding();
+
+  /// Owner shard of `host` (valid after enable_sharding).
+  u32 owner_shard(HostId host) const { return owner_shard_[host]; }
+
   /// Places hosts round-robin over MSSs and fires on_host_init upcalls.
   void start();
 
@@ -194,17 +229,88 @@ class Network final : public des::EventTarget {
     kSubDeliver = 2,  ///< MSS -> MH wireless leg arrived (flags bit0 = is_duplicate).
   };
 
-  /// Parks an in-flight message in the pool; returns its slot index.
-  u32 park(AppMessage msg);
+  /// Recycled storage for in-flight messages: one global pool in the
+  /// sequential engine, one per shard in sharded mode (a leg is parked
+  /// and unparked by the same shard — the owner of its destination).
+  struct Pool {
+    std::vector<AppMessage> parked;
+    std::vector<u32> free;
+  };
+
+  /// A send registered during a shard window, awaiting its final message
+  /// id at the barrier.
+  struct SendReg {
+    des::Time t = 0.0;       ///< Send time (merge key).
+    u64 provisional = 0;     ///< Shard-local id stamped at send.
+    usize trace_idx = 0;     ///< Buffered kSend record to patch.
+  };
+
+  /// A message leg crossing shards (only the send uplink can): handed to
+  /// the destination's owner at the barrier.
+  struct EgressLeg {
+    des::Time t = 0.0;       ///< Absolute arrival time of the leg.
+    MssId at = 0;
+    u8 sub = 0;
+    bool flag = false;
+    AppMessage msg;
+  };
+
+  /// Everything one shard touches during a window, padded to keep the
+  /// hot counters off other shards' cache lines.
+  struct alignas(64) ShardSlice {
+    NetworkStats stats;                   ///< Counter slice (Tally unused — see latency).
+    Pool pool;                            ///< In-flight legs owned by this shard.
+    std::vector<u32> provisional_parked;  ///< Pool slots holding provisional ids.
+    std::vector<SendReg> sends;           ///< This window's sends, in time order.
+    std::vector<std::pair<des::Time, f64>> latency;         ///< Delivery-latency journal.
+    std::vector<std::pair<HostId, MssId>> dir_moves;        ///< Directory moves this window.
+    std::vector<std::vector<EgressLeg>> egress;             ///< Per destination shard.
+    u64 next_provisional = 0;
+  };
+
+  /// High bit marks a provisional (not yet merged) message id.
+  static constexpr u64 kProvisionalBit = u64{1} << 63;
+
+  /// The pool serving the calling context (TLS shard slice or global).
+  Pool& cur_pool();
+  /// Parks an in-flight message in `pool`; returns its slot index.
+  u32 park(Pool& pool, AppMessage msg);
   /// Reclaims a parked message, freeing its slot for reuse.
   AppMessage unpark(u32 idx);
   /// Builds the kMessageHop payload for one message leg.
   des::EventPayload hop_payload(u8 sub, MssId at, u32 park_idx, bool flag) noexcept;
 
-  /// Moves `host` to `new_mss` in both the arena and the directory.
+  /// The clock of the calling context: the TLS shard's simulator inside a
+  /// window, the main simulator otherwise.
+  des::Time cur_now() const {
+    if (des::ShardContext* c = des::current_shard()) return c->sim->now();
+    return sim_.now();
+  }
+
+  /// The stats the calling context accumulates into: the TLS shard's
+  /// slice inside a window, the global aggregate otherwise.
+  NetworkStats& st() {
+    if (des::ShardContext* c = des::current_shard()) return slices_[c->shard].stats;
+    return stats_;
+  }
+
+  /// Schedules a (non-send) message leg `delay` from the current clock.
+  /// All such legs are destination-local: they execute on the owner shard
+  /// of msg.dst, which in a window is the calling shard. Coordinator-side
+  /// calls (restore-time redelivery) inject into the owner's queue
+  /// directly — the shards are parked.
+  void schedule_hop(f64 delay, u8 sub, MssId at, bool flag, AppMessage msg);
+
+  /// Moves `host` to `new_mss` in the arena immediately (owner-local) and
+  /// in the directory either immediately (sequential / coordinator) or at
+  /// the next barrier (inside a window — the directory is shared).
   void set_mss(HostId host, MssId new_mss) {
     arena_.mss[host] = new_mss;
-    directory_.move(host, new_mss);
+    if (des::ShardContext* c = des::current_shard()) {
+      slices_[c->shard].dir_moves.emplace_back(host, new_mss);
+    } else {
+      directory_.move(host, new_mss);
+    }
   }
 
   /// `targeted` is true when `at` was chosen because the destination was
@@ -262,10 +368,16 @@ class Network final : public des::EventTarget {
   std::vector<Mss> mss_;
   std::vector<CellChannel> channels_;
   NetworkStats stats_;
-  std::vector<AppMessage> parked_;  ///< In-flight message pool.
-  std::vector<u32> park_free_;     ///< Free slots in parked_.
+  Pool pool_;                      ///< In-flight message pool (sequential engine).
   u64 next_msg_id_ = 1;
   bool started_ = false;
+
+  // -- sharded mode (null / empty in sequential runs) -------------------
+  des::ShardedSimulator* sharded_ = nullptr;
+  des::ShardTraceMux* mux_ = nullptr;
+  std::vector<u32> owner_shard_;           ///< host -> owner shard.
+  std::vector<ShardSlice> slices_;
+  std::unordered_map<u64, u64> window_idmap_;  ///< provisional -> final, per window.
 };
 
 }  // namespace mobichk::net

@@ -33,10 +33,20 @@ void check_equal(std::vector<std::string>& mismatches, const AuditRun& base, con
 
 AuditReport audit_determinism(const SimConfig& cfg, ExperimentOptions opts) {
   opts.collect_trace_hash = true;
+  // Shard counts audited: always the sequential engine; when the caller
+  // asked for sharding, the parallel engine joins the matrix and must
+  // match the sequential baseline bit-for-bit on every queue kind.
+  std::vector<u32> shard_counts{1};
+  if (opts.shards > 1) shard_counts.push_back(opts.shards);
   AuditReport report;
-  for (const des::QueueKind kind : des::kAllQueueKinds) {
-    opts.queue_kind = kind;
-    report.runs.push_back(to_audit_run(run_experiment(cfg, opts), des::queue_kind_name(kind)));
+  for (const u32 shards : shard_counts) {
+    opts.shards = shards;
+    for (const des::QueueKind kind : des::kAllQueueKinds) {
+      opts.queue_kind = kind;
+      std::string label = des::queue_kind_name(kind);
+      if (shards > 1) label += " x" + std::to_string(shards);
+      report.runs.push_back(to_audit_run(run_experiment(cfg, opts), label.c_str()));
+    }
   }
   const AuditRun& base = report.runs.front();
   for (const AuditRun& run : report.runs) {

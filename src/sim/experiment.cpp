@@ -37,10 +37,25 @@ Experiment::Experiment(SimConfig cfg, ExperimentOptions opts)
   if (opts_.protocols.empty()) {
     throw std::invalid_argument("ExperimentOptions: need at least one protocol");
   }
+  if (opts_.shards > 1) shards_ = std::min(opts_.shards, cfg_.network.n_mss);
+  if (shards_ > 1 && opts_.observer != nullptr) {
+    throw std::invalid_argument(
+        "ExperimentOptions: observers are sequential-only; run with shards=1");
+  }
   if (opts_.collect_trace_hash) hash_sink_ = std::make_unique<des::HashSink>();
   sim_ = std::make_unique<des::Simulator>(opts_.queue_kind);
-  net_ = std::make_unique<net::Network>(*sim_, cfg_.network, cfg_.seed, hash_sink_.get());
-  harness_ = std::make_unique<core::ProtocolHarness>(*net_, hash_sink_.get());
+  des::TraceSink* sink = hash_sink_.get();
+  if (shards_ > 1) {
+    const f64 lookahead = std::min(cfg_.network.wireless_latency, cfg_.network.wired_latency);
+    sharded_ =
+        std::make_unique<des::ShardedSimulator>(*sim_, shards_, opts_.queue_kind, lookahead);
+    sim_->set_sharded(sharded_.get());
+    mux_ = std::make_unique<des::ShardTraceMux>(shards_,
+                                                sink != nullptr ? sink : &null_sink_);
+    sink = mux_.get();
+  }
+  net_ = std::make_unique<net::Network>(*sim_, cfg_.network, cfg_.seed, sink);
+  harness_ = std::make_unique<core::ProtocolHarness>(*net_, sink);
   if (opts_.observer != nullptr) {
     sim_->set_probe(opts_.observer->kernel_probe());
     net_->set_observer(opts_.observer->net_probe(), &opts_.observer->timeline());
@@ -55,7 +70,16 @@ Experiment::Experiment(SimConfig cfg, ExperimentOptions opts)
   if (cfg_.network.duplicate_prob > 0.0 && !cfg_.network.transport_dedup) {
     harness_->retain_piggybacks(true);
   }
+  if (shards_ > 1) {
+    // After every slot exists (the harness sizes per-slot byte slices) and
+    // after the duplicate gate above (both ends validate it).
+    net_->enable_sharding(sharded_.get(), mux_.get());
+    harness_->enable_sharding(shards_);
+    merger_ = std::make_unique<WindowMerger>(*net_, *harness_);
+    sharded_->set_hooks(merger_.get());
+  }
   workload_ = std::make_unique<WorkloadDriver>(*sim_, *net_, cfg_);
+  if (shards_ > 1) workload_->enable_sharding(shards_);
   if (cfg_.ckpt_latency > 0.0) {
     // Probe every slot: stalling only for slot 0's checkpoints made the
     // trace depend on protocol order in multi-protocol runs.
@@ -94,17 +118,29 @@ void Experiment::run() {
   workload_->start();
   mobility_->start();
   if (crash_ != nullptr) crash_->start();
-  sim_->run_until(cfg_.sim_length);
+  if (sharded_ != nullptr) {
+    sharded_->run_until(cfg_.sim_length);
+    net_->finalize_sharding();
+    harness_->finalize_sharding();
+  } else {
+    sim_->run_until(cfg_.sim_length);
+  }
   result_.wall_seconds =
       std::chrono::duration<f64>(std::chrono::steady_clock::now() - wall_start).count();
 
   result_.cfg = cfg_;
   result_.net = net_->stats();
-  result_.events_executed = sim_->events_executed();
+  result_.events_executed =
+      sharded_ != nullptr ? sharded_->events_executed() : sim_->events_executed();
   result_.workload_ops = workload_->ops_executed();
   result_.trace_hash = hash_sink_ != nullptr ? hash_sink_->hash() : 0;
-  result_.invariants = sim_->invariants();
-  result_.invariants_ok = sim_->invariants_ok();
+  result_.invariants = sharded_ != nullptr ? sharded_->invariants() : sim_->invariants();
+  result_.invariants_ok = sharded_ != nullptr ? sharded_->invariants_ok() : sim_->invariants_ok();
+  result_.shards = shards_;
+  if (sharded_ != nullptr) {
+    result_.sync_rounds = sharded_->sync_rounds();
+    result_.barrier_stall_seconds = sharded_->barrier_stall_seconds();
+  }
   result_.protocols.clear();
   result_.protocols.reserve(opts_.protocols.size());
   for (usize slot = 0; slot < harness_->protocol_count(); ++slot) {

@@ -9,6 +9,7 @@
 
 #include "core/factory.hpp"
 #include "core/harness.hpp"
+#include "des/sharded.hpp"
 #include "des/simulator.hpp"
 #include "des/trace.hpp"
 #include "net/network.hpp"
@@ -36,6 +37,14 @@ struct ExperimentOptions {
 
   des::QueueKind queue_kind = des::QueueKind::kBinaryHeap;
   bool collect_trace_hash = false;    ///< Fold the run's trace into a hash (replay tests).
+
+  /// Spatial shards for the conservative parallel engine. 1 (the default)
+  /// runs the classic sequential loop with zero sharding machinery.
+  /// Values > 1 are clamped to the MSS-cell count; the merged run is
+  /// bit-identical to shards=1 (same trace hash, same FigureResult).
+  /// Sharded runs are incompatible with observers and with
+  /// duplicate-exposing network configs (both stay sequential-only).
+  u32 shards = 1;
 
   /// Non-owning observability hookup (nullptr = off, the default: the
   /// run is then bit-identical and allocation-free on the hot path).
@@ -74,6 +83,9 @@ struct RunResult {
   u64 trace_hash = 0;
   des::SimInvariants invariants;  ///< Engine self-check counters for the run.
   bool invariants_ok = true;      ///< Scheduled/executed/cancelled ledger reconciled.
+  u32 shards = 1;                 ///< Shard count the run actually used.
+  u64 sync_rounds = 0;            ///< Barrier windows (0 when sequential).
+  f64 barrier_stall_seconds = 0.0;  ///< Coordinator wait at barriers (wall, non-deterministic).
   /// Metric snapshot (registration order); empty when no observer was
   /// attached.
   std::vector<obs::MetricSample> metrics;
@@ -95,6 +107,8 @@ class Experiment {
   const RunResult& result() const noexcept { return result_; }
 
   des::Simulator& simulator() noexcept { return *sim_; }
+  /// The parallel engine; nullptr when the run is sequential (shards<=1).
+  des::ShardedSimulator* sharded() noexcept { return sharded_.get(); }
   net::Network& network() noexcept { return *net_; }
   core::ProtocolHarness& harness() noexcept { return *harness_; }
   WorkloadDriver& workload() noexcept { return *workload_; }
@@ -104,12 +118,31 @@ class Experiment {
   core::ProtocolKind kind(usize slot) const { return opts_.protocols.at(slot); }
 
  private:
+  /// ShardHooks impl: drains the network's cross-shard state, then the
+  /// harness journals (translated through the window's id map), at every
+  /// barrier — the order matters, the id map is built by the network.
+  class WindowMerger final : public des::ShardHooks {
+   public:
+    WindowMerger(net::Network& net, core::ProtocolHarness& harness)
+        : net_(net), harness_(harness) {}
+    void on_window_merge(des::Time) override { harness_.merge_window(net_.merge_window()); }
+
+   private:
+    net::Network& net_;
+    core::ProtocolHarness& harness_;
+  };
+
   void verify_slot(usize slot, ProtocolRunStats& stats);
 
   SimConfig cfg_;
   ExperimentOptions opts_;
+  u32 shards_ = 1;  ///< Effective shard count (clamped to n_mss).
   std::unique_ptr<des::HashSink> hash_sink_;
+  des::NullSink null_sink_;  ///< Mux downstream when no hash is collected.
   std::unique_ptr<des::Simulator> sim_;
+  std::unique_ptr<des::ShardedSimulator> sharded_;
+  std::unique_ptr<des::ShardTraceMux> mux_;
+  std::unique_ptr<WindowMerger> merger_;
   std::unique_ptr<net::Network> net_;
   std::unique_ptr<core::ProtocolHarness> harness_;
   std::unique_ptr<WorkloadDriver> workload_;

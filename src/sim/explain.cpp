@@ -250,4 +250,48 @@ void print_recovery_story(std::ostream& os, const CrashDriver& driver,
      << " messages replayed, max recovery " << s.max_recovery_time << " tu\n";
 }
 
+void print_shard_annotation(std::ostream& os, const obs::Timeline& timeline,
+                            const std::vector<u32>& owner_shard,
+                            const std::vector<des::Time>& windows, u64 msg_id, i32 host) {
+  // windows[w] is the exclusive horizon of barrier window w, ascending:
+  // an event at time t ran in the first window whose horizon exceeds t.
+  // Events past the last horizon (the tail the coordinator finishes
+  // solo) report the horizon count.
+  const auto window_of = [&](f64 t) -> usize {
+    return static_cast<usize>(std::upper_bound(windows.begin(), windows.end(), t) -
+                              windows.begin());
+  };
+  const auto shard_of = [&](i32 h) -> std::string {
+    if (h < 0 || static_cast<usize>(h) >= owner_shard.size()) return "?";
+    return std::to_string(owner_shard[static_cast<usize>(h)]);
+  };
+  os << "shard view (" << windows.size() << " barrier windows):\n";
+  bool any = false;
+  for (const obs::ProbeEvent& e : timeline.events()) {
+    const bool msg_hit =
+        msg_id != 0 && ((e.kind == obs::ProbeKind::kSend && e.a == msg_id) ||
+                        (e.kind == obs::ProbeKind::kDeliver && e.a == msg_id) ||
+                        (e.kind == obs::ProbeKind::kCheckpoint && e.b == msg_id));
+    const bool host_hit = host >= 0 && e.kind == obs::ProbeKind::kCheckpoint && e.actor == host;
+    if (!msg_hit && !host_hit) continue;
+    any = true;
+    os << "  t=" << e.t << "  ";
+    switch (e.kind) {
+      case obs::ProbeKind::kSend:
+        os << "send msg " << e.a << " by host " << e.actor << " on shard " << shard_of(e.actor)
+           << " (network legs run on shard " << shard_of(e.track) << ", the destination's owner)";
+        break;
+      case obs::ProbeKind::kDeliver:
+        os << "deliver msg " << e.a << " at host " << e.actor << " on shard "
+           << shard_of(e.actor);
+        break;
+      default:
+        os << "checkpoint at host " << e.actor << " on shard " << shard_of(e.actor);
+        break;
+    }
+    os << ", window " << window_of(e.t) << "\n";
+  }
+  if (!any) os << "  (no matching events on the timeline)\n";
+}
+
 }  // namespace mobichk::sim

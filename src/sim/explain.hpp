@@ -67,4 +67,14 @@ void write_interval_dot(std::ostream& os, const core::CheckpointLog& log,
 void print_recovery_story(std::ostream& os, const CrashDriver& driver,
                           const std::vector<std::string>& protocol_names);
 
+/// Annotates the timeline events of one message (and/or one host's
+/// checkpoints) with the parallel engine's view: the shard that owns each
+/// participating host and the barrier window each event executed in.
+/// `owner_shard` maps host -> shard; `windows` is a sharded replay's
+/// window log (ascending horizons). Pass msg_id = 0 or host = -1 to skip
+/// that filter.
+void print_shard_annotation(std::ostream& os, const obs::Timeline& timeline,
+                            const std::vector<u32>& owner_shard,
+                            const std::vector<des::Time>& windows, u64 msg_id, i32 host);
+
 }  // namespace mobichk::sim

@@ -71,12 +71,12 @@ void MobilityDriver::enter_cell(net::HostId host) {
   if (des::bernoulli(rng, cfg_.p_switch)) {
     const f64 residence = sample_residence(host, mean);
     p.kind = des::EventKind::kHandoff;
-    sim_.schedule_after(residence, p);
+    des::route_schedule_after(sim_, residence, p);
   } else {
     const f64 residence = sample_residence(host, mean / cfg_.disconnect_residence_divisor);
     p.kind = des::EventKind::kConnectivity;
     p.sub = kSubDisconnect;
-    sim_.schedule_after(residence, p);
+    des::route_schedule_after(sim_, residence, p);
   }
 }
 
@@ -95,7 +95,7 @@ void MobilityDriver::do_disconnect(net::HostId host) {
   p.sub = kSubReconnect;
   p.a = host;
   p.b = epoch_.at(host);
-  sim_.schedule_after(away, p);
+  des::route_schedule_after(sim_, away, p);
 }
 
 void MobilityDriver::do_reconnect(net::HostId host) {

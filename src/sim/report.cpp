@@ -20,6 +20,13 @@ void write_ledger_fields(JsonWriter& w, const SweepLedger& ledger) {
       .field("replications_run", ledger.replications_run)
       .field("replications_used", ledger.replications_used)
       .field("replication_cap", ledger.replication_cap);
+  // Sharding fields appear only for parallel sweeps, so sequential
+  // documents stay byte-identical to earlier versions.
+  if (ledger.shards > 1) {
+    w.field("shards", static_cast<u64>(ledger.shards))
+        .field("sync_rounds", ledger.sync_rounds)
+        .field("barrier_stall_seconds", ledger.barrier_stall_seconds);
+  }
   w.end_object();
 }
 
@@ -85,6 +92,13 @@ void write_json(std::ostream& os, const RunResult& result) {
       .field("cancels_effective", result.invariants.cancels_effective)
       .field("cancels_noop", result.invariants.cancels_noop())
       .field("max_pending", static_cast<u64>(result.invariants.max_pending));
+  // Written only for sharded runs, so shards=1 documents stay
+  // byte-identical to earlier versions.
+  if (result.shards > 1) {
+    w.field("shards", static_cast<u64>(result.shards))
+        .field("sync_rounds", result.sync_rounds)
+        .field("barrier_stall_seconds", result.barrier_stall_seconds);
+  }
   if (!result.metrics.empty()) {
     w.key("metrics").begin_object();
     for (const obs::MetricSample& m : result.metrics) w.field(m.name, m.value);
@@ -199,6 +213,7 @@ void write_json(std::ostream& os, const ExperimentOptions& opts) {
       .field("verify_max_lines", static_cast<u64>(opts.verify_max_lines))
       .field("queue_kind", des::queue_kind_name(opts.queue_kind))
       .field("collect_trace_hash", opts.collect_trace_hash);
+  if (opts.shards > 1) w.field("shards", static_cast<u64>(opts.shards));
   w.end_object();
   os << '\n';
 }
@@ -263,6 +278,7 @@ ExperimentOptions experiment_options_from_json(const JsonValue& json) {
     opts.queue_kind = des::queue_kind_from_name(v->as_string());
   }
   if (const JsonValue* v = json.find("collect_trace_hash")) opts.collect_trace_hash = v->as_bool();
+  if (const JsonValue* v = json.find("shards")) opts.shards = static_cast<u32>(v->as_u64());
   return opts;
 }
 
@@ -344,6 +360,11 @@ RunResult run_result_from_json(const JsonValue& json) {
   if (const JsonValue* v = json.find("max_pending")) {
     result.invariants.max_pending = static_cast<usize>(v->as_u64());
   }
+  if (const JsonValue* v = json.find("shards")) result.shards = static_cast<u32>(v->as_u64());
+  if (const JsonValue* v = json.find("sync_rounds")) result.sync_rounds = v->as_u64();
+  if (const JsonValue* v = json.find("barrier_stall_seconds")) {
+    result.barrier_stall_seconds = v->as_f64();
+  }
   if (const JsonValue* metrics = json.find("metrics")) {
     for (const auto& [name, value] : metrics->object) {
       result.metrics.push_back(obs::MetricSample{name, value.as_f64()});
@@ -375,6 +396,11 @@ SweepLedger sweep_ledger_from_json(const JsonValue& json) {
   if (const JsonValue* v = json.find("replications_run")) ledger.replications_run = v->as_u64();
   if (const JsonValue* v = json.find("replications_used")) ledger.replications_used = v->as_u64();
   if (const JsonValue* v = json.find("replication_cap")) ledger.replication_cap = v->as_u64();
+  if (const JsonValue* v = json.find("shards")) ledger.shards = static_cast<u32>(v->as_u64());
+  if (const JsonValue* v = json.find("sync_rounds")) ledger.sync_rounds = v->as_u64();
+  if (const JsonValue* v = json.find("barrier_stall_seconds")) {
+    ledger.barrier_stall_seconds = v->as_f64();
+  }
   return ledger;
 }
 

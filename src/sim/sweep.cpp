@@ -289,6 +289,9 @@ FigureResult run_figure(const FigureSpec& spec, const ExperimentOptions& opts, u
     out.ledger.replications_run += round.size();
     for (usize j = 0; j < round.size(); ++j) {
       out.ledger.events_executed += round[j].events_executed;
+      out.ledger.shards = round[j].shards;  // uniform across the sweep
+      out.ledger.sync_rounds += round[j].sync_rounds;
+      out.ledger.barrier_stall_seconds += round[j].barrier_stall_seconds;
       PointState& st = points[job_point[j]];
       if (observer != nullptr) {
         observer->sweep_probe()->replications->add();

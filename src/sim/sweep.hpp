@@ -88,6 +88,11 @@ struct SweepLedger {
   u64 replications_run = 0;   ///< Simulations executed (includes overshoot).
   u64 replications_used = 0;  ///< Sum of seeds_used over the points.
   u64 replication_cap = 0;    ///< points x max_seeds.
+  u32 shards = 1;             ///< Spatial shards each replication ran with.
+  u64 sync_rounds = 0;        ///< Barrier windows, summed over replications.
+  /// Coordinator barrier wait, summed (wall time; informational only,
+  /// like wall_seconds).
+  f64 barrier_stall_seconds = 0.0;
 
   f64 events_per_second() const noexcept {
     return wall_seconds > 0.0 ? static_cast<f64>(events_executed) / wall_seconds : 0.0;

@@ -38,7 +38,7 @@ void WorkloadDriver::schedule_next(net::HostId host, f64 extra_delay) {
   p.a = host;
   p.b = hs.epoch;
   p.c = internal_count;
-  sim_.schedule_after(gap + extra_delay, p);
+  des::route_schedule_after(sim_, gap + extra_delay, p);
 }
 
 void WorkloadDriver::on_event(const des::EventPayload& p) {
@@ -53,18 +53,19 @@ void WorkloadDriver::on_event(const des::EventPayload& p) {
 void WorkloadDriver::execute_op(net::HostId host, u64 internal_count) {
   HostState& hs = per_host_.at(host);
   net_.internal_events(host, internal_count);
-  internal_events_ += internal_count;
-  ++ops_;
+  CounterSlice& c = cnt();
+  c.internal_events += internal_count;
+  ++c.ops;
   if (des::bernoulli(hs.rng, cfg_.p_send)) {
     const auto dst = static_cast<net::HostId>(
         des::uniform_index_excluding(hs.rng, net_.n_hosts(), host));
     net_.send_app_message(host, dst, cfg_.payload_bytes);
-    ++sends_;
+    ++c.sends;
   } else {
     if (net_.consume_one(host)) {
-      ++receives_;
+      ++c.receives;
     } else {
-      ++empty_receives_;
+      ++c.empty_receives;
     }
   }
   // Checkpoint-latency extension: stall for checkpoints this op induced,

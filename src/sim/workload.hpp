@@ -9,6 +9,7 @@
 
 #include "core/checkpoint_log.hpp"
 #include "des/distributions.hpp"
+#include "des/sharded.hpp"
 #include "des/event.hpp"
 #include "des/rng.hpp"
 #include "des/simulator.hpp"
@@ -31,14 +32,17 @@ class WorkloadDriver final : public des::EventTarget {
   /// Restarts the host's operation loop (mobility calls this on reconnect).
   void resume(net::HostId host);
 
+  /// Sizes the per-shard counter slices for a shard-parallel run.
+  void enable_sharding(u32 n_shards) { slices_.resize(n_shards); }
+
   /// Communication operations executed (sends + receive attempts).
-  u64 ops_executed() const noexcept { return ops_; }
-  u64 sends() const noexcept { return sends_; }
-  u64 receives() const noexcept { return receives_; }
+  u64 ops_executed() const noexcept { return sum(&CounterSlice::ops); }
+  u64 sends() const noexcept { return sum(&CounterSlice::sends); }
+  u64 receives() const noexcept { return sum(&CounterSlice::receives); }
   /// Receive operations that found an empty mailbox.
-  u64 empty_receives() const noexcept { return empty_receives_; }
+  u64 empty_receives() const noexcept { return sum(&CounterSlice::empty_receives); }
   /// Internal events executed between communications.
-  u64 internal_events() const noexcept { return internal_events_; }
+  u64 internal_events() const noexcept { return sum(&CounterSlice::internal_events); }
 
   /// Enables the checkpoint-latency extension: after each operation the
   /// host is stalled cfg.ckpt_latency per checkpoint newly recorded for it
@@ -62,6 +66,27 @@ class WorkloadDriver final : public des::EventTarget {
     std::vector<u64> seen_ckpts;  ///< Per-probe counts, for the latency stall.
   };
 
+  /// Hot per-op counters, sliced per shard so parallel windows never
+  /// share a cache line (summed by the accessors).
+  struct alignas(64) CounterSlice {
+    u64 ops = 0;
+    u64 sends = 0;
+    u64 receives = 0;
+    u64 empty_receives = 0;
+    u64 internal_events = 0;
+  };
+
+  CounterSlice& cnt() {
+    if (des::ShardContext* c = des::current_shard()) return slices_[c->shard];
+    return base_;
+  }
+
+  u64 sum(u64 CounterSlice::* field) const noexcept {
+    u64 total = base_.*field;
+    for (const auto& sl : slices_) total += sl.*field;
+    return total;
+  }
+
   void schedule_next(net::HostId host, f64 extra_delay);
   void execute_op(net::HostId host, u64 internal_count);
 
@@ -71,11 +96,8 @@ class WorkloadDriver final : public des::EventTarget {
   des::Exponential comm_gap_;
   std::vector<HostState> per_host_;
   std::vector<const core::CheckpointLog*> latency_probes_;
-  u64 ops_ = 0;
-  u64 sends_ = 0;
-  u64 receives_ = 0;
-  u64 empty_receives_ = 0;
-  u64 internal_events_ = 0;
+  CounterSlice base_;                 ///< Sequential / coordinator counts.
+  std::vector<CounterSlice> slices_;  ///< Per shard (empty when sequential).
 };
 
 }  // namespace mobichk::sim

@@ -277,6 +277,93 @@ TEST_P(EventQueueTest, CancelHeavyChurnBoundsTombstones) {
   EXPECT_EQ(drained, kLive);
 }
 
+TEST_P(EventQueueTest, PeekTimeBelowEmptyQueueAndStrictBound) {
+  auto q = make();
+  // Unlike peek_time(), the probe is defined on an empty queue.
+  EXPECT_EQ(q->peek_time_below(100.0), kNoEventBelow);
+  q->push(ev(5.0, 1));
+  EXPECT_DOUBLE_EQ(q->peek_time_below(10.0), 5.0);
+  EXPECT_EQ(q->peek_time_below(5.0), kNoEventBelow);  // bound is strict
+  EXPECT_EQ(q->peek_time_below(1.0), kNoEventBelow);
+  EXPECT_EQ(q->size(), 1u);  // non-destructive
+  EXPECT_EQ(q->pop().seq, 1u);
+}
+
+TEST_P(EventQueueTest, PeekTimeBelowSkipsCancelledMinimum) {
+  auto q = make();
+  const EventHandle a = q->push(ev(1.0, 1));
+  q->push(ev(3.0, 2));
+  ASSERT_TRUE(q->cancel(a));
+  EXPECT_DOUBLE_EQ(q->peek_time_below(10.0), 3.0);
+  EXPECT_EQ(q->peek_time_below(3.0), kNoEventBelow);
+  EXPECT_EQ(q->pop().seq, 2u);
+}
+
+TEST_P(EventQueueTest, PeekTimeBelowKeepsOutstandingHandlesValid) {
+  // Regression guard for the shard horizon probe: an implementation that
+  // pops-and-reinserts to find the minimum would bump slot generations
+  // and strand every outstanding handle. After any number of probes, the
+  // original handles must still cancel their events.
+  auto q = make();
+  const EventHandle a = q->push(ev(2.0, 1));
+  const EventHandle b = q->push(ev(4.0, 2));
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(q->peek_time_below(100.0), 2.0);
+    EXPECT_EQ(q->peek_time_below(1.0), kNoEventBelow);
+  }
+  EXPECT_TRUE(q->cancel(a));
+  EXPECT_TRUE(q->cancel(b));
+  EXPECT_TRUE(q->empty());
+  EXPECT_FALSE(q->cancel(a));  // second cancel through the same handle: stale
+}
+
+TEST_P(EventQueueTest, PeekTimeBelowThenEarlierPushStaysOrdered) {
+  // The probe may advance internal cursors (calendar queue); an earlier
+  // push afterwards must still surface first, in probe and pop order.
+  auto q = make();
+  q->push(ev(10.0, 1));
+  EXPECT_EQ(q->peek_time_below(5.0), kNoEventBelow);
+  q->push(ev(2.0, 2));
+  EXPECT_DOUBLE_EQ(q->peek_time_below(5.0), 2.0);
+  EXPECT_EQ(q->pop().seq, 2u);
+  EXPECT_EQ(q->pop().seq, 1u);
+}
+
+TEST_P(EventQueueTest, PeekTimeBelowRandomizedAgainstLiveMinimum) {
+  // Fuzz the probe against the ground truth: after every mutation, the
+  // probe at a random bound must agree with the true live minimum, and
+  // pending handles must remain cancellable.
+  auto q = make();
+  RngStream rng(7, "peek-below");
+  std::vector<std::pair<f64, EventHandle>> live;  // (time, handle)
+  u64 seq = 1;
+  f64 now = 0.0;
+  for (int round = 0; round < 4000; ++round) {
+    const f64 dice = rng.uniform01();
+    if (dice < 0.5 || live.empty()) {
+      const f64 t = now + rng.uniform01() * 30.0;
+      live.emplace_back(t, q->push(ev(t, seq++)));
+    } else if (dice < 0.75) {
+      const EventEntry e = q->pop();
+      now = e.time;
+      const auto it = std::find_if(live.begin(), live.end(),
+                                   [&](const auto& p) { return p.first == e.time; });
+      ASSERT_NE(it, live.end());
+      live.erase(it);
+    } else {
+      const usize victim = uniform_index(rng, live.size());
+      ASSERT_TRUE(q->cancel(live[victim].second)) << q->name();
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+    }
+    f64 truth = kNoEventBelow;
+    for (const auto& [t, h] : live) truth = std::min(truth, t);
+    const f64 bound = now + rng.uniform01() * 40.0;
+    const f64 expect = truth < bound ? truth : kNoEventBelow;
+    ASSERT_EQ(q->peek_time_below(bound), expect) << q->name() << " round " << round;
+    ASSERT_EQ(q->size(), live.size()) << q->name();
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllQueues, EventQueueTest,
                          ::testing::ValuesIn(kAllQueueKinds),
                          [](const ::testing::TestParamInfo<QueueKind>& pi) {

@@ -11,8 +11,17 @@ AppMessage msg(u64 id) {
   return m;
 }
 
+/// Mss buffers now live in the HostArena (owner-shard locality); tests
+/// provide one sized for the host ids they use.
+HostArena arena(u32 n_hosts) {
+  HostArena a;
+  a.init(n_hosts);
+  return a;
+}
+
 TEST(Mss, BuffersPerHostFifo) {
-  Mss mss(0);
+  HostArena a = arena(8);
+  Mss mss(0, &a);
   mss.buffer_message(1, msg(10));
   mss.buffer_message(1, msg(11));
   mss.buffer_message(2, msg(20));
@@ -27,13 +36,15 @@ TEST(Mss, BuffersPerHostFifo) {
 }
 
 TEST(Mss, DrainEmptyIsEmpty) {
-  Mss mss(3);
+  HostArena a = arena(8);
+  Mss mss(3, &a);
   EXPECT_TRUE(mss.drain_buffer(7).empty());
   EXPECT_EQ(mss.buffered_count(7), 0u);
 }
 
 TEST(Mss, LifetimeCountersAccumulate) {
-  Mss mss(1);
+  HostArena a = arena(8);
+  Mss mss(1, &a);
   EXPECT_EQ(mss.id(), 1u);
   mss.buffer_message(0, msg(1));
   mss.drain_buffer(0);
@@ -45,7 +56,8 @@ TEST(Mss, LifetimeCountersAccumulate) {
 }
 
 TEST(Mss, RebufferingAfterDrainWorks) {
-  Mss mss(0);
+  HostArena a = arena(8);
+  Mss mss(0, &a);
   mss.buffer_message(5, msg(1));
   mss.drain_buffer(5);
   mss.buffer_message(5, msg(2));

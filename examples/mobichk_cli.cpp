@@ -20,6 +20,12 @@
 // Every command supports --help; flags are schema-checked (unknown flags
 // fail with a did-you-mean suggestion, malformed numbers fail naming the
 // flag).
+//
+// Configuration layering: every command accepts --config <file.json> (a
+// nested sim::ExperimentConfig document) as the base, and every flag
+// present on the command line overrides the corresponding file value.
+// --dump-config prints the effective merged config as JSON and exits —
+// the output reloads through --config to a bit-identical run.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -44,8 +50,13 @@ std::string fmt_num(f64 v) {
 /// The simulation-shape flags every command understands.
 void add_config_flags(sim::FlagSet& fs) {
   const sim::SimConfig d;
-  fs.add("hosts", sim::FlagType::kUInt, std::to_string(d.network.n_hosts),
-         "number of mobile hosts")
+  const storage::DataPlaneConfig dp;
+  fs.add("config", sim::FlagType::kString, "",
+         "load a JSON experiment config as the base; flags override its values")
+      .add("dump-config", sim::FlagType::kBool, "",
+           "print the effective config as JSON and exit (reloads via --config)")
+      .add("hosts", sim::FlagType::kUInt, std::to_string(d.network.n_hosts),
+           "number of mobile hosts")
       .add("mss", sim::FlagType::kUInt, std::to_string(d.network.n_mss),
            "number of mobile support stations")
       .add("length", sim::FlagType::kNumber, fmt_num(d.sim_length),
@@ -83,7 +94,21 @@ void add_config_flags(sim::FlagSet& fs) {
            "hosts killed together under --crash-mode=correlated")
       .add("shards", sim::FlagType::kUInt, "1",
            "spatial shards for the parallel engine (clamped to --mss; "
-           "bit-identical to 1)");
+           "bit-identical to 1)")
+      .add("data-plane", sim::FlagType::kBool, "",
+           "enable the checkpoint data plane (sizes, storage queues, migration)")
+      .add("state-bytes", sim::FlagType::kUInt, std::to_string(dp.full_state_bytes),
+           "full process-image size S in bytes")
+      .add("dirty-rate", sim::FlagType::kNumber, fmt_num(dp.dirty_rate),
+           "state-dirtying rate omega (incremental checkpoint sizing)")
+      .add("storage-model", sim::FlagType::kString, "contention",
+           "stable-storage service model: infinite|contention")
+      .add("storage-bandwidth", sim::FlagType::kNumber, fmt_num(dp.storage_bandwidth),
+           "per-MSS stable-storage bandwidth in bytes/tu")
+      .add("migration", sim::FlagType::kString, "precopy",
+           "checkpoint migration on handoff: none|precopy|postcopy")
+      .add("precopy-rounds", sim::FlagType::kUInt, std::to_string(dp.precopy_rounds),
+           "max iterative pre-copy rounds before the stop-and-copy");
 }
 
 sim::FlagSet make_flags(const std::string& cmd) {
@@ -146,79 +171,124 @@ sim::FlagSet make_flags(const std::string& cmd) {
   return fs;
 }
 
-sim::SimConfig config_from(const sim::ArgParser& args) {
-  sim::SimConfig cfg;
+/// The effective run configuration: the --config file (or defaults) as
+/// the base, every flag present on the command line laid over it.
+sim::ExperimentConfig effective_config(const sim::ArgParser& args) {
+  sim::ExperimentConfig cfg;
+  const std::string path = args.get_string("config", "");
+  if (!path.empty()) cfg = sim::load_experiment_config(path);
+
   cfg.network.n_hosts = args.get_u32("hosts", cfg.network.n_hosts);
   cfg.network.n_mss = args.get_u32("mss", cfg.network.n_mss);
-  cfg.sim_length = args.get_f64("length", cfg.sim_length);
-  cfg.seed = args.get_u64("seed", cfg.seed);
-  cfg.t_switch = args.get_f64("tswitch", cfg.t_switch);
-  cfg.p_switch = args.get_f64("pswitch", cfg.p_switch);
-  cfg.p_send = args.get_f64("psend", cfg.p_send);
-  cfg.comm_mean = args.get_f64("comm-mean", cfg.comm_mean);
-  cfg.heterogeneity = args.get_f64("h", cfg.heterogeneity);
-  cfg.disconnect_mean = args.get_f64("outage", cfg.disconnect_mean);
-  const std::string model = args.get_string("mobility", "paper");
-  if (model == "ring") cfg.mobility_model = sim::MobilityModelKind::kRingNeighbor;
-  if (model == "pareto") cfg.mobility_model = sim::MobilityModelKind::kParetoResidence;
-  const std::string topo = args.get_string("topology", "mesh");
-  if (topo == "ring") cfg.network.mss_topology = net::MssTopologyKind::kRing;
-  if (topo == "line") cfg.network.mss_topology = net::MssTopologyKind::kLine;
-  if (topo == "star") cfg.network.mss_topology = net::MssTopologyKind::kStar;
-  cfg.network.wireless_bandwidth = args.get_f64("bandwidth", 0.0);
-  const std::string crash = args.get_string("crash-mode", "none");
-  if (crash == "host") {
-    cfg.faults.mode = sim::CrashMode::kMhCrash;
-  } else if (crash == "correlated") {
-    cfg.faults.mode = sim::CrashMode::kCorrelated;
-  } else if (crash == "cell") {
-    cfg.faults.mode = sim::CrashMode::kCellOutage;
-  } else if (crash != "none") {
-    throw std::invalid_argument("unknown --crash-mode: " + crash);
+  if (args.has("topology")) {
+    const std::string topo = args.get_string("topology", "mesh");
+    if (topo == "mesh") {
+      cfg.network.topology = net::MssTopologyKind::kFullMesh;
+    } else if (topo == "ring") {
+      cfg.network.topology = net::MssTopologyKind::kRing;
+    } else if (topo == "line") {
+      cfg.network.topology = net::MssTopologyKind::kLine;
+    } else if (topo == "star") {
+      cfg.network.topology = net::MssTopologyKind::kStar;
+    } else {
+      throw std::invalid_argument("unknown --topology: " + topo);
+    }
   }
-  if (cfg.faults.enabled()) {
-    const f64 at = args.get_f64("crash-time", 0.0);
-    cfg.faults.first_crash_at = at > 0.0 ? at : cfg.sim_length / 2.0;
-    cfg.faults.crash_interval = args.get_f64("crash-interval", 0.0);
-    cfg.faults.max_crashes = args.get_u32("crash-count", 1);
-    cfg.faults.target = args.get_u32("crash-target", sim::FaultConfig::kRandomTarget);
-    cfg.faults.correlated = args.get_u32("crash-hosts", 2);
+  cfg.network.wireless_bandwidth = args.get_f64("bandwidth", cfg.network.wireless_bandwidth);
+
+  cfg.run.sim_length = args.get_f64("length", cfg.run.sim_length);
+  cfg.run.seed = args.get_u64("seed", cfg.run.seed);
+  cfg.run.shards = args.get_u32("shards", cfg.run.shards);
+
+  cfg.workload.comm_mean = args.get_f64("comm-mean", cfg.workload.comm_mean);
+  cfg.workload.p_send = args.get_f64("psend", cfg.workload.p_send);
+
+  if (args.has("mobility")) {
+    const std::string model = args.get_string("mobility", "paper");
+    if (model == "paper") {
+      cfg.mobility.model = sim::MobilityModelKind::kPaperUniform;
+    } else if (model == "ring") {
+      cfg.mobility.model = sim::MobilityModelKind::kRingNeighbor;
+    } else if (model == "pareto") {
+      cfg.mobility.model = sim::MobilityModelKind::kParetoResidence;
+    } else {
+      throw std::invalid_argument("unknown --mobility: " + model);
+    }
+  }
+  cfg.mobility.t_switch = args.get_f64("tswitch", cfg.mobility.t_switch);
+  cfg.mobility.p_switch = args.get_f64("pswitch", cfg.mobility.p_switch);
+  cfg.mobility.disconnect_mean = args.get_f64("outage", cfg.mobility.disconnect_mean);
+  cfg.mobility.heterogeneity = args.get_f64("h", cfg.mobility.heterogeneity);
+
+  if (args.has("crash-mode")) {
+    const std::string crash = args.get_string("crash-mode", "none");
+    if (crash == "none") {
+      cfg.faults.mode = sim::CrashMode::kNone;
+    } else if (crash == "host") {
+      cfg.faults.mode = sim::CrashMode::kMhCrash;
+    } else if (crash == "correlated") {
+      cfg.faults.mode = sim::CrashMode::kCorrelated;
+    } else if (crash == "cell") {
+      cfg.faults.mode = sim::CrashMode::kCellOutage;
+    } else {
+      throw std::invalid_argument("unknown --crash-mode: " + crash);
+    }
+  }
+  cfg.faults.first_crash_at = args.get_f64("crash-time", cfg.faults.first_crash_at);
+  cfg.faults.crash_interval = args.get_f64("crash-interval", cfg.faults.crash_interval);
+  cfg.faults.max_crashes = args.get_u32("crash-count", cfg.faults.max_crashes);
+  cfg.faults.target = args.get_u32("crash-target", cfg.faults.target);
+  cfg.faults.correlated = args.get_u32("crash-hosts", cfg.faults.correlated);
+
+  if (args.get_flag("data-plane")) cfg.data_plane.enabled = true;
+  cfg.data_plane.full_state_bytes = args.get_u64("state-bytes", cfg.data_plane.full_state_bytes);
+  cfg.data_plane.dirty_rate = args.get_f64("dirty-rate", cfg.data_plane.dirty_rate);
+  if (args.has("storage-model")) {
+    const std::string model = args.get_string("storage-model", "contention");
+    if (!storage::parse_stable_storage_kind(model, cfg.data_plane.model)) {
+      throw std::invalid_argument("unknown --storage-model: " + model);
+    }
+  }
+  cfg.data_plane.storage_bandwidth =
+      args.get_f64("storage-bandwidth", cfg.data_plane.storage_bandwidth);
+  if (args.has("migration")) {
+    const std::string strategy = args.get_string("migration", "precopy");
+    if (!storage::parse_migration_strategy(strategy, cfg.data_plane.migration)) {
+      throw std::invalid_argument("unknown --migration: " + strategy);
+    }
+  }
+  cfg.data_plane.precopy_rounds = args.get_u32("precopy-rounds", cfg.data_plane.precopy_rounds);
+
+  if (args.has("protocols")) {
+    const std::string list = args.get_string("protocols", "TP,BCS,QBC");
+    cfg.protocols.clear();
+    std::istringstream ss(list);
+    std::string token;
+    while (std::getline(ss, token, ',')) {
+      if (!token.empty()) cfg.protocols.push_back(core::protocol_kind_from_name(token));
+    }
   }
   return cfg;
 }
 
-std::vector<core::ProtocolKind> protocols_from(const sim::ArgParser& args) {
-  const std::string list = args.get_string("protocols", "TP,BCS,QBC");
-  std::vector<core::ProtocolKind> kinds;
-  std::istringstream ss(list);
-  std::string token;
-  while (std::getline(ss, token, ',')) {
-    if (!token.empty()) kinds.push_back(core::protocol_kind_from_name(token));
-  }
-  return kinds;
-}
-
 int cmd_audit(const sim::ArgParser& args) {
-  sim::ExperimentOptions opts;
-  opts.protocols = protocols_from(args);
-  opts.shards = args.get_u32("shards", 1);
-  const sim::AuditReport report = sim::audit_determinism(config_from(args), opts);
+  const sim::ExperimentConfig ec = effective_config(args);
+  const sim::AuditReport report = sim::audit_determinism(ec.to_sim_config(), ec.to_options());
   report.print(std::cout);
   return report.deterministic() ? 0 : 1;
 }
 
 int cmd_run(const sim::ArgParser& args) {
   if (args.get_flag("audit-determinism")) return cmd_audit(args);
-  sim::ExperimentOptions opts;
-  opts.protocols = protocols_from(args);
+  const sim::ExperimentConfig ec = effective_config(args);
+  sim::ExperimentOptions opts = ec.to_options();
   opts.with_storage = true;
   opts.verify_consistency = args.get_flag("verify");
-  opts.shards = args.get_u32("shards", 1);
   const std::string metrics_path = args.get_string("metrics", "");
   const std::string trace_path = args.get_string("chrome-trace", "");
   obs::RunObserver observer;
   if (!metrics_path.empty() || !trace_path.empty()) opts.observer = &observer;
-  const sim::RunResult r = sim::run_experiment(config_from(args), opts);
+  const sim::RunResult r = sim::run_experiment(ec.to_sim_config(), opts);
   // The exporters throw (naming path + errno) on any open/write failure;
   // main()'s catch turns that into an error message and exit 1.
   if (!metrics_path.empty()) obs::write_metrics_jsonl(metrics_path, observer);
@@ -252,17 +322,30 @@ int cmd_run(const sim::ArgParser& args) {
     std::printf("  recovery time: measured max %.2f tu, planned %.2f tu, model estimate %.2f tu\n",
                 rec.max_recovery_time, rec.total_planned, rec.total_estimated);
   }
+  if (r.data_plane_enabled) {
+    const storage::DataPlaneStats& d = r.data_plane;
+    std::printf("\ndata plane: %llu checkpoint(s), %llu B uploaded (%llu B dense), "
+                "queue delay %.2f tu\n",
+                static_cast<unsigned long long>(d.checkpoints),
+                static_cast<unsigned long long>(d.upload_bytes),
+                static_cast<unsigned long long>(d.full_bytes), d.queue_delay);
+    std::printf("  %llu migration(s) moved %llu B (stall %.3f tu), mean locality %.3f hop(s), "
+                "%llu recovery fetch(es) cost %.3f tu\n",
+                static_cast<unsigned long long>(d.migrations),
+                static_cast<unsigned long long>(d.migration_bytes), d.migration_stall,
+                d.mean_locality(), static_cast<unsigned long long>(d.fetches), d.fetch_time);
+  }
   return 0;
 }
 
 int cmd_figure(const sim::ArgParser& args) {
+  const sim::ExperimentConfig ec = effective_config(args);
   sim::FigureSpec spec;
   spec.title = "N_tot vs T_switch";
-  spec.base = config_from(args);
-  spec.protocols = protocols_from(args);
+  spec.base = ec.to_sim_config();
+  spec.protocols = ec.protocols;
   sim::apply_cli_flags(spec, args);
-  sim::ExperimentOptions opts;
-  opts.shards = args.get_u32("shards", 1);
+  sim::ExperimentOptions opts = ec.to_options();
   const sim::FigureResult result = sim::run_figure(spec, opts, args.get_u32("threads", 0));
   if (args.get_flag("json")) {
     sim::write_json(std::cout, result);
@@ -277,10 +360,9 @@ int cmd_figure(const sim::ArgParser& args) {
 }
 
 int cmd_recover(const sim::ArgParser& args) {
-  sim::ExperimentOptions opts;
-  opts.protocols = protocols_from(args);
-  opts.shards = args.get_u32("shards", 1);
-  sim::Experiment exp(config_from(args), opts);
+  const sim::ExperimentConfig ec = effective_config(args);
+  const sim::ExperimentOptions opts = ec.to_options();
+  sim::Experiment exp(ec.to_sim_config(), opts);
   exp.run();
   const auto failed = static_cast<net::HostId>(args.get_u64("failed", 0));
   const auto fail_pos = exp.harness().current_positions();
@@ -314,11 +396,12 @@ int cmd_explain(const sim::ArgParser& args) {
                  "explain: nothing to explain — pass --ckpt, --msg, --recovery, and/or --dot\n");
     return 2;
   }
+  const sim::ExperimentConfig ec = effective_config(args);
   sim::ExperimentOptions opts;
-  opts.protocols = protocols_from(args);
+  opts.protocols = ec.protocols;
   obs::RunObserver observer;
   opts.observer = &observer;
-  sim::Experiment exp(config_from(args), opts);
+  sim::Experiment exp(ec.to_sim_config(), opts);
   exp.run();
   const std::vector<std::string>& names = observer.protocol_names();
 
@@ -341,7 +424,7 @@ int cmd_explain(const sim::ArgParser& args) {
                                 static_cast<i32>(target.slot), static_cast<i32>(target.host),
                                 target.ordinal, args.get_u64("depth", 16));
   }
-  if (const u32 shards = args.get_u32("shards", 1); shards > 1 && (msg_id != 0 || have_target)) {
+  if (const u32 shards = ec.run.shards; shards > 1 && (msg_id != 0 || have_target)) {
     // Observed runs are sequential-only, so the shard/window annotation
     // comes from a second, unobserved sharded replay of the same config
     // with the barrier-window log enabled. The replay is bit-identical to
@@ -349,7 +432,7 @@ int cmd_explain(const sim::ArgParser& args) {
     sim::ExperimentOptions sopts;
     sopts.protocols = opts.protocols;
     sopts.shards = shards;
-    sim::Experiment sexp(config_from(args), sopts);
+    sim::Experiment sexp(ec.to_sim_config(), sopts);
     sexp.sharded()->enable_window_log(true);
     sexp.run();
     std::vector<u32> owners(sexp.network().n_hosts());
@@ -427,14 +510,15 @@ struct TraceMerger final : des::ShardHooks {
 };
 
 int cmd_trace(const sim::ArgParser& args) {
-  sim::SimConfig cfg = config_from(args);
+  const sim::ExperimentConfig ec = effective_config(args);
+  sim::SimConfig cfg = ec.to_sim_config();
   // Collect the full trace with a vector sink wired through the stack.
   // With --shards the stack is composed by hand exactly as Experiment
   // does it: a ShardTraceMux in front of the sink, dst-owner routing in
   // the network, journaled MessageLog merges at every barrier.
   des::Simulator simulator;
   des::VectorSink sink;
-  const u32 shards = std::min(args.get_u32("shards", 1), cfg.network.n_mss);
+  const u32 shards = std::min(ec.run.shards, cfg.network.n_mss);
   std::unique_ptr<des::ShardedSimulator> sharded;
   std::unique_ptr<des::ShardTraceMux> mux;
   des::TraceSink* front = &sink;
@@ -448,7 +532,7 @@ int cmd_trace(const sim::ArgParser& args) {
   }
   net::Network network(simulator, cfg.network, cfg.seed, front);
   core::ProtocolHarness harness(network, front);
-  for (const auto kind : protocols_from(args)) {
+  for (const auto kind : ec.protocols) {
     harness.add_protocol(core::make_protocol(kind));
   }
   std::unique_ptr<TraceMerger> merger;
@@ -517,6 +601,12 @@ int main(int argc, char** argv) {
     const sim::ArgParser args = flags.parse(argc - 1, argv + 1);
     if (args.get_flag("help")) {
       flags.print_help(std::cout);
+      return 0;
+    }
+    if (args.get_flag("dump-config")) {
+      // Every command shares the config layer, so the dump lives here:
+      // the merged file+flags config, reloadable through --config.
+      sim::write_json(std::cout, effective_config(args));
       return 0;
     }
     if (cmd == "run") return cmd_run(args);

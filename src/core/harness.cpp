@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "storage/data_plane.hpp"
+
 namespace mobichk::core {
 
 ProtocolHarness::ProtocolHarness(net::Network& net, des::TraceSink* sink)
@@ -25,6 +27,9 @@ usize ProtocolHarness::add_protocol(std::unique_ptr<CheckpointProtocol> protocol
   ctx.net = &net_;
   ctx.log = &stored.log;
   ctx.storage = stored.storage.get();
+  // Only the physical run (slot 0) drives the data plane; paired
+  // observer slots would double-count bytes that never hit a wire.
+  ctx.data_plane = slots_.size() == 1 ? data_plane_ : nullptr;
   ctx.sink = sink_;
   ctx.timeline = timeline_;
   ctx.slot = static_cast<i32>(slots_.size()) - 1;
@@ -170,6 +175,13 @@ void ProtocolHarness::on_receive(net::MobileHost& host, const net::AppMessage& m
 }
 
 void ProtocolHarness::on_cell_switch(net::MobileHost& host, net::MssId from, net::MssId to) {
+  if (data_plane_ != nullptr) {
+    // Before the protocols' basic checkpoints, so a migration at the same
+    // timestamp is processed first and the new checkpoint samples
+    // locality against the post-migration placement.
+    des::ShardContext* c = des::current_shard();
+    data_plane_->on_handoff(host.id(), from, to, c != nullptr ? c->sim->now() : net_.sim().now());
+  }
   for (auto& slot : slots_) slot->protocol->handle_cell_switch(host, from, to);
 }
 

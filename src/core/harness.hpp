@@ -68,6 +68,12 @@ class ProtocolHarness final : public net::HostEventHandler {
   /// Must be called before add_protocol; later slots inherit it.
   void set_timeline(obs::Timeline* timeline) noexcept { timeline_ = timeline; }
 
+  /// Attaches the checkpoint data plane (nullptr = off). Must be called
+  /// before add_protocol: slot 0 — the physical run — prices its
+  /// checkpoints through it, and every cell switch becomes a handoff
+  /// (checkpoint-migration) hook.
+  void set_data_plane(storage::DataPlane* data_plane) noexcept { data_plane_ = data_plane; }
+
   // -- spatial sharding -------------------------------------------------
 
   /// Switches the harness into shard-parallel mode (call after every
@@ -135,6 +141,7 @@ class ProtocolHarness final : public net::HostEventHandler {
   net::Network& net_;
   des::TraceSink* sink_;
   obs::Timeline* timeline_ = nullptr;
+  storage::DataPlane* data_plane_ = nullptr;
   /// Heap-allocated: protocols hold pointers into their slot's log and
   /// storage, which must stay stable as more slots are added.
   std::vector<std::unique_ptr<Slot>> slots_;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "storage/data_plane.hpp"
+
 namespace mobichk::core {
 
 void CheckpointProtocol::bind(const ProtocolContext& ctx) {
@@ -61,10 +63,15 @@ const CheckpointRecord& CheckpointProtocol::finish_checkpoint(CheckpointRecord r
   rec.location = host.mss();
   rec.event_pos = host.event_pos();
   rec.replaced_predecessor = replaced;
-  const CheckpointRecord& stored = ctx_.log->append(std::move(rec));
   if (ctx_.storage != nullptr) {
-    ctx_.storage->record_checkpoint(host.id(), host.mss(), ctx_.now());
+    rec.bytes = ctx_.storage->record_checkpoint(host.id(), host.mss(), ctx_.now());
   }
+  if (ctx_.data_plane != nullptr) {
+    const u64 priced =
+        ctx_.data_plane->on_checkpoint(host.id(), host.mss(), ctx_.now(), static_cast<u8>(kind));
+    if (rec.bytes == 0) rec.bytes = priced;
+  }
+  const CheckpointRecord& stored = ctx_.log->append(std::move(rec));
   if (ctx_.sink != nullptr) {
     const auto tk = kind == CheckpointKind::kForced ? des::TraceKind::kForcedCheckpoint
                                                     : des::TraceKind::kBasicCheckpoint;

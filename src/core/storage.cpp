@@ -23,7 +23,7 @@ const std::vector<u64>& StorageModel::upload_history(net::HostId host) const {
   return history_.at(host);
 }
 
-void StorageModel::record_checkpoint(net::HostId host, net::MssId location, des::Time now) {
+u64 StorageModel::record_checkpoint(net::HostId host, net::MssId location, des::Time now) {
   HostState& hs = hosts_.at(host);
   u64 upload = cfg_.full_state_bytes;
   if (cfg_.incremental && hs.has_checkpoint) {
@@ -43,6 +43,7 @@ void StorageModel::record_checkpoint(net::HostId host, net::MssId location, des:
   hs.has_checkpoint = true;
   hs.last_time = now;
   hs.last_location = location;
+  return upload;
 }
 
 }  // namespace mobichk::core

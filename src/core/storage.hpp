@@ -37,8 +37,9 @@ class StorageModel {
   StorageModel(u32 n_hosts, u32 n_mss, StorageConfig cfg);
 
   /// Accounts for one checkpoint of `host` taken at time `now` and stored
-  /// at MSS `location`.
-  void record_checkpoint(net::HostId host, net::MssId location, des::Time now);
+  /// at MSS `location`; returns the upload size in bytes (stamped onto
+  /// the CheckpointRecord by the protocol layer).
+  u64 record_checkpoint(net::HostId host, net::MssId location, des::Time now);
 
   // -- aggregate accounting ---------------------------------------------
   u64 checkpoints_written() const noexcept { return writes_; }

@@ -21,6 +21,8 @@
 //   sim::audit_determinism                  cross-queue determinism audit
 //   sim::ArgParser, FlagSet                 CLI flag schema + --help
 //   sim::write_json / *_from_json           result (de)serialization
+//   sim::ExperimentConfig                   nested run config (JSON files)
+//   storage::StableStorage, DataPlane       checkpoint bytes + service queues
 #pragma once
 
 #include "core/factory.hpp"
@@ -41,9 +43,12 @@
 #include "sim/cli.hpp"
 #include "sim/config.hpp"
 #include "sim/experiment.hpp"
+#include "sim/experiment_config.hpp"
 #include "sim/explain.hpp"
 #include "sim/faults.hpp"
 #include "sim/mobility.hpp"
 #include "sim/report.hpp"
 #include "sim/sweep.hpp"
 #include "sim/workload.hpp"
+#include "storage/data_plane.hpp"
+#include "storage/stable_storage.hpp"

@@ -80,6 +80,8 @@ struct NetworkStats {
   u64 duplicates_generated = 0;
   u64 duplicates_suppressed = 0;
   u64 payload_bytes = 0;
+  u64 bulk_transfers = 0;      ///< Data-plane bulk wired transfers (migrations, fetches).
+  u64 bulk_wired_bytes = 0;    ///< Bytes those transfers moved between MSSs.
   u64 piggyback_bytes = 0;     ///< Control information carried on app messages
                                ///< (encoded size: sparse piggybacks count deltas).
   u64 piggyback_dense_bytes = 0;  ///< Dense-equivalent control bytes (the cost the
@@ -211,6 +213,17 @@ class Network final : public des::EventTarget {
   /// undelivered mailbox messages are re-buffered at the host's MSS,
   /// whose stable message log retains them for replay. Pre: connected.
   void crash(HostId host);
+
+  /// Accounts one bulk wired transfer (a checkpoint migration or a
+  /// recovery-image fetch) of `bytes` across `hops` MSS-MSS legs. The
+  /// checkpoint data plane calls this from the coordinator (window
+  /// barriers and crash events), never inside a shard window, so it
+  /// writes the global stats directly.
+  void account_bulk_wired(u32 hops, u64 bytes) noexcept {
+    stats_.wired_hops += hops;
+    stats_.bulk_wired_bytes += bytes;
+    ++stats_.bulk_transfers;
+  }
 
   /// Rejoins `host` at `at_mss` after rollback + replay completed. Pays
   /// the reconnect control cost, fires on_reconnect (protocols checkpoint

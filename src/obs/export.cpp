@@ -48,6 +48,14 @@ void emit_string(std::ostream& os, std::string_view s) {
   os << '"';
 }
 
+// Data-plane transfer sub-kind (ProbeEvent::b mirrors
+// storage::DataPlane::kSub*).
+const char* storage_transfer_name(u64 sub) {
+  if (sub == 1) return "migration";
+  if (sub == 2) return "fetch";
+  return "upload";
+}
+
 const char* ckpt_event_name(const ProbeEvent& e) {
   if (e.ckpt_kind == CkptKind::kForced) return "forced checkpoint";
   if (e.replaced) return "basic checkpoint (equivalence reuse)";
@@ -118,6 +126,11 @@ void write_metrics_jsonl(std::ostream& os, const RunObserver& run) {
       os << ",\"host\":" << e.actor;
     } else if (e.kind == ProbeKind::kRecover) {
       os << ",\"host\":" << e.actor << ",\"mss\":" << e.track;
+    } else if (e.kind == ProbeKind::kStorageTransfer) {
+      os << ",\"host\":" << e.actor << ",\"mss\":" << e.track << ",\"transfer\":";
+      emit_string(os, storage_transfer_name(e.b));
+      os << ",\"bytes\":" << e.a << ",\"duration\":";
+      emit_number(os, e.value);
     }
     os << "}\n";
   }
@@ -258,6 +271,16 @@ void write_chrome_trace(std::ostream& os, const RunObserver& run) {
       if (flow_open.count(flow_id) != 0 && flow_closed.insert(flow_id).second) {
         emit_flow('f', "msg", flow_id, e.t, 0, e.actor);
       }
+    } else if (e.kind == ProbeKind::kStorageTransfer) {
+      // Transfers are real durations: render the whole wire + storage
+      // occupancy as a slice on the host's network track.
+      begin_event();
+      os << "{\"name\":\"storage: " << storage_transfer_name(e.b) << "\",\"ph\":\"X\",\"dur\":";
+      emit_number(os, e.value > 0.0 ? e.value * 1000.0 : kSliceDurUs);
+      os << ",\"ts\":";
+      emit_ts(os, e.t);
+      os << ",\"pid\":0,\"tid\":" << e.actor << ",\"args\":{\"mss\":" << e.track
+         << ",\"bytes\":" << e.a << "}}";
     } else if (e.kind == ProbeKind::kSnPromote) {
       begin_event();
       os << "{\"name\":\"sn promote\",\"ph\":\"i\",\"s\":\"t\",\"ts\":";

@@ -25,6 +25,7 @@ const char* probe_kind_name(ProbeKind kind) noexcept {
     case ProbeKind::kSnPromote: return "sn_promote";
     case ProbeKind::kCrash: return "crash";
     case ProbeKind::kRecover: return "recover";
+    case ProbeKind::kStorageTransfer: return "storage_transfer";
   }
   return "unknown";
 }

@@ -26,6 +26,7 @@ enum class ProbeKind : u8 {
   kSnPromote = 8,    ///< a checkpoint was relabelled with a larger index (COORD)
   kCrash = 9,        ///< fault injection killed the host
   kRecover = 10,     ///< host finished rollback + replay and rejoined
+  kStorageTransfer = 11,  ///< data plane: a checkpoint upload / migration / fetch completed
 };
 
 /// Mirror of core::CheckpointKind — kept value-identical so recording is

@@ -56,10 +56,19 @@ Experiment::Experiment(SimConfig cfg, ExperimentOptions opts)
   }
   net_ = std::make_unique<net::Network>(*sim_, cfg_.network, cfg_.seed, sink);
   harness_ = std::make_unique<core::ProtocolHarness>(*net_, sink);
+  if (opts_.data_plane.enabled) {
+    data_plane_ = std::make_unique<storage::DataPlane>(
+        *sim_, net_->topology(), opts_.data_plane, cfg_.network.n_hosts,
+        cfg_.network.wireless_latency, cfg_.network.wired_latency);
+    data_plane_->set_trace_sink(sink);
+    data_plane_->set_network(net_.get());
+    harness_->set_data_plane(data_plane_.get());
+  }
   if (opts_.observer != nullptr) {
     sim_->set_probe(opts_.observer->kernel_probe());
     net_->set_observer(opts_.observer->net_probe(), &opts_.observer->timeline());
     harness_->set_timeline(&opts_.observer->timeline());
+    if (data_plane_ != nullptr) data_plane_->set_timeline(&opts_.observer->timeline());
   }
   core::ProtocolParams params = opts_.params;
   params.uncoordinated_seed = cfg_.seed;
@@ -75,7 +84,8 @@ Experiment::Experiment(SimConfig cfg, ExperimentOptions opts)
     // after the duplicate gate above (both ends validate it).
     net_->enable_sharding(sharded_.get(), mux_.get());
     harness_->enable_sharding(shards_);
-    merger_ = std::make_unique<WindowMerger>(*net_, *harness_);
+    if (data_plane_ != nullptr) data_plane_->enable_sharding(shards_);
+    merger_ = std::make_unique<WindowMerger>(*net_, *harness_, data_plane_.get());
     sharded_->set_hooks(merger_.get());
   }
   workload_ = std::make_unique<WorkloadDriver>(*sim_, *net_, cfg_);
@@ -93,7 +103,8 @@ Experiment::Experiment(SimConfig cfg, ExperimentOptions opts)
   mobility_ = std::make_unique<MobilityDriver>(*sim_, *net_, cfg_, workload_.get());
   if (cfg_.faults.enabled()) {
     crash_ = std::make_unique<CrashDriver>(*sim_, *net_, *harness_, cfg_, opts_.protocols,
-                                           workload_.get(), mobility_.get(), opts_.observer);
+                                           workload_.get(), mobility_.get(), opts_.observer,
+                                           data_plane_.get());
   }
   if (opts_.observer != nullptr) {
     opts_.observer->set_n_hosts(static_cast<i32>(cfg_.network.n_hosts));
@@ -166,6 +177,10 @@ void Experiment::run() {
     result_.protocols.push_back(std::move(stats));
   }
   if (crash_ != nullptr) result_.recovery = crash_->stats();
+  if (data_plane_ != nullptr) {
+    result_.data_plane_enabled = true;
+    result_.data_plane = data_plane_->stats();
+  }
   if (opts_.observer != nullptr) {
     // Pull-model metrics: cheap to read once, pointless to track live.
     const obs::KernelProbe* kp = opts_.observer->kernel_probe();
@@ -184,6 +199,25 @@ void Experiment::run() {
       reg.gauge("recovery.total_time").set(rec.total_recovery_time);
       reg.gauge("recovery.max_time").set(rec.max_recovery_time);
       reg.gauge("recovery.total_estimated").set(rec.total_estimated);
+    }
+    if (data_plane_ != nullptr) {
+      // Data-plane metrics (catalog: docs/observability.md "storage.*").
+      obs::MetricRegistry& reg = opts_.observer->registry();
+      const storage::DataPlaneStats& dp = result_.data_plane;
+      reg.counter("storage.checkpoints").add(dp.checkpoints);
+      reg.counter("storage.upload_bytes").add(dp.upload_bytes);
+      reg.counter("storage.full_bytes").add(dp.full_bytes);
+      reg.counter("storage.transfers_completed").add(dp.transfers_completed);
+      reg.counter("storage.migrations").add(dp.migrations);
+      reg.counter("storage.migration_bytes").add(dp.migration_bytes);
+      reg.counter("storage.fetches").add(dp.fetches);
+      reg.counter("storage.fetch_bytes").add(dp.fetch_bytes);
+      reg.gauge("storage.transfer_time").set(dp.transfer_time);
+      reg.gauge("storage.queue_delay").set(dp.queue_delay);
+      reg.gauge("storage.migration_copy_time").set(dp.migration_copy_time);
+      reg.gauge("storage.migration_stall").set(dp.migration_stall);
+      reg.gauge("storage.mean_locality_hops").set(dp.mean_locality());
+      reg.gauge("storage.fetch_time").set(dp.fetch_time);
     }
     // Close the online recovery-line analysis (Z-cycle pass, final
     // gauges) before the snapshot so rl.* metrics are complete.

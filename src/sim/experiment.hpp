@@ -16,6 +16,7 @@
 #include "obs/observer.hpp"
 #include "sim/config.hpp"
 #include "sim/faults.hpp"
+#include "storage/data_plane.hpp"
 #include "sim/mobility.hpp"
 #include "sim/workload.hpp"
 
@@ -31,6 +32,12 @@ struct ExperimentOptions {
 
   bool with_storage = false;          ///< Account checkpoint-storage traffic.
   core::StorageConfig storage;
+
+  /// Checkpoint data plane (sizes, stable-storage service queues,
+  /// migration on handoff, recovery-byte fetch). Off by default: the run
+  /// then has no DataPlane object at all, keeping traces bit-identical
+  /// and the hot path allocation-free.
+  storage::DataPlaneConfig data_plane;
 
   bool verify_consistency = false;    ///< Run the orphan oracle after the run.
   usize verify_max_lines = 64;        ///< Cap on recovery lines sampled per protocol.
@@ -91,6 +98,10 @@ struct RunResult {
   std::vector<obs::MetricSample> metrics;
   /// Executed-recovery totals; all-zero when cfg.faults is disabled.
   CrashRunStats recovery;
+  /// Checkpoint data-plane totals; meaningful (and serialized) only when
+  /// the subsystem was enabled for the run.
+  bool data_plane_enabled = false;
+  storage::DataPlaneStats data_plane;
 
   const ProtocolRunStats& by_name(const std::string& name) const;
 };
@@ -114,6 +125,8 @@ class Experiment {
   WorkloadDriver& workload() noexcept { return *workload_; }
   /// The crash engine; nullptr when cfg.faults is disabled.
   const CrashDriver* faults() const noexcept { return crash_.get(); }
+  /// The checkpoint data plane; nullptr when opts.data_plane is off.
+  storage::DataPlane* data_plane() noexcept { return data_plane_.get(); }
   const core::CheckpointLog& log(usize slot) const { return harness_->log(slot); }
   core::ProtocolKind kind(usize slot) const { return opts_.protocols.at(slot); }
 
@@ -123,13 +136,21 @@ class Experiment {
   /// barrier — the order matters, the id map is built by the network.
   class WindowMerger final : public des::ShardHooks {
    public:
-    WindowMerger(net::Network& net, core::ProtocolHarness& harness)
-        : net_(net), harness_(harness) {}
-    void on_window_merge(des::Time) override { harness_.merge_window(net_.merge_window()); }
+    WindowMerger(net::Network& net, core::ProtocolHarness& harness,
+                 storage::DataPlane* data_plane)
+        : net_(net), harness_(harness), data_plane_(data_plane) {}
+    void on_window_merge(des::Time) override {
+      harness_.merge_window(net_.merge_window());
+      // After the harness: data-plane journals were filled by checkpoint
+      // and handoff hooks this window; processing them schedules
+      // completion events on the (currently parked) main queue.
+      if (data_plane_ != nullptr) data_plane_->merge_window();
+    }
 
    private:
     net::Network& net_;
     core::ProtocolHarness& harness_;
+    storage::DataPlane* data_plane_;
   };
 
   void verify_slot(usize slot, ProtocolRunStats& stats);
@@ -144,6 +165,7 @@ class Experiment {
   std::unique_ptr<des::ShardTraceMux> mux_;
   std::unique_ptr<WindowMerger> merger_;
   std::unique_ptr<net::Network> net_;
+  std::unique_ptr<storage::DataPlane> data_plane_;
   std::unique_ptr<core::ProtocolHarness> harness_;
   std::unique_ptr<WorkloadDriver> workload_;
   std::unique_ptr<MobilityDriver> mobility_;

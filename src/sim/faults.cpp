@@ -26,7 +26,7 @@ bool uses_index_rollback(core::ProtocolKind kind) noexcept {
 CrashDriver::CrashDriver(des::Simulator& sim, net::Network& net, core::ProtocolHarness& harness,
                          const SimConfig& cfg, std::vector<core::ProtocolKind> kinds,
                          WorkloadDriver* workload, MobilityDriver* mobility,
-                         obs::RunObserver* observer)
+                         obs::RunObserver* observer, storage::DataPlane* data_plane)
     : sim_(sim),
       net_(net),
       harness_(harness),
@@ -35,6 +35,7 @@ CrashDriver::CrashDriver(des::Simulator& sim, net::Network& net, core::ProtocolH
       workload_(workload),
       mobility_(mobility),
       observer_(observer),
+      data_plane_(data_plane),
       rng_(cfg.seed, "faults") {
   down_.assign(net.n_hosts(), false);
 }
@@ -179,12 +180,21 @@ void CrashDriver::execute_crash() {
     if (workload_ != nullptr) workload_->pause(h);
     if (mobility_ != nullptr) mobility_->pause(h);
     down_[h] = true;
+    f64 ready = plan.hosts[h].ready_at;
+    if (data_plane_ != nullptr) {
+      // The restore is not free: the host's recovery image lives at its
+      // placement MSS and the bytes must be read off stable storage
+      // (queueing behind concurrent writers) and shipped over the wired
+      // backbone to the cell the host rejoins. Distant placements and
+      // contended disks stretch the measured outage.
+      ready += data_plane_->recovery_fetch(h, host_mss[h], sim_.now());
+    }
     des::EventPayload p;
     p.target = this;
     p.kind = des::EventKind::kRecover;
     p.a = h;
     p.b = record_idx;
-    sim_.schedule_after(plan.hosts[h].ready_at, p);
+    sim_.schedule_after(ready, p);
     ++rec.pending_restores;
   }
 

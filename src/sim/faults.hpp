@@ -36,6 +36,7 @@
 #include "sim/config.hpp"
 #include "sim/mobility.hpp"
 #include "sim/workload.hpp"
+#include "storage/data_plane.hpp"
 
 namespace mobichk::sim {
 
@@ -86,9 +87,13 @@ class CrashDriver final : public des::EventTarget {
  public:
   /// `workload` / `mobility` / `observer` may be null (tests). `kinds`
   /// must be parallel to the harness's protocol slots.
+  /// `data_plane` (may be null) makes each restore *fetch* its recovery
+  /// image: the byte transfer from the placement MSS extends the host's
+  /// ready time with storage-read queueing plus wired transfer time.
   CrashDriver(des::Simulator& sim, net::Network& net, core::ProtocolHarness& harness,
               const SimConfig& cfg, std::vector<core::ProtocolKind> kinds,
-              WorkloadDriver* workload, MobilityDriver* mobility, obs::RunObserver* observer);
+              WorkloadDriver* workload, MobilityDriver* mobility, obs::RunObserver* observer,
+              storage::DataPlane* data_plane = nullptr);
 
   /// Schedules the first failure. Call after net.start().
   void start();
@@ -114,6 +119,7 @@ class CrashDriver final : public des::EventTarget {
   WorkloadDriver* workload_;
   MobilityDriver* mobility_;
   obs::RunObserver* observer_;
+  storage::DataPlane* data_plane_;
   des::RngStream rng_;
   CrashRunStats stats_;
   std::vector<CrashRecord> records_;

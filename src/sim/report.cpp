@@ -61,8 +61,14 @@ void write_json(std::ostream& os, const RunResult& result) {
       .field("chase_forwards", result.net.chase_forwards)
       .field("buffered_deliveries", result.net.buffered_deliveries)
       .field("piggyback_bytes", result.net.piggyback_bytes)
-      .field("piggyback_dense_bytes", result.net.piggyback_dense_bytes)
-      .field("mean_delivery_latency", result.net.delivery_latency.mean());
+      .field("piggyback_dense_bytes", result.net.piggyback_dense_bytes);
+  // Bulk (data-plane) wired traffic appears only when the plane moved
+  // bytes, so plane-off documents stay byte-identical to earlier versions.
+  if (result.net.bulk_transfers > 0) {
+    w.field("bulk_transfers", result.net.bulk_transfers)
+        .field("bulk_wired_bytes", result.net.bulk_wired_bytes);
+  }
+  w.field("mean_delivery_latency", result.net.delivery_latency.mean());
   w.end_object();
 
   w.key("protocols").begin_array();
@@ -120,6 +126,30 @@ void write_json(std::ostream& os, const RunResult& result) {
         .field("max_recovery_time", r.max_recovery_time)
         .field("total_planned", r.total_planned)
         .field("total_estimated", r.total_estimated);
+    w.end_object();
+  }
+  // Written only when the checkpoint data plane ran, so plane-off
+  // documents stay byte-identical to earlier versions.
+  if (result.data_plane_enabled) {
+    const storage::DataPlaneStats& d = result.data_plane;
+    w.key("data_plane").begin_object();
+    w.field("checkpoints", d.checkpoints)
+        .field("upload_bytes", d.upload_bytes)
+        .field("full_bytes", d.full_bytes)
+        .field("transfers_completed", d.transfers_completed)
+        .field("transfer_time", d.transfer_time)
+        .field("queue_delay", d.queue_delay)
+        .field("migrations", d.migrations)
+        .field("migration_bytes", d.migration_bytes)
+        .field("migration_copy_time", d.migration_copy_time)
+        .field("migration_stall", d.migration_stall)
+        .field("locality_samples", d.locality_samples)
+        .field("locality_hops", d.locality_hops)
+        .field("mean_locality", d.mean_locality())
+        .field("fetches", d.fetches)
+        .field("fetch_bytes", d.fetch_bytes)
+        .field("fetch_hops", d.fetch_hops)
+        .field("fetch_time", d.fetch_time);
     w.end_object();
   }
   w.end_object();
@@ -214,8 +244,57 @@ void write_json(std::ostream& os, const ExperimentOptions& opts) {
       .field("queue_kind", des::queue_kind_name(opts.queue_kind))
       .field("collect_trace_hash", opts.collect_trace_hash);
   if (opts.shards > 1) w.field("shards", static_cast<u64>(opts.shards));
+  // Serialized only when enabled, so plane-off documents stay
+  // byte-identical to earlier versions.
+  if (opts.data_plane.enabled) {
+    w.key("data_plane");
+    write_data_plane_fields(w, opts.data_plane);
+  }
   w.end_object();
   os << '\n';
+}
+
+void write_data_plane_fields(JsonWriter& w, const storage::DataPlaneConfig& cfg) {
+  w.begin_object();
+  w.field("full_state_bytes", cfg.full_state_bytes)
+      .field("dirty_rate", cfg.dirty_rate)
+      .field("incremental", cfg.incremental)
+      .field("model", storage::stable_storage_kind_name(cfg.model))
+      .field("storage_bandwidth", cfg.storage_bandwidth)
+      .field("wireless_bandwidth", cfg.wireless_bandwidth)
+      .field("wired_bandwidth", cfg.wired_bandwidth)
+      .field("migration", storage::migration_strategy_name(cfg.migration))
+      .field("precopy_rounds", static_cast<u64>(cfg.precopy_rounds))
+      .field("precopy_stop_fraction", cfg.precopy_stop_fraction);
+  w.end_object();
+}
+
+storage::DataPlaneConfig data_plane_config_from_json(const JsonValue& json) {
+  storage::DataPlaneConfig cfg;
+  cfg.enabled = true;
+  if (const JsonValue* v = json.find("full_state_bytes")) cfg.full_state_bytes = v->as_u64();
+  if (const JsonValue* v = json.find("dirty_rate")) cfg.dirty_rate = v->as_f64();
+  if (const JsonValue* v = json.find("incremental")) cfg.incremental = v->as_bool();
+  if (const JsonValue* v = json.find("model")) {
+    if (!storage::parse_stable_storage_kind(v->as_string(), cfg.model)) {
+      throw std::invalid_argument("unknown stable-storage model: " + v->as_string());
+    }
+  }
+  if (const JsonValue* v = json.find("storage_bandwidth")) cfg.storage_bandwidth = v->as_f64();
+  if (const JsonValue* v = json.find("wireless_bandwidth")) cfg.wireless_bandwidth = v->as_f64();
+  if (const JsonValue* v = json.find("wired_bandwidth")) cfg.wired_bandwidth = v->as_f64();
+  if (const JsonValue* v = json.find("migration")) {
+    if (!storage::parse_migration_strategy(v->as_string(), cfg.migration)) {
+      throw std::invalid_argument("unknown migration strategy: " + v->as_string());
+    }
+  }
+  if (const JsonValue* v = json.find("precopy_rounds")) {
+    cfg.precopy_rounds = static_cast<u32>(v->as_u64());
+  }
+  if (const JsonValue* v = json.find("precopy_stop_fraction")) {
+    cfg.precopy_stop_fraction = v->as_f64();
+  }
+  return cfg;
 }
 
 namespace {
@@ -279,6 +358,9 @@ ExperimentOptions experiment_options_from_json(const JsonValue& json) {
   }
   if (const JsonValue* v = json.find("collect_trace_hash")) opts.collect_trace_hash = v->as_bool();
   if (const JsonValue* v = json.find("shards")) opts.shards = static_cast<u32>(v->as_u64());
+  if (const JsonValue* dp = json.find("data_plane")) {
+    opts.data_plane = data_plane_config_from_json(*dp);
+  }
   return opts;
 }
 
@@ -313,6 +395,10 @@ RunResult run_result_from_json(const JsonValue& json) {
     if (const JsonValue* v = net->find("piggyback_bytes")) result.net.piggyback_bytes = v->as_u64();
     if (const JsonValue* v = net->find("piggyback_dense_bytes")) {
       result.net.piggyback_dense_bytes = v->as_u64();
+    }
+    if (const JsonValue* v = net->find("bulk_transfers")) result.net.bulk_transfers = v->as_u64();
+    if (const JsonValue* v = net->find("bulk_wired_bytes")) {
+      result.net.bulk_wired_bytes = v->as_u64();
     }
     if (const JsonValue* v = net->find("mean_delivery_latency")) {
       // The writer serializes only the mean; a one-sample tally re-emits
@@ -385,6 +471,28 @@ RunResult run_result_from_json(const JsonValue& json) {
     if (const JsonValue* v = rec->find("max_recovery_time")) r.max_recovery_time = v->as_f64();
     if (const JsonValue* v = rec->find("total_planned")) r.total_planned = v->as_f64();
     if (const JsonValue* v = rec->find("total_estimated")) r.total_estimated = v->as_f64();
+  }
+  if (const JsonValue* dp = json.find("data_plane")) {
+    result.data_plane_enabled = true;
+    storage::DataPlaneStats& d = result.data_plane;
+    if (const JsonValue* v = dp->find("checkpoints")) d.checkpoints = v->as_u64();
+    if (const JsonValue* v = dp->find("upload_bytes")) d.upload_bytes = v->as_u64();
+    if (const JsonValue* v = dp->find("full_bytes")) d.full_bytes = v->as_u64();
+    if (const JsonValue* v = dp->find("transfers_completed")) d.transfers_completed = v->as_u64();
+    if (const JsonValue* v = dp->find("transfer_time")) d.transfer_time = v->as_f64();
+    if (const JsonValue* v = dp->find("queue_delay")) d.queue_delay = v->as_f64();
+    if (const JsonValue* v = dp->find("migrations")) d.migrations = v->as_u64();
+    if (const JsonValue* v = dp->find("migration_bytes")) d.migration_bytes = v->as_u64();
+    if (const JsonValue* v = dp->find("migration_copy_time")) d.migration_copy_time = v->as_f64();
+    if (const JsonValue* v = dp->find("migration_stall")) d.migration_stall = v->as_f64();
+    if (const JsonValue* v = dp->find("locality_samples")) d.locality_samples = v->as_u64();
+    if (const JsonValue* v = dp->find("locality_hops")) d.locality_hops = v->as_u64();
+    // mean_locality is derived from samples/hops; the writer re-emits it
+    // exactly, so write -> parse -> write stays byte-identical.
+    if (const JsonValue* v = dp->find("fetches")) d.fetches = v->as_u64();
+    if (const JsonValue* v = dp->find("fetch_bytes")) d.fetch_bytes = v->as_u64();
+    if (const JsonValue* v = dp->find("fetch_hops")) d.fetch_hops = v->as_u64();
+    if (const JsonValue* v = dp->find("fetch_time")) d.fetch_time = v->as_f64();
   }
   return result;
 }

@@ -39,6 +39,15 @@ FigureSpec figure_spec_from_json(const JsonValue& json);
 /// Inverse of write_json(ExperimentOptions).
 ExperimentOptions experiment_options_from_json(const JsonValue& json);
 
+/// Writes the data-plane sub-object ("{...}") shared by ExperimentOptions
+/// and ExperimentConfig documents. The object carries every knob except
+/// `enabled` — presence of the object is the enable flag.
+void write_data_plane_fields(JsonWriter& w, const storage::DataPlaneConfig& cfg);
+
+/// Inverse of write_data_plane_fields: returns a config with
+/// enabled = true and absent members at their defaults.
+storage::DataPlaneConfig data_plane_config_from_json(const JsonValue& json);
+
 /// Inverse of write_json(RunResult). Reconstructs everything the writer
 /// emits: config echo, network stats (delivery latency collapses to its
 /// mean — the writer only serializes the mean), per-protocol stats

@@ -41,6 +41,10 @@ std::vector<RunResult> run_parallel(const std::vector<SimConfig>& configs,
   return results;
 }
 
+f64 FigureSpec::metric_value(const RunResult& run, usize protocol) const {
+  return metric ? metric(run, protocol) : static_cast<f64>(run.protocols.at(protocol).n_tot);
+}
+
 u64 FigureSpec::replication_seed(usize point, u32 replication) const noexcept {
   // Keyed on (figure, point, replication): the title hash separates
   // figures that share a seed_base, and the (point, replication) index is
@@ -314,7 +318,7 @@ FigureResult run_figure(const FigureSpec& spec, const ExperimentOptions& opts, u
       for (usize k = 0; k < n_protocols; ++k) {
         samples[k].reserve(st.runs.size());
         for (const RunResult& run : st.runs) {
-          samples[k].push_back(static_cast<f64>(run.protocols[k].n_tot));
+          samples[k].push_back(spec.metric_value(run, k));
         }
       }
       st.decision = evaluate_stopping_rule(samples, spec.min_seeds, spec.max_seeds,
@@ -356,7 +360,7 @@ FigureResult run_figure(const FigureSpec& spec, const ExperimentOptions& opts, u
     // batch overshoot past it is discarded (but accounted in the ledger).
     for (u32 r = 0; r < st.decision.seeds_used; ++r) {
       for (usize k = 0; k < n_protocols; ++k) {
-        out.cells[p][k].add(static_cast<f64>(st.runs[r].protocols[k].n_tot));
+        out.cells[p][k].add(spec.metric_value(st.runs[r], k));
       }
     }
     out.seeds_used.push_back(st.decision.seeds_used);

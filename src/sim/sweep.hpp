@@ -49,6 +49,17 @@ struct FigureSpec {
   u32 batch_size = 0;
   u64 seed_base = 42;  ///< Root of the replication seed derivation.
 
+  /// What each protocol cell measures: metric(run, protocol_slot).
+  /// Unset (the default) means the paper's N_tot. The adaptive stopping
+  /// rule targets whatever this returns, so custom metrics get the same
+  /// precision control as checkpoint counts. NOT serialized:
+  /// write_json(FigureSpec) round-trips only the declarative fields, and
+  /// benches with custom metrics (fig_dataplane) carry them in code.
+  std::function<f64(const RunResult&, usize)> metric;
+
+  /// `metric` if set, else N_tot of the slot.
+  f64 metric_value(const RunResult& run, usize protocol) const;
+
   /// Root seed of replication `replication` of sweep point `point`:
   /// an RngStream substream keyed on (figure title + seed_base, point,
   /// replication). Unlike the old `seed_base + p * seeds + r` scheme it

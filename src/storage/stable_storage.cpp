@@ -1,0 +1,80 @@
+#include "storage/stable_storage.hpp"
+
+#include <stdexcept>
+
+namespace mobichk::storage {
+
+const char* stable_storage_kind_name(StableStorageKind kind) noexcept {
+  switch (kind) {
+    case StableStorageKind::kInfinite:
+      return "infinite";
+    case StableStorageKind::kContention:
+      return "contention";
+  }
+  return "?";
+}
+
+bool parse_stable_storage_kind(std::string_view name, StableStorageKind& out) noexcept {
+  if (name == "infinite") {
+    out = StableStorageKind::kInfinite;
+    return true;
+  }
+  if (name == "contention") {
+    out = StableStorageKind::kContention;
+    return true;
+  }
+  return false;
+}
+
+ServiceResult InfiniteStableStorage::write(net::MssId, u64 bytes, des::Time now) {
+  ++stats_.writes;
+  stats_.bytes_written += bytes;
+  return {now, 0.0};
+}
+
+ServiceResult InfiniteStableStorage::read(net::MssId, u64 bytes, des::Time now) {
+  ++stats_.reads;
+  stats_.bytes_read += bytes;
+  return {now, 0.0};
+}
+
+ContentionStableStorage::ContentionStableStorage(u32 n_mss, f64 bandwidth)
+    : bandwidth_(bandwidth), busy_until_(n_mss, 0.0) {
+  if (!(bandwidth > 0.0)) throw std::invalid_argument("storage bandwidth must be > 0");
+}
+
+ServiceResult ContentionStableStorage::admit(net::MssId mss, u64 bytes, des::Time now) {
+  des::Time& busy = busy_until_.at(mss);
+  const des::Time start = busy > now ? busy : now;
+  const f64 service = static_cast<f64>(bytes) / bandwidth_;
+  busy = start + service;
+  const f64 wait = start - now;
+  stats_.service_time += service;
+  stats_.queue_delay += wait;
+  return {busy, wait};
+}
+
+ServiceResult ContentionStableStorage::write(net::MssId mss, u64 bytes, des::Time now) {
+  ++stats_.writes;
+  stats_.bytes_written += bytes;
+  return admit(mss, bytes, now);
+}
+
+ServiceResult ContentionStableStorage::read(net::MssId mss, u64 bytes, des::Time now) {
+  ++stats_.reads;
+  stats_.bytes_read += bytes;
+  return admit(mss, bytes, now);
+}
+
+std::unique_ptr<StableStorage> make_stable_storage(StableStorageKind kind, u32 n_mss,
+                                                   f64 bandwidth) {
+  switch (kind) {
+    case StableStorageKind::kInfinite:
+      return std::make_unique<InfiniteStableStorage>();
+    case StableStorageKind::kContention:
+      return std::make_unique<ContentionStableStorage>(n_mss, bandwidth);
+  }
+  throw std::invalid_argument("unknown stable-storage kind");
+}
+
+}  // namespace mobichk::storage

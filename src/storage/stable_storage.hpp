@@ -1,0 +1,112 @@
+// Stable-storage service models for MSS checkpoint devices.
+//
+// Every checkpoint byte a mobile host uploads eventually lands on the
+// stable storage of some MSS. The paper treats that write as free; this
+// interface makes the cost swappable:
+//
+//  * InfiniteStableStorage — the paper's model: writes and reads complete
+//    instantly, whatever the concurrency (useful as a null model and to
+//    isolate wire costs in experiments).
+//  * ContentionStableStorage — each MSS owns one device of fixed
+//    bandwidth with a FIFO service queue: an operation starts when the
+//    device frees up, so concurrent checkpoint uploads, migration writes
+//    and recovery reads at the same cell delay each other.
+//
+// Consumers (the checkpoint data plane, and through it the protocol
+// harness and CrashDriver) talk only to the StableStorage interface and
+// never to a concrete model, so service disciplines can be swapped
+// per-experiment from config.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "des/types.hpp"
+#include "net/ids.hpp"
+
+namespace mobichk::storage {
+
+/// Which service model an experiment uses.
+enum class StableStorageKind : u8 {
+  kInfinite = 0,    ///< Zero service time, no queueing (the paper's model).
+  kContention = 1,  ///< Per-MSS FIFO device of fixed bandwidth.
+};
+
+const char* stable_storage_kind_name(StableStorageKind kind) noexcept;
+
+/// Parses a kind name ("infinite" / "contention"); returns false on an
+/// unknown name and leaves `out` untouched.
+bool parse_stable_storage_kind(std::string_view name, StableStorageKind& out) noexcept;
+
+/// Aggregate service accounting, maintained by every implementation.
+struct StableStorageStats {
+  u64 writes = 0;
+  u64 reads = 0;
+  u64 bytes_written = 0;
+  u64 bytes_read = 0;
+  f64 service_time = 0.0;  ///< Sum of pure transfer times (bytes / bandwidth).
+  f64 queue_delay = 0.0;   ///< Sum of FIFO waits before service started.
+};
+
+/// Outcome of admitting one operation to a device.
+struct ServiceResult {
+  des::Time done = 0.0;   ///< Completion time (>= the admission time).
+  f64 queue_delay = 0.0;  ///< Time the operation waited for the device.
+};
+
+/// Abstract MSS stable-storage device array. Implementations must be
+/// deterministic: completion times depend only on the admission sequence.
+class StableStorage {
+ public:
+  virtual ~StableStorage() = default;
+
+  virtual StableStorageKind kind() const noexcept = 0;
+
+  /// Admits a write of `bytes` to the device of MSS `mss` at time `now`.
+  virtual ServiceResult write(net::MssId mss, u64 bytes, des::Time now) = 0;
+
+  /// Admits a read of `bytes` (a recovery fetch or migration source read).
+  virtual ServiceResult read(net::MssId mss, u64 bytes, des::Time now) = 0;
+
+  const StableStorageStats& stats() const noexcept { return stats_; }
+
+ protected:
+  StableStorageStats stats_;
+};
+
+/// The paper's implicit model: stable storage is free and unbounded.
+class InfiniteStableStorage final : public StableStorage {
+ public:
+  StableStorageKind kind() const noexcept override { return StableStorageKind::kInfinite; }
+  ServiceResult write(net::MssId mss, u64 bytes, des::Time now) override;
+  ServiceResult read(net::MssId mss, u64 bytes, des::Time now) override;
+};
+
+/// One FIFO device per MSS: an operation admitted at `now` starts at
+/// max(now, busy_until[mss]) and holds the device for bytes / bandwidth.
+class ContentionStableStorage final : public StableStorage {
+ public:
+  /// `bandwidth` is in bytes per time unit and must be > 0.
+  ContentionStableStorage(u32 n_mss, f64 bandwidth);
+
+  StableStorageKind kind() const noexcept override { return StableStorageKind::kContention; }
+  ServiceResult write(net::MssId mss, u64 bytes, des::Time now) override;
+  ServiceResult read(net::MssId mss, u64 bytes, des::Time now) override;
+
+  /// When the device of `mss` next frees up (<= now means idle).
+  des::Time busy_until(net::MssId mss) const { return busy_until_.at(mss); }
+  f64 bandwidth() const noexcept { return bandwidth_; }
+
+ private:
+  ServiceResult admit(net::MssId mss, u64 bytes, des::Time now);
+
+  f64 bandwidth_;
+  std::vector<des::Time> busy_until_;
+};
+
+/// Factory keyed by config; the only place a concrete model is named.
+std::unique_ptr<StableStorage> make_stable_storage(StableStorageKind kind, u32 n_mss,
+                                                   f64 bandwidth);
+
+}  // namespace mobichk::storage

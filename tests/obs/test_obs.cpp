@@ -597,6 +597,47 @@ TEST(ObsGolden, ChromeTraceOfTinyRunMatchesCommittedFile) {
       << "chrome-trace output changed; delete " << path << " and re-run to regenerate";
 }
 
+TEST(ObsGolden, TransferSlicesOfTinyDataPlaneRunMatchCommittedFile) {
+  // The same tiny run with the checkpoint data plane on: the chrome
+  // trace now carries storage-transfer slices (uploads and migrations).
+  // Pins the exporter format for kStorageTransfer probes and the plane's
+  // deterministic completion times; tools/lint_trace.py checks the
+  // committed file structurally in CI.
+  sim::SimConfig cfg;
+  cfg.network.n_hosts = 4;
+  cfg.network.n_mss = 2;
+  cfg.sim_length = 300.0;
+  cfg.t_switch = 50.0;
+  cfg.p_switch = 0.8;
+  cfg.seed = 3;
+  obs::RunObserver observer;
+  sim::ExperimentOptions opts;
+  opts.observer = &observer;
+  opts.data_plane.enabled = true;
+  const sim::RunResult result = sim::run_experiment(cfg, opts);
+  ASSERT_TRUE(result.data_plane_enabled);
+  ASSERT_GT(result.data_plane.transfers_completed, 0u);
+  u64 transfer_probes = 0;
+  for (const obs::ProbeEvent& e : observer.timeline().events()) {
+    if (e.kind == obs::ProbeKind::kStorageTransfer) ++transfer_probes;
+  }
+  EXPECT_EQ(transfer_probes, result.data_plane.transfers_completed);
+  std::ostringstream got;
+  obs::write_chrome_trace(got, observer);
+
+  const std::string path = std::string(MOBICHK_TEST_DATA_DIR) + "/golden_transfer_slices.json";
+  std::ifstream file(path);
+  if (!file) {
+    std::ofstream regen(path);
+    regen << got.str();
+    FAIL() << "golden file was missing; regenerated " << path << " — inspect and commit it";
+  }
+  std::ostringstream want;
+  want << file.rdbuf();
+  EXPECT_EQ(got.str(), want.str())
+      << "transfer-slice trace changed; delete " << path << " and re-run to regenerate";
+}
+
 TEST(ObsGolden, FlowEventsJsonlOfTinyRunMatchesCommittedFile) {
   // Same tiny run, JSONL exporter: pins the send/deliver/sn_promote
   // event lines and the rl.* recovery-line metric families.

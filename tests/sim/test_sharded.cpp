@@ -89,6 +89,50 @@ TEST(Sharded, GoldenFig1HashEveryQueueKind) {
   }
 }
 
+TEST(Sharded, DataPlaneOnIdenticalAcrossShardsAndQueues) {
+  // With the checkpoint data plane pricing every checkpoint and migrating
+  // images on handoff, the journaled merge must still reproduce the
+  // sequential run exactly: same trace hash (the kCheckpointTransfer
+  // completions land at identical times) and the same byte/stall/locality
+  // accounting, for every (queue kind x shard count) pair.
+  SimConfig cfg = golden_config();
+  cfg.sim_length = 5'000.0;
+  const auto run_plane = [&](u32 shards, des::QueueKind queue) {
+    ExperimentOptions opts;
+    opts.collect_trace_hash = true;
+    opts.queue_kind = queue;
+    opts.shards = shards;
+    opts.data_plane.enabled = true;
+    return run_experiment(cfg, opts);
+  };
+  const RunResult seq = run_plane(1, des::QueueKind::kBinaryHeap);
+  ASSERT_TRUE(seq.data_plane_enabled);
+  ASSERT_GT(seq.data_plane.checkpoints, 0u);
+  ASSERT_GT(seq.data_plane.migrations, 0u);
+  for (const des::QueueKind queue : des::kAllQueueKinds) {
+    for (const u32 shards : {1u, 2u, 4u, 5u}) {
+      const std::string label = std::string("plane-on ") + des::queue_kind_name(queue) +
+                                " shards=" + std::to_string(shards);
+      const RunResult par = run_plane(shards, queue);
+      expect_identical(seq, par, label);
+      const storage::DataPlaneStats& a = seq.data_plane;
+      const storage::DataPlaneStats& b = par.data_plane;
+      EXPECT_EQ(a.checkpoints, b.checkpoints) << label;
+      EXPECT_EQ(a.upload_bytes, b.upload_bytes) << label;
+      EXPECT_EQ(a.full_bytes, b.full_bytes) << label;
+      EXPECT_EQ(a.transfers_completed, b.transfers_completed) << label;
+      EXPECT_DOUBLE_EQ(a.transfer_time, b.transfer_time) << label;
+      EXPECT_DOUBLE_EQ(a.queue_delay, b.queue_delay) << label;
+      EXPECT_EQ(a.migrations, b.migrations) << label;
+      EXPECT_EQ(a.migration_bytes, b.migration_bytes) << label;
+      EXPECT_DOUBLE_EQ(a.migration_copy_time, b.migration_copy_time) << label;
+      EXPECT_DOUBLE_EQ(a.migration_stall, b.migration_stall) << label;
+      EXPECT_EQ(a.locality_samples, b.locality_samples) << label;
+      EXPECT_EQ(a.locality_hops, b.locality_hops) << label;
+    }
+  }
+}
+
 TEST(Sharded, FigureConfigFamiliesMatchSequential) {
   // One config per figure axis the paper sweeps: high mobility (Fig.1
   // left edge), disconnections (Fig.3/4), heterogeneity (Fig.5/6), plus

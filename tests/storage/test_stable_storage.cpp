@@ -1,0 +1,115 @@
+// Stable-storage service models: the infinite (paper) model is free, the
+// contention model matches an analytic single-writer FIFO oracle exactly,
+// devices are independent across MSSs, and reads and writes share one
+// queue per device.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "storage/stable_storage.hpp"
+
+namespace mobichk::storage {
+namespace {
+
+TEST(StableStorageNames, RoundTrip) {
+  for (const StableStorageKind kind :
+       {StableStorageKind::kInfinite, StableStorageKind::kContention}) {
+    StableStorageKind parsed{};
+    ASSERT_TRUE(parse_stable_storage_kind(stable_storage_kind_name(kind), parsed));
+    EXPECT_EQ(parsed, kind);
+  }
+  StableStorageKind out{};
+  EXPECT_FALSE(parse_stable_storage_kind("ramdisk", out));
+}
+
+TEST(InfiniteStableStorage, EveryOperationIsFree) {
+  InfiniteStableStorage disk;
+  EXPECT_EQ(disk.kind(), StableStorageKind::kInfinite);
+  const ServiceResult w = disk.write(0, 1'000'000, 12.5);
+  EXPECT_DOUBLE_EQ(w.done, 12.5);
+  EXPECT_DOUBLE_EQ(w.queue_delay, 0.0);
+  const ServiceResult r = disk.read(0, 1'000'000, 12.5);  // same instant: no queueing
+  EXPECT_DOUBLE_EQ(r.done, 12.5);
+  EXPECT_DOUBLE_EQ(r.queue_delay, 0.0);
+  EXPECT_EQ(disk.stats().writes, 1u);
+  EXPECT_EQ(disk.stats().reads, 1u);
+  EXPECT_EQ(disk.stats().bytes_written, 1'000'000u);
+  EXPECT_EQ(disk.stats().bytes_read, 1'000'000u);
+  EXPECT_DOUBLE_EQ(disk.stats().service_time, 0.0);
+  EXPECT_DOUBLE_EQ(disk.stats().queue_delay, 0.0);
+}
+
+/// The analytic oracle for one FIFO device of fixed bandwidth: an op
+/// admitted at `now` starts at max(now, busy), holds the device for
+/// bytes / bandwidth, and its queue delay is the wait before the start.
+struct SingleWriterOracle {
+  f64 bandwidth;
+  f64 busy = 0.0;
+
+  ServiceResult admit(u64 bytes, f64 now) {
+    const f64 start = std::max(now, busy);
+    const f64 service = static_cast<f64>(bytes) / bandwidth;
+    busy = start + service;
+    return ServiceResult{busy, start - now};
+  }
+};
+
+TEST(ContentionStableStorage, MatchesAnalyticSingleWriterOracle) {
+  constexpr f64 kBandwidth = 250.0;
+  ContentionStableStorage disk(1, kBandwidth);
+  SingleWriterOracle oracle{kBandwidth};
+  // An irregular admission pattern: bursts that queue up, then a gap the
+  // device drains through, then more load. Reads and writes interleave —
+  // the device does not care which direction the bytes flow.
+  const struct {
+    f64 t;
+    u64 bytes;
+    bool is_write;
+  } ops[] = {
+      {0.0, 500, true},   {0.0, 250, true},  {0.5, 125, false}, {3.0, 1'000, true},
+      {3.1, 50, false},   {10.0, 25, true},  {10.0, 25, false}, {10.0, 25, true},
+      {40.0, 2'000, true}, {41.0, 10, false},
+  };
+  f64 expected_queue = 0.0;
+  f64 expected_service = 0.0;
+  for (const auto& op : ops) {
+    const ServiceResult want = oracle.admit(op.bytes, op.t);
+    const ServiceResult got =
+        op.is_write ? disk.write(0, op.bytes, op.t) : disk.read(0, op.bytes, op.t);
+    EXPECT_DOUBLE_EQ(got.done, want.done) << "op at t=" << op.t;
+    EXPECT_DOUBLE_EQ(got.queue_delay, want.queue_delay) << "op at t=" << op.t;
+    expected_queue += want.queue_delay;
+    expected_service += static_cast<f64>(op.bytes) / kBandwidth;
+  }
+  EXPECT_DOUBLE_EQ(disk.busy_until(0), oracle.busy);
+  EXPECT_DOUBLE_EQ(disk.stats().queue_delay, expected_queue);
+  EXPECT_DOUBLE_EQ(disk.stats().service_time, expected_service);
+  EXPECT_EQ(disk.stats().writes + disk.stats().reads, 10u);
+}
+
+TEST(ContentionStableStorage, DevicesAreIndependentPerMss) {
+  ContentionStableStorage disk(3, 100.0);
+  // Saturate MSS 0; MSS 2 must still serve at wire speed.
+  (void)disk.write(0, 10'000, 0.0);
+  const ServiceResult other = disk.write(2, 100, 0.0);
+  EXPECT_DOUBLE_EQ(other.done, 1.0);
+  EXPECT_DOUBLE_EQ(other.queue_delay, 0.0);
+  const ServiceResult same = disk.write(0, 100, 0.0);
+  EXPECT_DOUBLE_EQ(same.queue_delay, 100.0);  // waits out the 10'000-byte write
+}
+
+TEST(ContentionStableStorage, RejectsNonPositiveBandwidth) {
+  EXPECT_THROW(ContentionStableStorage(1, 0.0), std::invalid_argument);
+  EXPECT_THROW(ContentionStableStorage(1, -5.0), std::invalid_argument);
+}
+
+TEST(StableStorageFactory, BuildsTheRequestedModel) {
+  const auto infinite = make_stable_storage(StableStorageKind::kInfinite, 4, 100.0);
+  EXPECT_EQ(infinite->kind(), StableStorageKind::kInfinite);
+  const auto contention = make_stable_storage(StableStorageKind::kContention, 4, 100.0);
+  EXPECT_EQ(contention->kind(), StableStorageKind::kContention);
+}
+
+}  // namespace
+}  // namespace mobichk::storage

@@ -150,7 +150,9 @@ int run(int argc, char** argv) {
   flags.add("out", sim::FlagType::kString, "BENCH_kernel.json", "result JSON path")
       .add("baseline", sim::FlagType::kString, "",
            "committed baseline JSON; gate the obs-off typed/closure speedup "
-           "against its typed_speedup (2% tolerance)");
+           "against its typed_speedup (2% tolerance)")
+      .add("profile-trace", sim::FlagType::kString, "",
+           "write the profiled fig1 point's combined sim+host Chrome trace to <path>");
   const sim::ArgParser args = flags.parse(argc, argv);
   if (args.get_flag("help")) {
     flags.print_help(std::cout);
@@ -198,6 +200,32 @@ int run(int argc, char** argv) {
   std::printf("  fig1 point: %llu events in %.3fs (%.3gM events/s), hash=%016llx\n",
               static_cast<unsigned long long>(fig1.events_executed), fig1_wall, fig1_eps / 1e6,
               static_cast<unsigned long long>(fig1.trace_hash));
+
+  // The same point with the host-time profiler AND the observer attached:
+  // the trace hash must not move, and the profiler's per-kind dispatch
+  // counts must reconcile with the kernel probe's des.dispatch.* counters
+  // — the same events, counted by two independent mechanisms.
+  obs::RunObserver prof_observer;
+  obs::Profiler profiler;
+  sim::ExperimentOptions prof_opts;
+  prof_opts.collect_trace_hash = true;
+  prof_opts.observer = &prof_observer;
+  prof_opts.profiler = &profiler;
+  const auto prof_t0 = std::chrono::steady_clock::now();
+  const sim::RunResult fig1_prof = sim::run_experiment(cfg, prof_opts);
+  const f64 prof_wall = seconds_since(prof_t0);
+  f64 prof_dispatch_seconds = 0.0;
+  for (usize k = 0; k < obs::ProfLane::kMaxEventKinds; ++k) {
+    prof_dispatch_seconds += profiler.dispatch_seconds(k);
+  }
+  std::printf("  fig1 profiled: %.3fs wall (obs-off %.3fs), %.3fs in dispatch, hash=%016llx\n",
+              prof_wall, fig1_wall, prof_dispatch_seconds,
+              static_cast<unsigned long long>(fig1_prof.trace_hash));
+  const std::string profile_trace_path = args.get_string("profile-trace", "");
+  if (!profile_trace_path.empty()) {
+    obs::write_chrome_trace(profile_trace_path, prof_observer, &profiler);
+    std::printf("  wrote %s\n", profile_trace_path.c_str());
+  }
 
   // One large-n point (10^4 hosts, short horizon, sparse TP piggybacks):
   // the city-scale smoke. Records throughput plus the encoded vs
@@ -284,6 +312,10 @@ int run(int argc, char** argv) {
   std::fprintf(out, "  \"fig1_events_per_second\": %.1f,\n", fig1_eps);
   std::fprintf(out, "  \"fig1_trace_hash\": \"%016llx\",\n",
                static_cast<unsigned long long>(fig1.trace_hash));
+  std::fprintf(out, "  \"fig1_prof_wall_seconds\": %.4f,\n", prof_wall);
+  std::fprintf(out, "  \"fig1_prof_dispatch_seconds\": %.4f,\n", prof_dispatch_seconds);
+  std::fprintf(out, "  \"fig1_prof_overhead_ratio\": %.3f,\n",
+               fig1_wall > 0.0 ? prof_wall / fig1_wall : 0.0);
   std::fprintf(out, "  \"scale_hosts\": %u,\n", scale_cfg.network.n_hosts);
   std::fprintf(out, "  \"scale_events\": %llu,\n",
                static_cast<unsigned long long>(scale.events_executed));
@@ -333,6 +365,29 @@ int run(int argc, char** argv) {
     std::fprintf(stderr, "FAIL: typed/closure speedup %.2fx below the 1.3x bar\n", speedup);
     return 1;
   }
+  // Profiler gates: attaching it must not perturb the simulation, and its
+  // per-kind dispatch counts must agree with the kernel probe's
+  // des.dispatch.* counters to within one event.
+  if (fig1_prof.trace_hash != fig1.trace_hash) {
+    std::fprintf(stderr, "FAIL: profiled fig1 hash %016llx != unprofiled %016llx\n",
+                 static_cast<unsigned long long>(fig1_prof.trace_hash),
+                 static_cast<unsigned long long>(fig1.trace_hash));
+    return 1;
+  }
+  for (usize k = 0; k < obs::ProfLane::kMaxEventKinds; ++k) {
+    const u64 probe_count = prof_observer.kernel_probe()->dispatched[k]->value();
+    const u64 prof_count = profiler.dispatch_count(k);
+    const u64 diff = probe_count > prof_count ? probe_count - prof_count : prof_count - probe_count;
+    if (diff > 1) {
+      std::fprintf(stderr,
+                   "FAIL: dispatch reconciliation for %s: profiler %llu vs probe %llu\n",
+                   obs::prof_kind_name(k), static_cast<unsigned long long>(prof_count),
+                   static_cast<unsigned long long>(probe_count));
+      return 1;
+    }
+  }
+  std::printf("profile gate: hash pinned, dispatch counts reconcile across all %zu kinds\n",
+              obs::ProfLane::kMaxEventKinds);
   // Sharded gates: bit-identity is unconditional; the throughput bar only
   // applies where 4 shards can actually run in parallel.
   if (shard_par.trace_hash != shard_seq.trace_hash ||

@@ -16,6 +16,14 @@
 //                                 config under every event-queue kind must
 //                                 give identical trace hashes and N_tot
 //                                 (exit 1 on divergence)
+//   mobichk_cli report  [flags]   self-contained HTML report from saved
+//                                 JSON documents: --run=<result.json>
+//                                 [--figure=<figure.json>] --out=<path>
+//
+// Every simulation command also accepts --profile (host-time phase
+// breakdown after the run; prof.* metrics in --json output) and
+// --profile-trace=<path> (host-time Chrome trace). Profiling changes no
+// simulated outcome: traces stay bit-identical.
 //
 // Every command supports --help; flags are schema-checked (unknown flags
 // fail with a did-you-mean suggestion, malformed numbers fail naming the
@@ -108,7 +116,39 @@ void add_config_flags(sim::FlagSet& fs) {
       .add("migration", sim::FlagType::kString, "precopy",
            "checkpoint migration on handoff: none|precopy|postcopy")
       .add("precopy-rounds", sim::FlagType::kUInt, std::to_string(dp.precopy_rounds),
-           "max iterative pre-copy rounds before the stop-and-copy");
+           "max iterative pre-copy rounds before the stop-and-copy")
+      .add("profile", sim::FlagType::kBool, "",
+           "attach the host-time profiler and print the phase breakdown after the run")
+      .add("profile-trace", sim::FlagType::kString, "",
+           "write the host-time Chrome trace to <path> (implies --profile)");
+}
+
+bool profile_requested(const sim::ArgParser& args) {
+  return args.get_flag("profile") || !args.get_string("profile-trace", "").empty();
+}
+
+/// Prints the prof.* snapshot as a phase table: ".seconds"/".count" pairs
+/// collapse to one row, scalar gauges print as-is.
+void print_prof_summary(const obs::Profiler& prof) {
+  const std::vector<obs::MetricSample> samples = prof.snapshot();
+  auto ends_with = [](const std::string& s, const char* suffix) {
+    const usize n = std::strlen(suffix);
+    return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+  };
+  std::printf("\nhost-time profile:\n");
+  std::printf("  %-42s %14s %12s\n", "phase", "seconds", "count");
+  for (usize i = 0; i < samples.size(); ++i) {
+    const obs::MetricSample& m = samples[i];
+    if (ends_with(m.name, ".seconds") && i + 1 < samples.size() &&
+        ends_with(samples[i + 1].name, ".count")) {
+      std::printf("  %-42s %14.6f %12.0f\n",
+                  m.name.substr(0, m.name.size() - std::strlen(".seconds")).c_str(), m.value,
+                  samples[i + 1].value);
+      ++i;
+    } else {
+      std::printf("  %-42s %14.6g\n", m.name.c_str(), m.value);
+    }
+  }
 }
 
 sim::FlagSet make_flags(const std::string& cmd) {
@@ -165,10 +205,48 @@ sim::FlagSet make_flags(const std::string& cmd) {
              "narrate the run's executed crash recoveries (needs --crash-mode)");
     return fs;
   }
+  if (cmd == "report") {
+    // Post-hoc tool: consumes serialized documents, no simulation flags.
+    sim::FlagSet fs("mobichk_cli report --run=<result.json> [--figure=<figure.json>] --out=<path>");
+    fs.add("run", sim::FlagType::kString, "",
+           "RunResult JSON document (mobichk_cli run --json > result.json)")
+        .add("figure", sim::FlagType::kString, "",
+             "optional FigureResult JSON document (mobichk_cli figure --json)")
+        .add("out", sim::FlagType::kString, "report.html",
+             "output path for the self-contained HTML report");
+    return fs;
+  }
   // audit
   sim::FlagSet fs("mobichk_cli audit [flags]");
   add_config_flags(fs);
   return fs;
+}
+
+std::string slurp_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+int cmd_report(const sim::ArgParser& args) {
+  const std::string run_path = args.get_string("run", "");
+  if (run_path.empty()) {
+    std::fprintf(stderr, "report: --run=<result.json> is required\n");
+    return 2;
+  }
+  const sim::RunResult run = sim::run_result_from_json(sim::json_parse(slurp_file(run_path)));
+  std::unique_ptr<sim::SweepView> sweep;
+  const std::string fig_path = args.get_string("figure", "");
+  if (!fig_path.empty()) {
+    sweep = std::make_unique<sim::SweepView>(
+        sim::SweepView::from_json(sim::json_parse(slurp_file(fig_path))));
+  }
+  const std::string out = args.get_string("out", "report.html");
+  sim::write_html_report(out, run, sweep.get());
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
 }
 
 /// The effective run configuration: the --config file (or defaults) as
@@ -273,8 +351,17 @@ sim::ExperimentConfig effective_config(const sim::ArgParser& args) {
 
 int cmd_audit(const sim::ArgParser& args) {
   const sim::ExperimentConfig ec = effective_config(args);
-  const sim::AuditReport report = sim::audit_determinism(ec.to_sim_config(), ec.to_options());
+  sim::ExperimentOptions opts = ec.to_options();
+  obs::Profiler profiler;
+  const bool profile = profile_requested(args);
+  // One profiler across all queue-kind runs: the audit is sequential, so
+  // the phases accumulate into a combined "cost of the audit" table.
+  if (profile) opts.profiler = &profiler;
+  const sim::AuditReport report = sim::audit_determinism(ec.to_sim_config(), opts);
   report.print(std::cout);
+  if (profile) print_prof_summary(profiler);
+  const std::string prof_trace = args.get_string("profile-trace", "");
+  if (!prof_trace.empty()) obs::write_host_trace(prof_trace, profiler);
   return report.deterministic() ? 0 : 1;
 }
 
@@ -286,14 +373,20 @@ int cmd_run(const sim::ArgParser& args) {
   opts.verify_consistency = args.get_flag("verify");
   const std::string metrics_path = args.get_string("metrics", "");
   const std::string trace_path = args.get_string("chrome-trace", "");
+  const std::string prof_trace = args.get_string("profile-trace", "");
+  const bool profile = profile_requested(args);
   obs::RunObserver observer;
+  obs::Profiler profiler;
   if (!metrics_path.empty() || !trace_path.empty()) opts.observer = &observer;
+  if (profile) opts.profiler = &profiler;
   const sim::RunResult r = sim::run_experiment(ec.to_sim_config(), opts);
   // The exporters throw (naming path + errno) on any open/write failure;
   // main()'s catch turns that into an error message and exit 1.
   if (!metrics_path.empty()) obs::write_metrics_jsonl(metrics_path, observer);
-  if (!trace_path.empty()) obs::write_chrome_trace(trace_path, observer);
+  if (!trace_path.empty()) obs::write_chrome_trace(trace_path, observer, profile ? &profiler : nullptr);
+  if (!prof_trace.empty()) obs::write_host_trace(prof_trace, profiler);
   if (args.get_flag("json")) {
+    // The prof.* catalog rides in the document's "metrics" object.
     sim::write_json(std::cout, r);
     return 0;
   }
@@ -335,6 +428,7 @@ int cmd_run(const sim::ArgParser& args) {
                 static_cast<unsigned long long>(d.migration_bytes), d.migration_stall,
                 d.mean_locality(), static_cast<unsigned long long>(d.fetches), d.fetch_time);
   }
+  if (profile) print_prof_summary(profiler);
   return 0;
 }
 
@@ -356,12 +450,27 @@ int cmd_figure(const sim::ArgParser& args) {
   } else {
     result.print(std::cout);
   }
+  if (profile_requested(args)) {
+    // Replications run concurrently, so a shared profiler cannot attach;
+    // the sweep's cost story is the ledger's per-point wall attribution.
+    const sim::SweepLedger& led = result.ledger;
+    std::printf("\nper-point cost (wall seconds, overshoot included):\n");
+    for (usize p = 0; p < led.point_wall_seconds.size(); ++p) {
+      std::printf("  T_switch %8s %10.3f s\n", fmt_num(spec.t_switch_values[p]).c_str(),
+                  led.point_wall_seconds[p]);
+    }
+    std::printf("  total %.3f s, barrier stall %.3f s\n", led.wall_seconds,
+                led.barrier_stall_seconds);
+  }
   return 0;
 }
 
 int cmd_recover(const sim::ArgParser& args) {
   const sim::ExperimentConfig ec = effective_config(args);
-  const sim::ExperimentOptions opts = ec.to_options();
+  sim::ExperimentOptions opts = ec.to_options();
+  obs::Profiler profiler;
+  const bool profile = profile_requested(args);
+  if (profile) opts.profiler = &profiler;
   sim::Experiment exp(ec.to_sim_config(), opts);
   exp.run();
   const auto failed = static_cast<net::HostId>(args.get_u64("failed", 0));
@@ -383,6 +492,9 @@ int cmd_recover(const sim::ArgParser& args) {
                 static_cast<unsigned long long>(rb.total_discarded()), est.coordination,
                 est.state_transfer, est.replay, est.total());
   }
+  if (profile) print_prof_summary(profiler);
+  const std::string prof_trace = args.get_string("profile-trace", "");
+  if (!prof_trace.empty()) obs::write_host_trace(prof_trace, profiler);
   return 0;
 }
 
@@ -401,9 +513,16 @@ int cmd_explain(const sim::ArgParser& args) {
   opts.protocols = ec.protocols;
   obs::RunObserver observer;
   opts.observer = &observer;
+  obs::Profiler profiler;
+  const bool profile = profile_requested(args);
+  if (profile) opts.profiler = &profiler;
   sim::Experiment exp(ec.to_sim_config(), opts);
   exp.run();
   const std::vector<std::string>& names = observer.protocol_names();
+  if (profile) print_prof_summary(profiler);
+  if (const std::string prof_trace = args.get_string("profile-trace", ""); !prof_trace.empty()) {
+    obs::write_host_trace(prof_trace, profiler);
+  }
 
   if (msg_id != 0) {
     sim::print_message_story(std::cout, observer.timeline(), names, msg_id);
@@ -542,6 +661,20 @@ int cmd_trace(const sim::ArgParser& args) {
     merger = std::make_unique<TraceMerger>(network, harness);
     sharded->set_hooks(merger.get());
   }
+  obs::Profiler profiler;
+  const bool profile = profile_requested(args);
+  if (profile) {
+    // Hand-composed stack, so the profiler is wired by hand too — the
+    // same hookups Experiment's constructor does.
+    if (shards > 1) {
+      sharded->set_profiler(&profiler);
+    } else {
+      profiler.ensure_lanes(1);
+      simulator.set_prof(&profiler.lane_ref(0));
+    }
+    network.set_profiler(&profiler);
+    harness.set_profiler(&profiler);
+  }
   sim::WorkloadDriver workload(simulator, network, cfg);
   if (shards > 1) workload.enable_sharding(shards);
   sim::MobilityDriver mobility(simulator, network, cfg, &workload);
@@ -577,6 +710,9 @@ int cmd_trace(const sim::ArgParser& args) {
                   static_cast<unsigned long long>(summary.of(kind)));
     }
   }
+  if (profile) print_prof_summary(profiler);
+  const std::string prof_trace = args.get_string("profile-trace", "");
+  if (!prof_trace.empty()) obs::write_host_trace(prof_trace, profiler);
   return 0;
 }
 
@@ -584,7 +720,7 @@ int cmd_trace(const sim::ArgParser& args) {
 
 int main(int argc, char** argv) {
   static const char* kUsage =
-      "usage: mobichk_cli <run|figure|recover|trace|explain|audit> [--flags]\n"
+      "usage: mobichk_cli <run|figure|recover|trace|explain|audit|report> [--flags]\n"
       "       mobichk_cli <command> --help    for the command's flag list\n";
   if (argc < 2 || std::strcmp(argv[1], "--help") == 0) {
     std::fputs(kUsage, argc < 2 ? stderr : stdout);
@@ -592,7 +728,7 @@ int main(int argc, char** argv) {
   }
   const std::string cmd = argv[1];
   if (cmd != "run" && cmd != "figure" && cmd != "recover" && cmd != "trace" && cmd != "explain" &&
-      cmd != "audit") {
+      cmd != "audit" && cmd != "report") {
     std::fprintf(stderr, "unknown command: %s\n%s", cmd.c_str(), kUsage);
     return 2;
   }
@@ -609,6 +745,7 @@ int main(int argc, char** argv) {
       sim::write_json(std::cout, effective_config(args));
       return 0;
     }
+    if (cmd == "report") return cmd_report(args);
     if (cmd == "run") return cmd_run(args);
     if (cmd == "figure") return cmd_figure(args);
     if (cmd == "recover") return cmd_recover(args);

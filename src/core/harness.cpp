@@ -6,6 +6,17 @@
 
 namespace mobichk::core {
 
+namespace {
+
+/// Per-slot handler accumulator on `lane` (null lane == no-op scope);
+/// slots past the lane's capacity fold into the last bucket.
+obs::PhaseAccum* slot_acc(obs::ProfLane* lane, usize k) {
+  if (lane == nullptr) return nullptr;
+  return &lane->proto[k < obs::ProfLane::kMaxProtoSlots ? k : obs::ProfLane::kMaxProtoSlots - 1];
+}
+
+}  // namespace
+
 ProtocolHarness::ProtocolHarness(net::Network& net, des::TraceSink* sink)
     : net_(net), sink_(sink) {
   net_.set_handler(this);
@@ -98,6 +109,8 @@ void ProtocolHarness::finalize_sharding() {
 }
 
 void ProtocolHarness::on_send(net::MobileHost& host, net::AppMessage& msg) {
+  obs::ProfLane* plane = prof_ != nullptr ? &prof_->lane() : nullptr;
+  obs::ProfScope prof_enc(plane != nullptr ? &plane->pb_encode : nullptr);
   if (!slices_.empty()) {
     // Sharded run: the piggybacks travel by value with the message (the
     // sender's and receiver's shards share no parking pool), and the
@@ -105,6 +118,7 @@ void ProtocolHarness::on_send(net::MobileHost& host, net::AppMessage& msg) {
     msg.pbs.resize(slots_.size());
     des::ShardContext* c = des::current_shard();
     for (usize k = 0; k < slots_.size(); ++k) {
+      obs::ProfScope prof_slot(slot_acc(plane, k));
       msg.pbs[k] = slots_[k]->protocol->make_piggyback(host, msg.dst);
       if (c != nullptr) {
         slices_[c->shard].pb_bytes[k] += msg.pbs[k].wire_bytes();
@@ -133,6 +147,7 @@ void ProtocolHarness::on_send(net::MobileHost& host, net::AppMessage& msg) {
   Parked& parked = park_[idx];
   parked.pbs.resize(slots_.size());
   for (usize k = 0; k < slots_.size(); ++k) {
+    obs::ProfScope prof_slot(slot_acc(plane, k));
     parked.pbs[k] = slots_[k]->protocol->make_piggyback(host, msg.dst);
     slots_[k]->pb_bytes += parked.pbs[k].wire_bytes();
     slots_[k]->pb_dense_bytes += parked.pbs[k].dense_bytes();
@@ -144,8 +159,11 @@ void ProtocolHarness::on_send(net::MobileHost& host, net::AppMessage& msg) {
 }
 
 void ProtocolHarness::on_receive(net::MobileHost& host, const net::AppMessage& msg) {
+  obs::ProfLane* plane = prof_ != nullptr ? &prof_->lane() : nullptr;
+  obs::ProfScope prof_merge(plane != nullptr ? &plane->pb_merge : nullptr);
   if (!slices_.empty()) {
     for (usize k = 0; k < slots_.size(); ++k) {
+      obs::ProfScope prof_slot(slot_acc(plane, k));
       slots_[k]->protocol->handle_receive(host, msg, msg.pbs[k]);
     }
     if (des::ShardContext* c = des::current_shard()) {
@@ -164,6 +182,7 @@ void ProtocolHarness::on_receive(net::MobileHost& host, const net::AppMessage& m
   }
   const std::vector<net::Piggyback>& pbs = park_[it->second].pbs;
   for (usize k = 0; k < slots_.size(); ++k) {
+    obs::ProfScope prof_slot(slot_acc(plane, k));
     slots_[k]->protocol->handle_receive(host, msg, pbs[k]);
   }
   // The receive event will occupy the next position (see Network::consume_one).

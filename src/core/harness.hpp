@@ -68,6 +68,11 @@ class ProtocolHarness final : public net::HostEventHandler {
   /// Must be called before add_protocol; later slots inherit it.
   void set_timeline(obs::Timeline* timeline) noexcept { timeline_ = timeline; }
 
+  /// Attaches the host-time profiler (nullptr = off). Piggyback encode
+  /// (on_send) and merge (on_receive) are timed on the executing lane,
+  /// with per-slot handler time nested under prof.proto.*.
+  void set_profiler(obs::Profiler* prof) noexcept { prof_ = prof; }
+
   /// Attaches the checkpoint data plane (nullptr = off). Must be called
   /// before add_protocol: slot 0 — the physical run — prices its
   /// checkpoints through it, and every cell switch becomes a handoff
@@ -141,6 +146,7 @@ class ProtocolHarness final : public net::HostEventHandler {
   net::Network& net_;
   des::TraceSink* sink_;
   obs::Timeline* timeline_ = nullptr;
+  obs::Profiler* prof_ = nullptr;
   storage::DataPlane* data_plane_ = nullptr;
   /// Heap-allocated: protocols hold pointers into their slot's log and
   /// storage, which must stay stable as more slots are added.

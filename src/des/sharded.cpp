@@ -95,17 +95,48 @@ void ShardedSimulator::start_workers() {
   }
 }
 
+void ShardedSimulator::set_profiler(obs::Profiler* prof) {
+  prof_ = prof;
+  if (prof != nullptr) {
+    prof->ensure_lanes(1 + shards_.size());
+    main_.set_prof(&prof->lane_ref(0));
+    for (usize s = 0; s < shards_.size(); ++s) shards_[s]->set_prof(&prof->lane_ref(1 + s));
+  } else {
+    main_.set_prof(nullptr);
+    for (auto& sh : shards_) sh->set_prof(nullptr);
+  }
+}
+
 void ShardedSimulator::worker_loop(u32 shard) {
+  // prof_ is stable for the workers' whole life: set_profiler must run
+  // before run_until, which is what starts these threads.
+  obs::ProfLane* lane = prof_ != nullptr ? &prof_->lane_ref(1 + shard) : nullptr;
   u64 seen = 0;
   for (;;) {
     SpinWait spin;
     u64 gen;
+    const u64 wait_start = lane != nullptr ? obs::prof_now_ns() : 0;
     while ((gen = go_gen_.load(std::memory_order_acquire)) == seen) spin.relax();
     seen = gen;
     if (quit_.load(std::memory_order_relaxed)) break;
+    if (lane != nullptr) {
+      const u64 wait_end = obs::prof_now_ns();
+      lane->barrier.add(wait_end - wait_start);
+      lane->record_slice(obs::ProfPhase::kBarrier, wait_start, wait_end - wait_start);
+    }
     ShardContext ctx{shard, shards_[shard].get()};
     set_current_shard(&ctx);
-    shards_[shard]->run_window(window_h_, window_cap_);
+    if (lane != nullptr) {
+      obs::set_prof_tls_lane(lane);
+      const u64 t0 = obs::prof_now_ns();
+      shards_[shard]->run_window(window_h_, window_cap_);
+      const u64 t1 = obs::prof_now_ns();
+      lane->window.add(t1 - t0);
+      lane->record_slice(obs::ProfPhase::kWindow, t0, t1 - t0);
+      obs::set_prof_tls_lane(nullptr);
+    } else {
+      shards_[shard]->run_window(window_h_, window_cap_);
+    }
     set_current_shard(nullptr);
     done_count_.fetch_add(1, std::memory_order_release);
   }
@@ -117,18 +148,38 @@ void ShardedSimulator::run_window(Time h_excl, Time cap) {
   done_count_.store(0, std::memory_order_relaxed);
   go_gen_.fetch_add(1, std::memory_order_release);
   {
+    // Shard 0 runs inline on the coordinator thread, so its lane (1 + 0)
+    // sees no writes from any other thread during the window.
     ShardContext ctx{0, shards_[0].get()};
     set_current_shard(&ctx);
-    shards_[0]->run_window(h_excl, cap);
+    if (prof_ != nullptr) {
+      obs::ProfLane& lane = prof_->lane_ref(1);
+      obs::set_prof_tls_lane(&lane);
+      const u64 t0 = obs::prof_now_ns();
+      shards_[0]->run_window(h_excl, cap);
+      const u64 t1 = obs::prof_now_ns();
+      lane.window.add(t1 - t0);
+      lane.record_slice(obs::ProfPhase::kWindow, t0, t1 - t0);
+      obs::set_prof_tls_lane(nullptr);
+    } else {
+      shards_[0]->run_window(h_excl, cap);
+    }
     set_current_shard(nullptr);
   }
   const u32 others = static_cast<u32>(shards_.size() - 1);
   if (others > 0) {
     const auto wait_start = std::chrono::steady_clock::now();
+    const u64 prof_wait_start = prof_ != nullptr ? obs::prof_now_ns() : 0;
     SpinWait spin;
     while (done_count_.load(std::memory_order_acquire) != others) spin.relax();
     barrier_stall_ +=
         std::chrono::duration<f64>(std::chrono::steady_clock::now() - wait_start).count();
+    if (prof_ != nullptr) {
+      obs::ProfLane& lane = prof_->lane_ref(0);
+      const u64 wait_end = obs::prof_now_ns();
+      lane.barrier.add(wait_end - prof_wait_start);
+      lane.record_slice(obs::ProfPhase::kBarrier, prof_wait_start, wait_end - prof_wait_start);
+    }
   }
 }
 

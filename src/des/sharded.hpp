@@ -151,6 +151,12 @@ class ShardedSimulator {
   void enable_window_log(bool on) noexcept { log_windows_ = on; }
   const std::vector<Time>& window_log() const noexcept { return window_log_; }
 
+  /// Attaches (or detaches, with nullptr) a host-time profiler. Lane 0
+  /// goes to the main engine (coordinator work), lane 1+s to shard s;
+  /// window execution and barrier waits are journaled per lane. Must be
+  /// called before run_until.
+  void set_profiler(obs::Profiler* prof);
+
  private:
   void start_workers();
   void worker_loop(u32 shard);
@@ -161,6 +167,7 @@ class ShardedSimulator {
   std::vector<std::unique_ptr<Simulator>> shards_;
   std::vector<u32> owner_shard_;
   ShardHooks* hooks_ = nullptr;
+  obs::Profiler* prof_ = nullptr;
 
   // Window release/park protocol: the coordinator publishes the window
   // bounds, bumps go_gen_ (release) to wake workers, runs shard 0 inline,

@@ -12,7 +12,14 @@ EventHandle Simulator::enqueue(Time t, EventEntry entry) {
   if (t < now_) throw std::invalid_argument("Simulator::schedule_at: time is in the past");
   entry.time = t;
   entry.seq = next_seq_++;
-  const EventHandle handle = queue_->push(std::move(entry));
+  EventHandle handle;
+  if (prof_ != nullptr) {
+    const u64 t0 = obs::prof_now_ns();
+    handle = queue_->push(std::move(entry));
+    prof_->queue_push.add(obs::prof_now_ns() - t0);
+  } else {
+    handle = queue_->push(std::move(entry));
+  }
   ++invariants_.scheduled;
   if (queue_->size() > invariants_.max_pending) invariants_.max_pending = queue_->size();
   if (probe_ != nullptr) probe_->pushes->add();
@@ -36,7 +43,15 @@ EventHandle Simulator::schedule_at(Time t, EventFn fn) {
 void Simulator::cancel(EventHandle handle) {
   if (!handle.valid()) return;
   ++invariants_.cancels_requested;
-  if (queue_->cancel(handle)) {
+  bool effective;
+  if (prof_ != nullptr) {
+    const u64 t0 = obs::prof_now_ns();
+    effective = queue_->cancel(handle);
+    prof_->queue_cancel.add(obs::prof_now_ns() - t0);
+  } else {
+    effective = queue_->cancel(handle);
+  }
+  if (effective) {
     ++invariants_.cancels_effective;
     if (probe_ != nullptr) probe_->cancels->add();
   }
@@ -53,6 +68,23 @@ void Simulator::advance_to(const EventEntry& e) noexcept {
   now_ = e.time;
 }
 
+void Simulator::pop_and_fire_timed() {
+  const u64 t0 = obs::prof_now_ns();
+  EventEntry e = queue_->pop();
+  const u64 t1 = obs::prof_now_ns();
+  prof_->queue_pop.add(t1 - t0);
+  advance_to(e);
+  if (probe_ != nullptr) observe_pop(e);
+  const usize k = static_cast<usize>(e.payload.kind);
+  fire(e);
+  // Dispatch time covers the handler body (and the negligible clock
+  // advance); queue maintenance is accounted separately above.
+  prof_->dispatch[k < obs::ProfLane::kMaxEventKinds ? k : 0].add(obs::prof_now_ns() - t1);
+  ++prof_->events;
+  ++executed_;
+  ++invariants_.executed;
+}
+
 u64 Simulator::run_until(Time t_end) {
   assert(t_end >= now_);
   u64 count = 0;
@@ -61,12 +93,7 @@ u64 Simulator::run_until(Time t_end) {
     // peek_time (not pop/push-back): re-pushing would file the entry under
     // a fresh slot and silently invalidate every outstanding handle to it.
     if (queue_->peek_time() > t_end) break;
-    EventEntry e = queue_->pop();
-    advance_to(e);
-    if (probe_ != nullptr) observe_pop(e);
-    fire(e);
-    ++executed_;
-    ++invariants_.executed;
+    pop_and_fire();
     ++count;
     if (stop_requested_) return count;
   }
@@ -79,12 +106,7 @@ u64 Simulator::run_window(Time h_excl, Time cap) {
   for (;;) {
     const Time t = queue_->peek_time_below(h_excl);
     if (t == kNoEventBelow || t > cap) break;
-    EventEntry e = queue_->pop();
-    advance_to(e);
-    if (probe_ != nullptr) observe_pop(e);
-    fire(e);
-    ++executed_;
-    ++invariants_.executed;
+    pop_and_fire();
     ++count;
   }
   return count;
@@ -92,24 +114,14 @@ u64 Simulator::run_window(Time h_excl, Time cap) {
 
 void Simulator::step_one() {
   assert(!queue_->empty() && "step_one() on empty queue");
-  EventEntry e = queue_->pop();
-  advance_to(e);
-  if (probe_ != nullptr) observe_pop(e);
-  fire(e);
-  ++executed_;
-  ++invariants_.executed;
+  pop_and_fire();
 }
 
 u64 Simulator::run() {
   u64 count = 0;
   stop_requested_ = false;
   while (!queue_->empty()) {
-    EventEntry e = queue_->pop();
-    advance_to(e);
-    if (probe_ != nullptr) observe_pop(e);
-    fire(e);
-    ++executed_;
-    ++invariants_.executed;
+    pop_and_fire();
     ++count;
     if (stop_requested_) break;
   }

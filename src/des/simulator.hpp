@@ -15,6 +15,7 @@
 #include "des/event_queue.hpp"
 #include "des/types.hpp"
 #include "obs/probes.hpp"
+#include "obs/prof.hpp"
 
 namespace mobichk::des {
 
@@ -132,6 +133,10 @@ class Simulator {
   /// before they dangle. Null probe == zero-cost unobserved run.
   void set_probe(const obs::KernelProbe* probe) noexcept { probe_ = probe; }
 
+  /// Attaches (or detaches, with nullptr) a host-time profiler lane.
+  /// Null lane == zero-cost unprofiled run: the clock is never read.
+  void set_prof(obs::ProfLane* lane) noexcept { prof_ = lane; }
+
   /// When this simulator is the main engine of a sharded run, the shard
   /// coordinator is attached here so des::route_schedule_after can file
   /// per-host events into their owner shard. Null in sequential runs.
@@ -162,8 +167,29 @@ class Simulator {
     if (k < obs::KernelProbe::kMaxEventKinds) probe_->dispatched[k]->add();
   }
 
+  /// The shared body of every run loop: pop the minimum event, advance
+  /// the clock, observe, fire, account. The profiled variant lives out of
+  /// line so the unprofiled path stays the branch-free-identical hot loop.
+  void pop_and_fire() {
+    if (prof_ != nullptr) {
+      pop_and_fire_timed();
+      return;
+    }
+    EventEntry e = queue_->pop();
+    advance_to(e);
+    if (probe_ != nullptr) observe_pop(e);
+    fire(e);
+    ++executed_;
+    ++invariants_.executed;
+  }
+
+  /// Profiled pop + fire: queue-pop and dispatch are timed separately,
+  /// dispatch bucketed by EventKind on the attached lane.
+  void pop_and_fire_timed();
+
   std::unique_ptr<EventQueue> queue_;
   const obs::KernelProbe* probe_ = nullptr;
+  obs::ProfLane* prof_ = nullptr;
   ShardedSimulator* sharded_ = nullptr;
   Time now_ = 0.0;
   u64 next_seq_ = 1;

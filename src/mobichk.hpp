@@ -46,6 +46,7 @@
 #include "sim/experiment_config.hpp"
 #include "sim/explain.hpp"
 #include "sim/faults.hpp"
+#include "sim/html_report.hpp"
 #include "sim/mobility.hpp"
 #include "sim/report.hpp"
 #include "sim/sweep.hpp"

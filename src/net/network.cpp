@@ -96,6 +96,9 @@ des::EventPayload Network::hop_payload(u8 sub, MssId at, u32 park_idx, bool flag
 }
 
 void Network::on_event(const des::EventPayload& p) {
+  // Host-time attribution: the whole leg handling counts as net.leg on
+  // the executing lane (nested inside the kernel's dispatch.message_hop).
+  obs::ProfScope prof_leg(prof_ != nullptr ? &prof_->lane().net_leg : nullptr);
   const MssId at = static_cast<MssId>(p.a);
   const u32 park_idx = static_cast<u32>(p.b);
   switch (p.sub) {

@@ -36,6 +36,7 @@
 #include "net/mss.hpp"
 #include "net/topology.hpp"
 #include "obs/probes.hpp"
+#include "obs/prof.hpp"
 #include "obs/timeline.hpp"
 
 namespace mobichk::net {
@@ -116,6 +117,10 @@ class Network final : public des::EventTarget {
     probe_ = probe;
     timeline_ = timeline;
   }
+
+  /// Attaches the host-time profiler (nullptr = off). The executing lane
+  /// is resolved per call, so this is safe in sharded runs.
+  void set_profiler(obs::Profiler* prof) noexcept { prof_ = prof; }
 
   // -- spatial sharding -------------------------------------------------
 
@@ -370,6 +375,7 @@ class Network final : public des::EventTarget {
   NetworkConfig cfg_;
   HostEventHandler* handler_ = nullptr;
   const obs::NetProbe* probe_ = nullptr;
+  obs::Profiler* prof_ = nullptr;
   obs::Timeline* timeline_ = nullptr;
   des::NullSink null_sink_;
   des::TraceSink* sink_;

@@ -143,7 +143,101 @@ void write_metrics_jsonl(std::ostream& os, const RunObserver& run) {
   }
 }
 
+namespace {
+
+// The host-time track gets its own process id, far from pid 0 (network)
+// and pids 1..n_protocols (protocol slots), so sim-time and host-time
+// rows never share a pid (tools/lint_trace.py enforces the separation).
+constexpr i32 kHostTimePid = 9999;
+
+std::string host_lane_label(const Profiler& prof, usize lane) {
+  if (prof.n_lanes() == 1) return "main";
+  return lane == 0 ? "coordinator" : "shard " + std::to_string(lane - 1);
+}
+
+/// Microseconds since the profiler's construction instant.
+f64 host_ts_us(const Profiler& prof, u64 abs_ns) {
+  return static_cast<f64>(abs_ns - prof.t0_ns()) / 1000.0;
+}
+
+/// One phase total as an X slice laid end-to-end on a "totals" row.
+void emit_total_slice(std::ostream& os, bool& first, i32 tid, const std::string& name,
+                      const PhaseAccum& acc, f64& cursor_us) {
+  if (acc.count == 0) return;
+  if (!first) os << ",\n";
+  first = false;
+  const f64 dur_us = static_cast<f64>(acc.ns) / 1000.0;
+  os << "  {\"ph\":\"X\",\"cat\":\"host\",\"name\":";
+  emit_string(os, name);
+  os << ",\"ts\":";
+  emit_number(os, cursor_us);
+  os << ",\"dur\":";
+  emit_number(os, dur_us);
+  os << ",\"pid\":" << kHostTimePid << ",\"tid\":" << tid << ",\"args\":{\"count\":" << acc.count
+     << "}}";
+  cursor_us += dur_us;
+}
+
+/// The host-time track: per-lane B/E window/barrier slices (real wall
+/// timestamps, rebased to the profiler's t0) plus one "totals" row per
+/// lane with the leaf-phase breakdown laid end to end.
+void emit_host_track(std::ostream& os, const Profiler& prof, bool& first) {
+  emit_metadata(os, "process_name", kHostTimePid, 0, "host-time (profiler)", first);
+  const usize n = prof.n_lanes();
+  for (usize lane = 0; lane < n; ++lane) {
+    const i32 tid = static_cast<i32>(lane);
+    emit_metadata(os, "thread_name", kHostTimePid, tid, host_lane_label(prof, lane), first);
+    emit_metadata(os, "thread_name", kHostTimePid, tid + 100,
+                  host_lane_label(prof, lane) + " totals", first);
+  }
+  for (usize lane = 0; lane < n; ++lane) {
+    const i32 tid = static_cast<i32>(lane);
+    // Window/barrier journal: every B is closed by its E at start + dur;
+    // slices on one lane never overlap, so ts is monotonic per tid.
+    for (const ProfSlice& s : prof.lane_ref(lane).slices) {
+      const char* name = s.phase == ProfPhase::kWindow ? "window" : "barrier wait";
+      if (!first) os << ",\n";
+      first = false;
+      os << "  {\"ph\":\"B\",\"cat\":\"host\",\"name\":\"" << name << "\",\"ts\":";
+      emit_number(os, host_ts_us(prof, s.start_ns));
+      os << ",\"pid\":" << kHostTimePid << ",\"tid\":" << tid << "}";
+      os << ",\n  {\"ph\":\"E\",\"cat\":\"host\",\"name\":\"" << name << "\",\"ts\":";
+      emit_number(os, host_ts_us(prof, s.start_ns + s.dur_ns));
+      os << ",\"pid\":" << kHostTimePid << ",\"tid\":" << tid << "}";
+    }
+    // Totals row: leaf phases only (window/barrier live on the slice row;
+    // dispatch covers the handler bodies the other leaves nest inside).
+    const ProfLane& l = prof.lane_ref(lane);
+    const i32 totals_tid = tid + 100;
+    f64 cursor = 0.0;
+    for (usize k = 0; k < ProfLane::kMaxEventKinds; ++k) {
+      emit_total_slice(os, first, totals_tid, std::string("dispatch: ") + prof_kind_name(k),
+                       l.dispatch[k], cursor);
+    }
+    emit_total_slice(os, first, totals_tid, "queue: push", l.queue_push, cursor);
+    emit_total_slice(os, first, totals_tid, "queue: pop", l.queue_pop, cursor);
+    emit_total_slice(os, first, totals_tid, "queue: cancel", l.queue_cancel, cursor);
+    emit_total_slice(os, first, totals_tid, "net: leg", l.net_leg, cursor);
+    emit_total_slice(os, first, totals_tid, "piggyback: encode", l.pb_encode, cursor);
+    emit_total_slice(os, first, totals_tid, "piggyback: merge", l.pb_merge, cursor);
+    for (usize k = 0; k < ProfLane::kMaxProtoSlots; ++k) {
+      const auto& names = prof.slot_names();
+      const std::string label = k < names.size() && !names[k].empty()
+                                    ? names[k]
+                                    : "slot " + std::to_string(k);
+      emit_total_slice(os, first, totals_tid, "proto: " + label, l.proto[k], cursor);
+    }
+    emit_total_slice(os, first, totals_tid, "storage", l.storage, cursor);
+  }
+}
+
+}  // namespace
+
 void write_chrome_trace(std::ostream& os, const RunObserver& run) {
+  write_chrome_trace(os, run, nullptr);
+}
+
+void write_chrome_trace(std::ostream& os, const RunObserver& run, const Profiler* prof) {
   os << "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
   bool first = true;
 
@@ -320,9 +414,32 @@ void write_chrome_trace(std::ostream& os, const RunObserver& run) {
     }
   }
 
+  if (prof != nullptr) emit_host_track(os, *prof, first);
+
   os << "\n],\n\"metrics\": {";
   bool first_metric = true;
-  for (const MetricSample& s : run.registry().snapshot()) {
+  const auto emit_metric = [&](const MetricSample& s) {
+    if (!first_metric) os << ",";
+    first_metric = false;
+    os << "\n  ";
+    emit_string(os, s.name);
+    os << ": ";
+    emit_number(os, s.value);
+  };
+  for (const MetricSample& s : run.registry().snapshot()) emit_metric(s);
+  if (prof != nullptr) {
+    for (const MetricSample& s : prof->snapshot()) emit_metric(s);
+  }
+  os << "\n}\n}\n";
+}
+
+void write_host_trace(std::ostream& os, const Profiler& prof) {
+  os << "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+  bool first = true;
+  emit_host_track(os, prof, first);
+  os << "\n],\n\"metrics\": {";
+  bool first_metric = true;
+  for (const MetricSample& s : prof.snapshot()) {
     if (!first_metric) os << ",";
     first_metric = false;
     os << "\n  ";
@@ -335,8 +452,8 @@ void write_chrome_trace(std::ostream& os, const RunObserver& run) {
 
 namespace {
 
-void write_file(const std::string& path, const RunObserver& run,
-                void (*writer)(std::ostream&, const RunObserver&)) {
+template <typename Writer>
+void write_file(const std::string& path, Writer&& writer) {
   errno = 0;
   std::ofstream os(path);
   if (!os.is_open()) {
@@ -344,7 +461,7 @@ void write_file(const std::string& path, const RunObserver& run,
     throw std::runtime_error("obs: cannot open " + path + " for writing: " +
                              (err != 0 ? std::strerror(err) : "unknown error"));
   }
-  writer(os, run);
+  writer(os);
   os.flush();
   if (os.fail()) {
     const int err = errno;
@@ -356,11 +473,19 @@ void write_file(const std::string& path, const RunObserver& run,
 }  // namespace
 
 void write_metrics_jsonl(const std::string& path, const RunObserver& run) {
-  write_file(path, run, &write_metrics_jsonl);
+  write_file(path, [&run](std::ostream& os) { write_metrics_jsonl(os, run); });
 }
 
 void write_chrome_trace(const std::string& path, const RunObserver& run) {
-  write_file(path, run, &write_chrome_trace);
+  write_file(path, [&run](std::ostream& os) { write_chrome_trace(os, run); });
+}
+
+void write_chrome_trace(const std::string& path, const RunObserver& run, const Profiler* prof) {
+  write_file(path, [&run, prof](std::ostream& os) { write_chrome_trace(os, run, prof); });
+}
+
+void write_host_trace(const std::string& path, const Profiler& prof) {
+  write_file(path, [&prof](std::ostream& os) { write_host_trace(os, prof); });
 }
 
 }  // namespace mobichk::obs

@@ -17,11 +17,24 @@
 #include <string>
 
 #include "obs/observer.hpp"
+#include "obs/prof.hpp"
 
 namespace mobichk::obs {
 
 void write_metrics_jsonl(std::ostream& os, const RunObserver& run);
 void write_chrome_trace(std::ostream& os, const RunObserver& run);
+
+/// Combined export: the sim-time tracks plus a second "host-time" track
+/// (pid 9999, one thread row per profiler lane with B/E window/barrier
+/// slices, one "totals" row per lane with the phase breakdown laid end
+/// to end). `prof` may be nullptr — then the output is byte-identical to
+/// the two-argument overload.
+void write_chrome_trace(std::ostream& os, const RunObserver& run, const Profiler* prof);
+
+/// Host-time-only trace for runs that cannot carry an observer (sharded
+/// runs): the same host-time track in its own self-contained document,
+/// with the prof.* snapshot as the trailing "metrics" object.
+void write_host_trace(std::ostream& os, const Profiler& prof);
 
 /// Convenience wrappers: write to `path`. Throw std::runtime_error
 /// naming the path and the errno text when the file cannot be opened or
@@ -29,5 +42,7 @@ void write_chrome_trace(std::ostream& os, const RunObserver& run);
 /// truncate and report success.
 void write_metrics_jsonl(const std::string& path, const RunObserver& run);
 void write_chrome_trace(const std::string& path, const RunObserver& run);
+void write_chrome_trace(const std::string& path, const RunObserver& run, const Profiler* prof);
+void write_host_trace(const std::string& path, const Profiler& prof);
 
 }  // namespace mobichk::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <iterator>
 #include <stdexcept>
 
 #include "core/recovery.hpp"
@@ -70,11 +71,32 @@ Experiment::Experiment(SimConfig cfg, ExperimentOptions opts)
     harness_->set_timeline(&opts_.observer->timeline());
     if (data_plane_ != nullptr) data_plane_->set_timeline(&opts_.observer->timeline());
   }
+  if (opts_.profiler != nullptr) {
+    // Lane 0 = coordinator / sequential engine; lane 1+s = shard s
+    // (set_profiler on the sharded engine installs those).
+    opts_.profiler->ensure_lanes(1);
+    if (sharded_ != nullptr) {
+      sharded_->set_profiler(opts_.profiler);
+    } else {
+      sim_->set_prof(&opts_.profiler->lane_ref(0));
+    }
+    net_->set_profiler(opts_.profiler);
+    harness_->set_profiler(opts_.profiler);
+    if (data_plane_ != nullptr) data_plane_->set_profiler(opts_.profiler);
+  }
   core::ProtocolParams params = opts_.params;
   params.uncoordinated_seed = cfg_.seed;
   for (const auto kind : opts_.protocols) {
     harness_->add_protocol(core::make_protocol(kind, params),
                            opts_.with_storage ? &opts_.storage : nullptr);
+  }
+  if (opts_.profiler != nullptr) {
+    std::vector<std::string> slot_names;
+    slot_names.reserve(harness_->protocol_count());
+    for (usize slot = 0; slot < harness_->protocol_count(); ++slot) {
+      slot_names.emplace_back(harness_->protocol(slot).name());
+    }
+    opts_.profiler->set_slot_names(std::move(slot_names));
   }
   if (cfg_.network.duplicate_prob > 0.0 && !cfg_.network.transport_dedup) {
     harness_->retain_piggybacks(true);
@@ -223,6 +245,13 @@ void Experiment::run() {
     // gauges) before the snapshot so rl.* metrics are complete.
     opts_.observer->finalize_causal();
     result_.metrics = opts_.observer->registry().snapshot();
+  }
+  if (opts_.profiler != nullptr) {
+    // prof.* samples ride after the registry snapshot (still a stable,
+    // deterministic catalog order; the values are host times).
+    std::vector<obs::MetricSample> prof = opts_.profiler->snapshot();
+    result_.metrics.insert(result_.metrics.end(), std::make_move_iterator(prof.begin()),
+                           std::make_move_iterator(prof.end()));
   }
 }
 

@@ -57,6 +57,12 @@ struct ExperimentOptions {
   /// run is then bit-identical and allocation-free on the hot path).
   /// Must outlive the Experiment. Not shareable across threads.
   obs::RunObserver* observer = nullptr;
+
+  /// Non-owning host-time profiler (nullptr = off: no clock reads, no
+  /// allocations, traces bit-identical). Unlike observers the profiler
+  /// works sharded — each shard writes its own lane. Must outlive the
+  /// Experiment; its prof.* samples are appended to RunResult::metrics.
+  obs::Profiler* profiler = nullptr;
 };
 
 /// Per-protocol outcome of one run.

@@ -1,0 +1,414 @@
+#include "sim/html_report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "des/stats.hpp"
+#include "sim/json.hpp"
+#include "sim/report.hpp"
+
+namespace mobichk::sim {
+
+SweepView SweepView::from(const FigureResult& fig) {
+  SweepView view;
+  view.title = fig.title;
+  view.t_switch_values = fig.t_switch_values;
+  view.protocol_names = fig.protocol_names;
+  view.seeds_used = fig.seeds_used;
+  view.target_met = fig.target_met;
+  view.ledger = fig.ledger;
+  for (const auto& row : fig.cells) {
+    std::vector<SweepCellView> out_row;
+    out_row.reserve(row.size());
+    for (const des::Tally& tally : row) {
+      SweepCellView cell;
+      cell.mean = tally.mean();
+      cell.ci95 = des::confidence_half_width(tally, 0.95);
+      cell.min = tally.min();
+      cell.max = tally.max();
+      cell.replications = tally.count();
+      out_row.push_back(cell);
+    }
+    view.cells.push_back(std::move(out_row));
+  }
+  return view;
+}
+
+SweepView SweepView::from_json(const JsonValue& json) {
+  SweepView view;
+  if (const JsonValue* v = json.find("title")) view.title = v->as_string();
+  if (const JsonValue* v = json.find("protocols")) {
+    for (const JsonValue& name : v->as_array()) view.protocol_names.push_back(name.as_string());
+  }
+  if (const JsonValue* v = json.find("points")) {
+    for (const JsonValue& point : v->as_array()) {
+      view.t_switch_values.push_back(point.at("t_switch").as_f64());
+      view.seeds_used.push_back(static_cast<u32>(point.at("replications").as_u64()));
+      view.target_met.push_back(point.at("target_met").as_bool());
+      std::vector<SweepCellView> row;
+      if (const JsonValue* cells = point.find("n_tot")) {
+        for (const JsonValue& c : cells->as_array()) {
+          SweepCellView cell;
+          if (const JsonValue* f = c.find("mean")) cell.mean = f->as_f64();
+          if (const JsonValue* f = c.find("ci95")) cell.ci95 = f->as_f64();
+          if (const JsonValue* f = c.find("min")) cell.min = f->as_f64();
+          if (const JsonValue* f = c.find("max")) cell.max = f->as_f64();
+          if (const JsonValue* f = c.find("replications")) cell.replications = f->as_u64();
+          row.push_back(cell);
+        }
+      }
+      view.cells.push_back(std::move(row));
+    }
+  }
+  if (const JsonValue* v = json.find("ledger")) view.ledger = sweep_ledger_from_json(*v);
+  return view;
+}
+
+namespace {
+
+std::string html_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Compact general-purpose number: integers print bare, the rest with up
+/// to 6 significant digits (report text, not a round-trip format).
+std::string fmt_num(f64 v) {
+  std::ostringstream os;
+  if (v == static_cast<f64>(static_cast<i64>(v)) && std::abs(v) < 1e15) {
+    os << static_cast<i64>(v);
+  } else {
+    os << std::setprecision(6) << v;
+  }
+  return os.str();
+}
+
+std::string fmt_seconds(f64 v) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(6) << v;
+  return os.str();
+}
+
+std::string fmt_hash(u64 h) {
+  std::ostringstream os;
+  os << std::hex << std::setfill('0') << std::setw(16) << h;
+  return os.str();
+}
+
+const obs::MetricSample* find_metric(const RunResult& run, const std::string& name) {
+  for (const obs::MetricSample& m : run.metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const usize n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+/// A horizontal bar cell: width proportional to value / max, label inside.
+void emit_bar(std::ostream& os, f64 value, f64 max, const char* css_class) {
+  const f64 pct = max > 0.0 ? 100.0 * value / max : 0.0;
+  os << "<td class=\"barcell\"><div class=\"bar " << css_class << "\" style=\"width:"
+     << std::fixed << std::setprecision(2) << std::max(pct, 0.0) << "%\"></div></td>";
+  os.unsetf(std::ios::fixed);
+}
+
+void emit_config_section(std::ostream& os, const RunResult& run) {
+  const SimConfig& cfg = run.cfg;
+  os << "<h2>Configuration</h2>\n<table>\n";
+  auto row = [&os](const char* key, const std::string& value) {
+    os << "<tr><th>" << key << "</th><td>" << value << "</td></tr>\n";
+  };
+  row("hosts", fmt_num(static_cast<f64>(cfg.network.n_hosts)));
+  row("MSS cells", fmt_num(static_cast<f64>(cfg.network.n_mss)));
+  row("sim length", fmt_num(cfg.sim_length));
+  row("seed", fmt_num(static_cast<f64>(cfg.seed)));
+  row("T_switch", fmt_num(cfg.t_switch));
+  row("p_switch", fmt_num(cfg.p_switch));
+  row("heterogeneity", fmt_num(cfg.heterogeneity));
+  row("comm mean", fmt_num(cfg.comm_mean));
+  row("shards", fmt_num(static_cast<f64>(run.shards)));
+  os << "</table>\n";
+}
+
+void emit_summary_section(std::ostream& os, const RunResult& run) {
+  os << "<h2>Run summary</h2>\n<table>\n";
+  auto row = [&os](const char* key, const std::string& value) {
+    os << "<tr><th>" << key << "</th><td>" << value << "</td></tr>\n";
+  };
+  row("events executed", fmt_num(static_cast<f64>(run.events_executed)));
+  row("workload ops", fmt_num(static_cast<f64>(run.workload_ops)));
+  row("wall seconds", fmt_seconds(run.wall_seconds));
+  if (run.trace_hash != 0) row("trace hash", fmt_hash(run.trace_hash));
+  row("invariants", run.invariants_ok ? "ok" : "<span class=\"bad\">VIOLATED</span>");
+  if (run.shards > 1) {
+    row("sync rounds", fmt_num(static_cast<f64>(run.sync_rounds)));
+    row("barrier stall seconds", fmt_seconds(run.barrier_stall_seconds));
+  }
+  os << "</table>\n";
+}
+
+void emit_protocol_section(std::ostream& os, const RunResult& run) {
+  if (run.protocols.empty()) return;
+  os << "<h2>Protocols</h2>\n<table>\n"
+     << "<tr><th>protocol</th><th>N_tot</th><th>basic</th><th>forced</th>"
+     << "<th>piggyback bytes</th><th>control msgs</th><th>orphans</th></tr>\n";
+  for (const ProtocolRunStats& p : run.protocols) {
+    os << "<tr><td>" << html_escape(p.name) << "</td><td>" << p.n_tot << "</td><td>" << p.basic
+       << "</td><td>" << p.forced << "</td><td>" << p.piggyback_bytes << "</td><td>"
+       << p.control_messages << "</td><td>"
+       << (p.orphans_found == 0
+               ? "0"
+               : "<span class=\"bad\">" + std::to_string(p.orphans_found) + "</span>")
+       << "</td></tr>\n";
+  }
+  os << "</table>\n";
+}
+
+/// Host-time phase breakdown table: every prof.<phase>.seconds sample
+/// (excluding the per-shard gauges, shown separately) with its count and
+/// a bar proportional to the largest phase.
+void emit_phase_section(std::ostream& os, const RunResult& run) {
+  struct Phase {
+    std::string name;
+    f64 seconds = 0.0;
+    f64 count = 0.0;
+  };
+  std::vector<Phase> phases;
+  for (const obs::MetricSample& m : run.metrics) {
+    if (!starts_with(m.name, "prof.") || !ends_with(m.name, ".seconds")) continue;
+    if (starts_with(m.name, "prof.shard.") || starts_with(m.name, "prof.coordinator.")) continue;
+    Phase ph;
+    ph.name = m.name.substr(5, m.name.size() - 5 - 8);  // strip "prof." and ".seconds"
+    ph.seconds = m.value;
+    const obs::MetricSample* cnt = find_metric(run, m.name.substr(0, m.name.size() - 8) + ".count");
+    ph.count = cnt != nullptr ? cnt->value : 0.0;
+    phases.push_back(std::move(ph));
+  }
+  if (phases.empty()) return;
+  f64 max_s = 0.0;
+  for (const Phase& ph : phases) max_s = std::max(max_s, ph.seconds);
+  os << "<h2>Host-time phase breakdown</h2>\n"
+     << "<p>Wall-clock attribution from the <code>prof.*</code> catalog. Phases are\n"
+     << "hierarchical (network legs run inside <code>dispatch.message_hop</code>, protocol\n"
+     << "slots inside the piggyback phases), so columns do not sum to the run's wall\n"
+     << "time.</p>\n<table>\n"
+     << "<tr><th>phase</th><th>seconds</th><th>count</th><th class=\"barhead\"></th></tr>\n";
+  for (const Phase& ph : phases) {
+    os << "<tr><td><code>" << html_escape(ph.name) << "</code></td><td>"
+       << fmt_seconds(ph.seconds) << "</td><td>" << fmt_num(ph.count) << "</td>";
+    emit_bar(os, ph.seconds, max_s, "busy");
+    os << "</tr>\n";
+  }
+  os << "</table>\n";
+}
+
+/// Shard balance: per-shard busy/barrier bars plus the imbalance gauge.
+void emit_shard_section(std::ostream& os, const RunResult& run) {
+  struct Shard {
+    usize index = 0;
+    f64 busy = 0.0;
+    f64 barrier = 0.0;
+    f64 events = 0.0;
+  };
+  std::vector<Shard> shards;
+  for (usize i = 0;; ++i) {
+    const std::string base = "prof.shard." + std::to_string(i);
+    const obs::MetricSample* busy = find_metric(run, base + ".busy_seconds");
+    if (busy == nullptr) break;
+    Shard s;
+    s.index = i;
+    s.busy = busy->value;
+    if (const obs::MetricSample* m = find_metric(run, base + ".barrier_seconds")) {
+      s.barrier = m->value;
+    }
+    if (const obs::MetricSample* m = find_metric(run, base + ".events")) s.events = m->value;
+    shards.push_back(s);
+  }
+  if (shards.empty()) return;
+  f64 max_total = 0.0;
+  for (const Shard& s : shards) max_total = std::max(max_total, s.busy + s.barrier);
+  os << "<h2>Shard balance</h2>\n<table>\n"
+     << "<tr><th>shard</th><th>busy s</th><th>barrier s</th><th>events</th>"
+     << "<th>busy</th><th>barrier</th></tr>\n";
+  for (const Shard& s : shards) {
+    os << "<tr><td>" << s.index << "</td><td>" << fmt_seconds(s.busy) << "</td><td>"
+       << fmt_seconds(s.barrier) << "</td><td>" << fmt_num(s.events) << "</td>";
+    emit_bar(os, s.busy, max_total, "busy");
+    emit_bar(os, s.barrier, max_total, "stall");
+    os << "</tr>\n";
+  }
+  os << "</table>\n";
+  if (const obs::MetricSample* m = find_metric(run, "prof.imbalance_ratio")) {
+    os << "<p>Load imbalance (max busy / mean busy): <b>" << fmt_num(m->value) << "</b></p>\n";
+  }
+  if (const obs::MetricSample* m = find_metric(run, "prof.coordinator.barrier_seconds")) {
+    os << "<p>Coordinator barrier wait: " << fmt_seconds(m->value) << " s</p>\n";
+  }
+}
+
+/// Every metric the run recorded, grouped by its first dotted component.
+void emit_catalog_section(std::ostream& os, const RunResult& run) {
+  if (run.metrics.empty()) return;
+  os << "<h2>Metric catalog</h2>\n";
+  std::string group;
+  bool open = false;
+  for (const obs::MetricSample& m : run.metrics) {
+    const usize dot = m.name.find('.');
+    const std::string g = dot == std::string::npos ? m.name : m.name.substr(0, dot);
+    if (g != group || !open) {
+      if (open) os << "</table>\n";
+      os << "<h3><code>" << html_escape(g) << ".*</code></h3>\n<table>\n"
+         << "<tr><th>metric</th><th>value</th></tr>\n";
+      group = g;
+      open = true;
+    }
+    os << "<tr><td><code>" << html_escape(m.name) << "</code></td><td>" << fmt_num(m.value)
+       << "</td></tr>\n";
+  }
+  if (open) os << "</table>\n";
+}
+
+void emit_recovery_section(std::ostream& os, const RunResult& run) {
+  const CrashRunStats& r = run.recovery;
+  if (r.crashes_executed == 0) return;
+  os << "<h2>Recovery story</h2>\n"
+     << "<p>" << r.crashes_executed << " crash" << (r.crashes_executed == 1 ? "" : "es")
+     << " executed (" << r.crashes_skipped << " skipped with no live victim); "
+     << r.hosts_crashed << " host(s) crashed and " << r.hosts_rolled_back
+     << " rolled back, undoing " << r.undone_events << " events and replaying "
+     << r.replayed_messages << " messages.</p>\n<table>\n";
+  auto row = [&os](const char* key, const std::string& value) {
+    os << "<tr><th>" << key << "</th><td>" << value << "</td></tr>\n";
+  };
+  row("checkpoints discarded", fmt_num(static_cast<f64>(r.checkpoints_discarded)));
+  row("total recovery time", fmt_num(r.total_recovery_time));
+  row("max recovery time", fmt_num(r.max_recovery_time));
+  row("planned downtime", fmt_num(r.total_planned));
+  row("estimated downtime", fmt_num(r.total_estimated));
+  os << "</table>\n";
+}
+
+void emit_data_plane_section(std::ostream& os, const RunResult& run) {
+  if (!run.data_plane_enabled) return;
+  const storage::DataPlaneStats& d = run.data_plane;
+  os << "<h2>Checkpoint data plane</h2>\n<table>\n";
+  auto row = [&os](const char* key, const std::string& value) {
+    os << "<tr><th>" << key << "</th><td>" << value << "</td></tr>\n";
+  };
+  row("checkpoints priced", fmt_num(static_cast<f64>(d.checkpoints)));
+  row("upload bytes", fmt_num(static_cast<f64>(d.upload_bytes)));
+  row("dense-equivalent bytes", fmt_num(static_cast<f64>(d.full_bytes)));
+  row("transfer time", fmt_num(d.transfer_time));
+  row("queue delay", fmt_num(d.queue_delay));
+  row("migrations", fmt_num(static_cast<f64>(d.migrations)));
+  row("migration bytes", fmt_num(static_cast<f64>(d.migration_bytes)));
+  row("mean locality (hops)", fmt_num(d.mean_locality()));
+  row("recovery fetches", fmt_num(static_cast<f64>(d.fetches)));
+  row("fetch bytes", fmt_num(static_cast<f64>(d.fetch_bytes)));
+  row("fetch time", fmt_num(d.fetch_time));
+  os << "</table>\n";
+}
+
+void emit_sweep_section(std::ostream& os, const SweepView& fig) {
+  os << "<h2>Sweep: " << html_escape(fig.title) << "</h2>\n<table>\n<tr><th>T_switch</th>";
+  for (const std::string& name : fig.protocol_names) {
+    os << "<th>" << html_escape(name) << "</th><th>&plusmn;</th>";
+  }
+  const bool have_wall = fig.ledger.point_wall_seconds.size() == fig.t_switch_values.size();
+  os << "<th>reps</th><th>met</th>";
+  if (have_wall) os << "<th>wall s</th><th class=\"barhead\"></th>";
+  os << "</tr>\n";
+  f64 max_wall = 0.0;
+  for (const f64 w : fig.ledger.point_wall_seconds) max_wall = std::max(max_wall, w);
+  for (usize p = 0; p < fig.t_switch_values.size(); ++p) {
+    os << "<tr><td>" << fmt_num(fig.t_switch_values[p]) << "</td>";
+    for (usize k = 0; k < fig.protocol_names.size() && k < fig.cells[p].size(); ++k) {
+      const SweepCellView& cell = fig.cells[p][k];
+      os << "<td>" << fmt_num(cell.mean) << "</td><td>" << fmt_num(cell.ci95) << "</td>";
+    }
+    os << "<td>" << fig.seeds_used[p] << "</td><td>"
+       << (fig.target_met[p] ? "&#10003;" : "<span class=\"bad\">cap</span>") << "</td>";
+    if (have_wall) {
+      os << "<td>" << fmt_seconds(fig.ledger.point_wall_seconds[p]) << "</td>";
+      emit_bar(os, fig.ledger.point_wall_seconds[p], max_wall, "busy");
+    }
+    os << "</tr>\n";
+  }
+  os << "</table>\n";
+  const SweepLedger& led = fig.ledger;
+  os << "<p>Ledger: " << led.replications_used << " replications used / " << led.replications_run
+     << " run (cap " << led.replication_cap << "), " << led.events_executed << " events in "
+     << fmt_seconds(led.wall_seconds) << " s (" << fmt_num(led.events_per_second())
+     << " events/s), barrier stall " << fmt_seconds(led.barrier_stall_seconds) << " s";
+  if (led.shards > 1) {
+    os << " across " << led.shards << " shards, " << led.sync_rounds << " sync rounds";
+  }
+  os << ".</p>\n";
+}
+
+}  // namespace
+
+void write_html_report(std::ostream& os, const RunResult& run, const SweepView* sweep) {
+  os << "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n"
+     << "<title>mobichk run report</title>\n"
+     << "<style>\n"
+     << "body{font-family:system-ui,sans-serif;margin:2em auto;max-width:60em;color:#222}\n"
+     << "h1{border-bottom:2px solid #446;padding-bottom:.2em}\n"
+     << "h2{margin-top:1.6em;color:#446}\n"
+     << "table{border-collapse:collapse;margin:.5em 0}\n"
+     << "th,td{border:1px solid #ccd;padding:.25em .6em;text-align:left;font-size:.95em}\n"
+     << "th{background:#eef}\n"
+     << "code{background:#f4f4f8;padding:0 .2em}\n"
+     << ".bad{color:#b00;font-weight:bold}\n"
+     << ".barcell{min-width:14em;background:#f8f8fc}\n"
+     << ".barhead{min-width:14em}\n"
+     << ".bar{height:1em}\n"
+     << ".bar.busy{background:#58a}\n"
+     << ".bar.stall{background:#c86}\n"
+     << "</style>\n</head>\n<body>\n"
+     << "<h1>mobichk run report</h1>\n";
+  emit_config_section(os, run);
+  emit_summary_section(os, run);
+  emit_protocol_section(os, run);
+  emit_phase_section(os, run);
+  emit_shard_section(os, run);
+  emit_recovery_section(os, run);
+  emit_data_plane_section(os, run);
+  if (sweep != nullptr) emit_sweep_section(os, *sweep);
+  emit_catalog_section(os, run);
+  os << "</body>\n</html>\n";
+  os.flush();
+}
+
+void write_html_report(const std::string& path, const RunResult& run, const SweepView* sweep) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_html_report: cannot open " + path);
+  write_html_report(out, run, sweep);
+  if (!out) throw std::runtime_error("write_html_report: write failed for " + path);
+}
+
+}  // namespace mobichk::sim

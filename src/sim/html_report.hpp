@@ -1,0 +1,60 @@
+// Self-contained HTML run report: one file, inline CSS, no scripts and
+// no external assets — it can be archived as a CI artifact and opened
+// years later without a renderer toolchain.
+//
+// The report is assembled from a RunResult (and optionally a SweepView
+// for sweep runs): configuration echo, run summary, per-protocol table,
+// the host-time phase breakdown and shard-balance bars when the run
+// carried a profiler (prof.* metrics present), the full metric catalog
+// grouped by prefix, the recovery story when crashes executed, the
+// data-plane totals when the subsystem was on, and the sweep ledger
+// with per-point wall-cost bars.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "sim/sweep.hpp"
+
+namespace mobichk::sim {
+
+struct JsonValue;
+
+/// Display-ready view of one sweep: the serialized summary statistics
+/// rather than the live Tally accumulators, so it can be built either
+/// from an in-process FigureResult or from its JSON document (a Tally
+/// cannot be reconstructed from its published moments).
+struct SweepCellView {
+  f64 mean = 0.0;
+  f64 ci95 = 0.0;
+  f64 min = 0.0;
+  f64 max = 0.0;
+  u64 replications = 0;
+};
+
+struct SweepView {
+  std::string title;
+  std::vector<f64> t_switch_values;
+  std::vector<std::string> protocol_names;
+  std::vector<std::vector<SweepCellView>> cells;  ///< [point][protocol]
+  std::vector<u32> seeds_used;
+  std::vector<bool> target_met;
+  SweepLedger ledger;
+
+  static SweepView from(const FigureResult& fig);
+  /// Parses a write_json(FigureResult) document. Absent members stay
+  /// default; malformed members throw std::invalid_argument.
+  static SweepView from_json(const JsonValue& json);
+};
+
+/// Writes the report document. `sweep` may be nullptr (single-run
+/// report); when set, the sweep sections are appended.
+void write_html_report(std::ostream& os, const RunResult& run, const SweepView* sweep);
+
+/// Convenience wrapper: write to `path`; throws std::runtime_error
+/// naming the path when the file cannot be opened or the stream fails.
+void write_html_report(const std::string& path, const RunResult& run, const SweepView* sweep);
+
+}  // namespace mobichk::sim

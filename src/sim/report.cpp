@@ -20,12 +20,18 @@ void write_ledger_fields(JsonWriter& w, const SweepLedger& ledger) {
       .field("replications_run", ledger.replications_run)
       .field("replications_used", ledger.replications_used)
       .field("replication_cap", ledger.replication_cap);
-  // Sharding fields appear only for parallel sweeps, so sequential
-  // documents stay byte-identical to earlier versions.
+  // Always present (0.0 for sequential sweeps) so cost reports diff
+  // cleanly across shard counts instead of fields appearing and
+  // vanishing with the configuration.
+  w.field("barrier_stall_seconds", ledger.barrier_stall_seconds);
+  // Shard topology fields still appear only for parallel sweeps.
   if (ledger.shards > 1) {
-    w.field("shards", static_cast<u64>(ledger.shards))
-        .field("sync_rounds", ledger.sync_rounds)
-        .field("barrier_stall_seconds", ledger.barrier_stall_seconds);
+    w.field("shards", static_cast<u64>(ledger.shards)).field("sync_rounds", ledger.sync_rounds);
+  }
+  if (!ledger.point_wall_seconds.empty()) {
+    w.key("point_wall_seconds").begin_array();
+    for (const f64 s : ledger.point_wall_seconds) w.value(s);
+    w.end_array();
   }
   w.end_object();
 }
@@ -508,6 +514,9 @@ SweepLedger sweep_ledger_from_json(const JsonValue& json) {
   if (const JsonValue* v = json.find("sync_rounds")) ledger.sync_rounds = v->as_u64();
   if (const JsonValue* v = json.find("barrier_stall_seconds")) {
     ledger.barrier_stall_seconds = v->as_f64();
+  }
+  if (const JsonValue* v = json.find("point_wall_seconds")) {
+    for (const JsonValue& s : v->array) ledger.point_wall_seconds.push_back(s.as_f64());
   }
   return ledger;
 }

@@ -248,6 +248,9 @@ FigureResult run_figure(const FigureSpec& spec, const ExperimentOptions& opts, u
   obs::RunObserver* observer = opts.observer;
   ExperimentOptions run_opts = opts;
   run_opts.observer = nullptr;
+  // Likewise a Profiler's lane 0 would be shared by every concurrent
+  // sequential replication; sweeps report cost through the ledger instead.
+  run_opts.profiler = nullptr;
   run_opts.protocols = spec.protocols;
 
   const usize n_points = spec.t_switch_values.size();
@@ -264,6 +267,7 @@ FigureResult run_figure(const FigureSpec& spec, const ExperimentOptions& opts, u
 
   FigureResult out;
   out.ledger.replication_cap = static_cast<u64>(n_points) * spec.max_seeds;
+  out.ledger.point_wall_seconds.assign(n_points, 0.0);
 
   // Adaptive rounds: dispatch the next deterministic batch for every
   // unfinished point, run the whole round through the pool, then advance
@@ -296,6 +300,7 @@ FigureResult run_figure(const FigureSpec& spec, const ExperimentOptions& opts, u
       out.ledger.shards = round[j].shards;  // uniform across the sweep
       out.ledger.sync_rounds += round[j].sync_rounds;
       out.ledger.barrier_stall_seconds += round[j].barrier_stall_seconds;
+      out.ledger.point_wall_seconds[job_point[j]] += round[j].wall_seconds;
       PointState& st = points[job_point[j]];
       if (observer != nullptr) {
         observer->sweep_probe()->replications->add();

@@ -102,8 +102,14 @@ struct SweepLedger {
   u32 shards = 1;             ///< Spatial shards each replication ran with.
   u64 sync_rounds = 0;        ///< Barrier windows, summed over replications.
   /// Coordinator barrier wait, summed (wall time; informational only,
-  /// like wall_seconds).
+  /// like wall_seconds). Always recorded: 0.0 for sequential sweeps, so
+  /// cost reports diff cleanly across shard counts.
   f64 barrier_stall_seconds = 0.0;
+  /// Per-point replication wall seconds (index = sweep point), summed
+  /// over every replication dispatched for the point — overshoot past
+  /// the stopping index included, because its cost was paid. The
+  /// attribution knob for "which point is eating the budget".
+  std::vector<f64> point_wall_seconds;
 
   f64 events_per_second() const noexcept {
     return wall_seconds > 0.0 ? static_cast<f64>(events_executed) / wall_seconds : 0.0;

@@ -78,6 +78,7 @@ u64 DataPlane::price_checkpoint(net::HostId host, des::Time now) {
 }
 
 u64 DataPlane::on_checkpoint(net::HostId host, net::MssId mss, des::Time now, u8 ckpt_kind) {
+  obs::ProfScope prof_scope(prof_ != nullptr ? &prof_->lane().storage : nullptr);
   const u64 upload = price_checkpoint(host, now);
   PendingOp op;
   op.t = now;
@@ -92,6 +93,7 @@ u64 DataPlane::on_checkpoint(net::HostId host, net::MssId mss, des::Time now, u8
 }
 
 void DataPlane::on_handoff(net::HostId host, net::MssId from, net::MssId to, des::Time now) {
+  obs::ProfScope prof_scope(prof_ != nullptr ? &prof_->lane().storage : nullptr);
   PendingOp op;
   op.t = now;
   op.host = host;
@@ -112,6 +114,7 @@ void DataPlane::enqueue_or_process(const PendingOp& op) {
 void DataPlane::enable_sharding(u32 n_shards) { slices_.resize(n_shards); }
 
 void DataPlane::merge_window() {
+  obs::ProfScope prof_scope(prof_ != nullptr ? &prof_->lane().storage : nullptr);
   usize remaining = 0;
   for (const Slice& s : slices_) remaining += s.ops.size();
   if (remaining == 0) return;
@@ -224,6 +227,7 @@ void DataPlane::sample_locality(const HostState& hs, net::MssId host_at) {
 }
 
 des::Time DataPlane::recovery_fetch(net::HostId host, net::MssId at_mss, des::Time now) {
+  obs::ProfScope prof_scope(prof_ != nullptr ? &prof_->lane().storage : nullptr);
   HostState& hs = hosts_.at(host);
   if (hs.placement == net::kNoMss) return 0.0;
   const u64 bytes = cfg_.full_state_bytes;
@@ -265,6 +269,7 @@ void DataPlane::schedule_completion(u8 sub, net::HostId host, net::MssId mss, u6
 }
 
 void DataPlane::on_event(const des::EventPayload& payload) {
+  obs::ProfScope prof_scope(prof_ != nullptr ? &prof_->lane().storage : nullptr);
   const Transfer t = pending_.at(payload.a);
   free_.push_back(payload.a);
   ++stats_.transfers_completed;

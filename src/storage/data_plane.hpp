@@ -126,6 +126,10 @@ class DataPlane final : public des::EventTarget {
   /// on the network's stats.
   void set_network(net::Network* network) noexcept { network_ = network; }
 
+  /// Attaches the host-time profiler (nullptr = off): every data-plane
+  /// entry point accumulates into prof.storage on the executing lane.
+  void set_profiler(obs::Profiler* prof) noexcept { prof_ = prof; }
+
   /// Prices one physical checkpoint of `host` taken at its current MSS.
   /// Returns the upload size in bytes (stamped on the CheckpointRecord).
   /// Shard-safe: size state is host-local, the rest is journaled.
@@ -216,6 +220,7 @@ class DataPlane final : public des::EventTarget {
   f64 wired_latency_;
   des::TraceSink* sink_ = nullptr;
   obs::Timeline* timeline_ = nullptr;
+  obs::Profiler* prof_ = nullptr;
   net::Network* network_ = nullptr;
   std::unique_ptr<StableStorage> storage_;
   std::vector<HostState> hosts_;

@@ -352,15 +352,25 @@ TEST(JsonRoundTrip, SweepLedgerAllFields) {
   ledger.replications_run = 42;
   ledger.replications_used = 40;
   ledger.replication_cap = 112;
+  ledger.barrier_stall_seconds = 0.25;
+  ledger.point_wall_seconds = {0.75, 0.5, 0.25};
 
   std::ostringstream os;
   write_json(os, ledger);
+  // barrier_stall_seconds is always emitted, even for this sequential
+  // (shards == 1) ledger, so run-to-run cost diffs never lose the field.
+  EXPECT_NE(os.str().find("\"barrier_stall_seconds\""), std::string::npos);
   const SweepLedger back = sweep_ledger_from_json(json_parse(os.str()));
   EXPECT_DOUBLE_EQ(back.wall_seconds, ledger.wall_seconds);
   EXPECT_EQ(back.events_executed, ledger.events_executed);
   EXPECT_EQ(back.replications_run, ledger.replications_run);
   EXPECT_EQ(back.replications_used, ledger.replications_used);
   EXPECT_EQ(back.replication_cap, ledger.replication_cap);
+  EXPECT_DOUBLE_EQ(back.barrier_stall_seconds, ledger.barrier_stall_seconds);
+  ASSERT_EQ(back.point_wall_seconds.size(), ledger.point_wall_seconds.size());
+  for (usize p = 0; p < ledger.point_wall_seconds.size(); ++p) {
+    EXPECT_DOUBLE_EQ(back.point_wall_seconds[p], ledger.point_wall_seconds[p]);
+  }
   EXPECT_DOUBLE_EQ(back.events_per_second(), ledger.events_per_second());
   std::ostringstream again;
   write_json(again, back);
@@ -382,6 +392,7 @@ TEST(JsonRoundTrip, SweepLedgerFromFigureResultDocument) {
   EXPECT_EQ(back.replications_used, result.ledger.replications_used);
   EXPECT_EQ(back.replication_cap, result.ledger.replication_cap);
   EXPECT_EQ(back.events_executed, result.ledger.events_executed);
+  ASSERT_EQ(back.point_wall_seconds.size(), result.ledger.point_wall_seconds.size());
 }
 
 TEST(JsonRoundTrip, RejectsUnknownEnumNames) {

@@ -1,37 +1,55 @@
 #!/usr/bin/env python3
 """Structural linter for mobichk's observability exports.
 
-Validates two formats (dispatched on file extension, or forced with
+Validates three formats (dispatched on file extension, or forced with
 --format):
 
-  *.json   Chrome-trace files (obs::write_chrome_trace): checks the
-           top-level shape, the per-phase required keys, and — the part a
-           generic JSON check cannot see — that every flow-finish event
-           ("ph":"f") is preceded in file order by a flow-start ("ph":"s")
-           with the same (cat, id), that no flow terminates twice, and
-           that flow events carry the binding fields (pid, tid, ts).
+  *.json   Chrome-trace files (obs::write_chrome_trace / write_host_trace):
+           checks the top-level shape, the per-phase required keys, and —
+           the parts a generic JSON check cannot see —
+             * every flow-finish event ("ph":"f") is preceded in file
+               order by a flow-start ("ph":"s") with the same (cat, id),
+               and no flow terminates twice;
+             * duration slices nest: every "B" has a matching "E" on the
+               same (pid, tid), never an "E" on an empty stack, and
+               begin/complete timestamps never regress within one row;
+             * host-time separation: a pid that carries B/E slices (the
+               profiler's host-time track) must not also carry sim-time
+               flow or instant events — host wall-clock and simulated
+               time never share a track.
 
   *.jsonl  Metrics/event JSONL files (obs::write_metrics_jsonl): every
            line parses on its own, carries a known "type", and all event
            lines precede all metric lines (consumers stream them in one
            pass).
 
+  *.html   Run reports (sim::write_html_report): the document must be
+           self-contained — no external stylesheet/script/image/font
+           references, no <script> at all — so the file works offline and
+           archives as one artifact.
+
 Exit status: 0 clean, 1 with a message naming file, line/event and reason.
 Usage: tools/lint_trace.py FILE [FILE ...]
 """
 
 import json
+import re
 import sys
 
 PHASE_REQUIRED = {
     "M": ("name", "pid"),
     "i": ("name", "ts", "pid", "tid", "s"),
     "X": ("name", "ts", "dur", "pid", "tid"),
+    "B": ("name", "ts", "pid", "tid"),
+    "E": ("ts", "pid", "tid"),
     "s": ("name", "cat", "id", "ts", "pid", "tid"),
     "f": ("name", "cat", "id", "ts", "pid", "tid", "bp"),
 }
 
 JSONL_TYPES = {"event", "metric"}
+
+# Sim-time phases that must never share a pid with host-time B/E slices.
+SIM_ONLY_PHASES = ("i", "s", "f")
 
 
 class LintError(Exception):
@@ -49,8 +67,19 @@ def lint_chrome_trace(path, data):
     if not isinstance(events, list):
         raise LintError("traceEvents is not an array")
 
+    # First pass: which pids carry B/E rows (the host-time track)? The
+    # monotonic-timestamp rule below only binds there — sim-time X slices
+    # (checkpoint transfers) are grouped per host, not time-ordered.
+    slice_pids = set()
+    for e in events:
+        if isinstance(e, dict) and e.get("ph") in ("B", "E") and "pid" in e:
+            slice_pids.add(e["pid"])
+
     open_flows = set()
     closed_flows = set()
+    slice_stacks = {}  # (pid, tid) -> list of open B names
+    last_ts = {}  # (pid, tid) -> last B/X timestamp on that row
+    sim_pids = set()  # pids carrying flow/instant rows (sim-time tracks)
     for i, e in enumerate(events):
         where = f"traceEvents[{i}]"
         if not isinstance(e, dict):
@@ -62,6 +91,7 @@ def lint_chrome_trace(path, data):
             if key not in e:
                 raise LintError(f"{where}: ph {ph!r} is missing {key!r}")
         if ph in ("s", "f"):
+            sim_pids.add(e["pid"])
             flow = (e["cat"], e["id"])
             if ph == "s":
                 open_flows.add(flow)
@@ -73,9 +103,35 @@ def lint_chrome_trace(path, data):
                 if flow in closed_flows:
                     raise LintError(f"{where}: flow {flow} terminated twice")
                 closed_flows.add(flow)
+        elif ph == "i":
+            sim_pids.add(e["pid"])
+        elif ph in ("B", "E", "X"):
+            row = (e["pid"], e["tid"])
+            if ph in ("B", "X") and e["pid"] in slice_pids:
+                ts = e["ts"]
+                if row in last_ts and ts < last_ts[row]:
+                    raise LintError(
+                        f"{where}: ts {ts} regresses below {last_ts[row]} on row {row}"
+                    )
+                last_ts[row] = ts
+            if ph == "B":
+                slice_stacks.setdefault(row, []).append(e["name"])
+            elif ph == "E":
+                stack = slice_stacks.get(row)
+                if not stack:
+                    raise LintError(f"{where}: E with no open B on row {row}")
+                stack.pop()
     dangling = open_flows - closed_flows
     if dangling:
         raise LintError(f"{len(dangling)} flow start(s) never finish, e.g. {sorted(dangling)[0]}")
+    for row, stack in slice_stacks.items():
+        if stack:
+            raise LintError(f"{len(stack)} B slice(s) never closed on row {row}, e.g. {stack[-1]!r}")
+    shared = slice_pids & sim_pids
+    if shared:
+        raise LintError(
+            f"pid(s) {sorted(shared)} mix host-time slices with sim-time events"
+        )
 
 
 def lint_jsonl(path, data):
@@ -107,6 +163,24 @@ def lint_jsonl(path, data):
     return n_events, n_metrics
 
 
+def lint_html(path, data):
+    lower = data.lower()
+    if "<html" not in lower or "</html>" not in lower:
+        raise LintError("not an HTML document (missing <html>...</html>)")
+    if "<script" in lower:
+        raise LintError("report must not contain <script> (self-contained, no JS)")
+    # Any attribute or CSS reference reaching off the file breaks the
+    # "one artifact, works offline" contract.
+    external = re.search(
+        r"""(?:src|href)\s*=\s*["'](?:https?:)?//|@import|url\(\s*["']?(?:https?:)?//""",
+        data,
+        re.IGNORECASE,
+    )
+    if external:
+        snippet = data[external.start() : external.start() + 60]
+        raise LintError(f"external reference: {snippet!r}")
+
+
 def main(argv):
     args = [a for a in argv[1:] if not a.startswith("--")]
     forced = None
@@ -117,12 +191,21 @@ def main(argv):
         print(__doc__.strip(), file=sys.stderr)
         return 2
     for path in args:
-        fmt = forced or ("jsonl" if path.endswith(".jsonl") else "json")
+        if forced:
+            fmt = forced
+        elif path.endswith(".jsonl"):
+            fmt = "jsonl"
+        elif path.endswith(".html"):
+            fmt = "html"
+        else:
+            fmt = "json"
         try:
             with open(path, encoding="utf-8") as f:
                 data = f.read()
             if fmt == "jsonl":
                 lint_jsonl(path, data)
+            elif fmt == "html":
+                lint_html(path, data)
             else:
                 lint_chrome_trace(path, data)
         except (OSError, LintError) as e:
